@@ -1,0 +1,31 @@
+# Development shortcuts (https://github.com/casey/just)
+
+# Run every test in the workspace.
+test:
+    cargo test --workspace
+
+# Lint + docs, as CI runs them.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Regenerate every table and figure into results/ (with gnuplot scripts).
+repro:
+    cargo run --release -p bounce-bench --bin repro -- all --out results/ --plots
+
+# Quick repro (CI-speed sweeps).
+repro-quick:
+    cargo run --release -p bounce-bench --bin repro -- all --quick --out results-quick/
+
+# All criterion benches.
+bench:
+    cargo bench --workspace
+
+# Smoke-run the benches without measuring.
+bench-check:
+    cargo bench --workspace -- --test
+
+# Run every example.
+examples:
+    for e in quickstart placement_advisor lock_shootout model_fit energy_explorer trace_bounces host_microbench native_sweep custom_machine; do \
+        cargo run --release --example $e; done

@@ -1,0 +1,105 @@
+//! Bounded exponential backoff.
+//!
+//! Backoff on a failed CAS is one of the ablations the benches probe: it
+//! trades per-op latency for a higher CAS success rate (fewer wasted line
+//! transfers), and the model predicts where that trade pays off.
+
+use std::hint;
+
+/// Bounded exponential backoff: the `k`-th consecutive failure spins for
+/// `min(initial << k, max)` pause-iterations.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    initial: u32,
+    max: u32,
+    current: u32,
+}
+
+impl Backoff {
+    /// Create a backoff starting at `initial` spins, capped at `max`.
+    ///
+    /// `initial == 0` makes [`Backoff::spin`] a no-op until the first
+    /// doubling, which effectively disables backoff for the first round.
+    pub fn new(initial: u32, max: u32) -> Self {
+        assert!(max >= initial, "max ({max}) must be >= initial ({initial})");
+        Backoff {
+            initial,
+            max,
+            current: initial,
+        }
+    }
+
+    /// Standard configuration used by the CAS retry-loop workloads.
+    pub fn standard() -> Self {
+        Backoff::new(4, 1024)
+    }
+
+    /// A disabled backoff (every spin is a no-op).
+    pub fn none() -> Self {
+        Backoff::new(0, 0)
+    }
+
+    /// Number of pause-iterations the next [`Backoff::spin`] will perform.
+    pub fn current(&self) -> u32 {
+        self.current
+    }
+
+    /// Spin for the current window, then double it (up to the cap).
+    #[inline]
+    pub fn spin(&mut self) {
+        for _ in 0..self.current {
+            hint::spin_loop();
+        }
+        self.current = (self.current.saturating_mul(2)).clamp(self.initial.max(1), self.max.max(1));
+        if self.max == 0 {
+            self.current = 0;
+        }
+    }
+
+    /// Reset to the initial window (call after a success).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.current = self.initial;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap() {
+        let mut b = Backoff::new(2, 16);
+        let mut seen = vec![b.current()];
+        for _ in 0..6 {
+            b.spin();
+            seen.push(b.current());
+        }
+        assert_eq!(seen, vec![2, 4, 8, 16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let mut b = Backoff::new(2, 64);
+        b.spin();
+        b.spin();
+        assert!(b.current() > 2);
+        b.reset();
+        assert_eq!(b.current(), 2);
+    }
+
+    #[test]
+    fn disabled_backoff_stays_zero() {
+        let mut b = Backoff::none();
+        for _ in 0..5 {
+            b.spin();
+            assert_eq!(b.current(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_bounds() {
+        let _ = Backoff::new(8, 4);
+    }
+}

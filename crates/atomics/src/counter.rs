@@ -1,0 +1,230 @@
+//! Concurrent counters — the simplest application of FAA and the
+//! textbook high-contention vs. striped-low-contention contrast.
+
+use crate::padded::{padded_array, PaddedAtomic};
+use std::sync::atomic::Ordering;
+
+/// A counter usable from many threads.
+pub trait ConcurrentCounter: Send + Sync {
+    /// Add `delta` on behalf of thread `tid`.
+    fn add(&self, tid: usize, delta: u64);
+    /// Read the (possibly momentarily stale) total.
+    fn read(&self) -> u64;
+}
+
+/// All threads FAA one shared cell: the canonical high-contention setting.
+#[derive(Debug)]
+pub struct SharedCounter {
+    cell: PaddedAtomic,
+}
+
+impl Default for SharedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedCounter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        SharedCounter {
+            cell: PaddedAtomic::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ConcurrentCounter for SharedCounter {
+    fn add(&self, _tid: usize, delta: u64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Each thread FAAs its own padded stripe; reads sum the stripes: the
+/// canonical low-contention transformation of the same counter.
+#[derive(Debug)]
+pub struct StripedCounter {
+    stripes: Box<[PaddedAtomic]>,
+}
+
+impl StripedCounter {
+    /// New counter with `stripes` independent cells (≥ 1).
+    pub fn new(stripes: usize) -> Self {
+        assert!(stripes >= 1);
+        StripedCounter {
+            stripes: padded_array(stripes, 0),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+}
+
+impl ConcurrentCounter for StripedCounter {
+    fn add(&self, tid: usize, delta: u64) {
+        self.stripes[tid % self.stripes.len()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A flat-combining counter (Hendler, Incze, Shavit, Tzafrir — simplified
+/// for pure increments): threads *publish* deltas into per-thread padded
+/// slots (their own line — no bouncing), and whichever thread holds the
+/// combiner lock drains all slots into the main value in one pass.
+///
+/// The model's account: a shared FAA costs one line transfer per
+/// increment; combining costs one transfer per *batch*, so the hot line
+/// moves `O(1/batch)` as often. `read()` combines before returning, so
+/// it always observes every `add` that happened-before it.
+#[derive(Debug)]
+pub struct CombiningCounter {
+    combiner_lock: PaddedAtomic,
+    slots: Box<[PaddedAtomic]>,
+    value: PaddedAtomic,
+}
+
+impl CombiningCounter {
+    /// New counter with one publication slot per expected thread.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots >= 1);
+        CombiningCounter {
+            combiner_lock: PaddedAtomic::new(std::sync::atomic::AtomicU64::new(0)),
+            slots: padded_array(slots, 0),
+            value: PaddedAtomic::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of publication slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn try_combine(&self) -> bool {
+        if self.combiner_lock.swap(1, Ordering::Acquire) == 1 {
+            return false;
+        }
+        let mut gathered = 0u64;
+        for slot in self.slots.iter() {
+            let taken = slot.swap(0, Ordering::AcqRel);
+            gathered = gathered.wrapping_add(taken);
+        }
+        if gathered > 0 {
+            self.value.fetch_add(gathered, Ordering::AcqRel);
+        }
+        self.combiner_lock.store(0, Ordering::Release);
+        true
+    }
+}
+
+impl ConcurrentCounter for CombiningCounter {
+    fn add(&self, tid: usize, delta: u64) {
+        // Publish on the own line — no contention with other adders.
+        self.slots[tid % self.slots.len()].fetch_add(delta, Ordering::AcqRel);
+        // Opportunistically combine; if another combiner is active, our
+        // delta rides along in its (or a later) pass.
+        let _ = self.try_combine();
+    }
+
+    fn read(&self) -> u64 {
+        // Combine until we get a pass in, so everything published
+        // before this read is folded.
+        while !self.try_combine() {
+            std::hint::spin_loop();
+        }
+        self.value.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn exercise(counter: Arc<dyn ConcurrentCounter>, threads: usize, per_thread: u64) -> u64 {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let c = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..per_thread {
+                    c.add(tid, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        counter.read()
+    }
+
+    #[test]
+    fn shared_counter_exact() {
+        let c: Arc<dyn ConcurrentCounter> = Arc::new(SharedCounter::new());
+        assert_eq!(exercise(c, 4, 10_000), 40_000);
+    }
+
+    #[test]
+    fn striped_counter_exact() {
+        let c: Arc<dyn ConcurrentCounter> = Arc::new(StripedCounter::new(8));
+        assert_eq!(exercise(c, 4, 10_000), 40_000);
+    }
+
+    #[test]
+    fn striped_counter_single_stripe_degenerates_to_shared() {
+        let c = StripedCounter::new(1);
+        c.add(0, 5);
+        c.add(7, 5);
+        assert_eq!(c.read(), 10);
+        assert_eq!(c.stripes(), 1);
+    }
+
+    #[test]
+    fn add_with_delta() {
+        let c = SharedCounter::new();
+        c.add(0, 3);
+        c.add(0, 4);
+        assert_eq!(c.read(), 7);
+    }
+
+    #[test]
+    fn combining_counter_exact_under_concurrency() {
+        let c: Arc<dyn ConcurrentCounter> = Arc::new(CombiningCounter::new(4));
+        assert_eq!(exercise(c, 4, 10_000), 40_000);
+    }
+
+    #[test]
+    fn combining_counter_read_sees_published_adds() {
+        let c = CombiningCounter::new(2);
+        c.add(0, 5);
+        c.add(1, 7);
+        assert_eq!(c.read(), 12);
+        // Idempotent: a second read doesn't double-count.
+        assert_eq!(c.read(), 12);
+        assert_eq!(c.slots(), 2);
+    }
+
+    #[test]
+    fn combining_counter_single_slot() {
+        let c = CombiningCounter::new(1);
+        for tid in 0..5 {
+            c.add(tid, 1);
+        }
+        assert_eq!(c.read(), 5);
+    }
+
+    #[test]
+    fn combining_counter_delta_wrapping() {
+        let c = CombiningCounter::new(1);
+        c.add(0, u64::MAX);
+        c.add(0, 2);
+        assert_eq!(c.read(), 1, "wrapping add semantics");
+    }
+}

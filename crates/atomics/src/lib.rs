@@ -1,0 +1,37 @@
+//! Atomic-primitive layer for the atomic-performance study.
+//!
+//! This crate defines:
+//!
+//! * [`Primitive`] — a uniform descriptor of the hardware atomic
+//!   primitives the paper measures (load, store, SWAP/exchange,
+//!   TAS/test-and-set, FAA/fetch-and-add, CAS/compare-and-swap), with both
+//!   *value semantics* (pure functions over a 64-bit word, used by the
+//!   coherence simulator so that e.g. CAS failures are real) and *native
+//!   execution* on a [`std::sync::atomic::AtomicU64`];
+//! * [`PaddedAtomic`] / [`CachePadded`] — cache-line-isolated cells so
+//!   that low-contention experiments do not suffer false sharing;
+//! * [`Backoff`] — bounded exponential backoff, one of the ablations;
+//! * lock implementations built *from* the primitives ([`locks`]):
+//!   test-and-set, test-and-test-and-set, ticket, and CLH queue locks —
+//!   the application context of experiment E12;
+//! * simple concurrent structures for the application workloads:
+//!   a sharded/striped [`counter`], a Treiber [`stack`], a
+//!   Michael–Scott [`queue`], and a single-writer [`seqlock`] (readers
+//!   never bounce the line — loads only).
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod counter;
+pub mod locks;
+pub mod padded;
+pub mod primitive;
+pub mod queue;
+pub mod seqlock;
+pub mod stack;
+
+pub use backoff::Backoff;
+pub use locks::{ClhLock, LockKind, McsLock, RawLock, TasLock, TicketLock, TtasLock};
+pub use padded::{CachePadded, PaddedAtomic};
+pub use primitive::{OpOutcome, Primitive};
+pub use seqlock::SeqLock;

@@ -1,0 +1,102 @@
+//! Cache-line isolation.
+//!
+//! Contention experiments need precise control over line sharing:
+//! the high-contention setting puts *one* word on *one* line, and the
+//! low-contention setting gives every thread a *private* line. Both break
+//! if the allocator packs two cells into one line (false sharing) or if
+//! the adjacent-line ("spatial") prefetcher drags a neighbour line along —
+//! hence 128-byte alignment, the standard practice on Intel.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU64;
+
+/// Aligns and pads its contents to 128 bytes: one cache-line pair, so the
+/// value shares neither its own line nor its prefetch-buddy line with any
+/// neighbour.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap a value in its own (pair of) cache line(s).
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consume the wrapper.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+/// A cache-line-isolated `AtomicU64` — the unit cell of every experiment.
+pub type PaddedAtomic = CachePadded<AtomicU64>;
+
+/// Allocate `n` isolated atomic cells, all initialised to `init`.
+pub fn padded_array(n: usize, init: u64) -> Box<[PaddedAtomic]> {
+    (0..n)
+        .map(|_| CachePadded::new(AtomicU64::new(init)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::{align_of, size_of};
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn alignment_and_size() {
+        assert_eq!(align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(size_of::<CachePadded<u64>>(), 128);
+        assert_eq!(size_of::<PaddedAtomic>(), 128);
+    }
+
+    #[test]
+    fn array_elements_on_distinct_lines() {
+        let arr = padded_array(8, 0);
+        for w in arr.windows(2) {
+            let a = &*w[0] as *const AtomicU64 as usize;
+            let b = &*w[1] as *const AtomicU64 as usize;
+            assert!(b.abs_diff(a) >= 128, "cells {a:#x} and {b:#x} too close");
+            assert_eq!(a % 128, 0, "cell not 128-aligned");
+        }
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let mut c = CachePadded::new(5u32);
+        assert_eq!(*c, 5);
+        *c = 6;
+        assert_eq!(c.into_inner(), 6);
+    }
+
+    #[test]
+    fn padded_array_initialised() {
+        let arr = padded_array(4, 42);
+        for cell in arr.iter() {
+            assert_eq!(cell.load(Ordering::Relaxed), 42);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! A Michael–Scott queue — two contended lines (head and tail) instead of
+//! the stack's one, the second application context.
+
+use crossbeam::epoch::{self, Atomic, Owned, Shared};
+use std::sync::atomic::Ordering;
+
+struct Node<T> {
+    value: Option<T>,
+    next: Atomic<Node<T>>,
+}
+
+/// A lock-free FIFO queue (Michael & Scott, 1996).
+pub struct MsQueue<T> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MsQueue<T> {
+    /// New empty queue (one sentinel node).
+    pub fn new() -> Self {
+        let sentinel = Owned::new(Node {
+            value: None,
+            next: Atomic::null(),
+        });
+        let guard = unsafe { epoch::unprotected() };
+        let sentinel = sentinel.into_shared(guard);
+        MsQueue {
+            head: Atomic::from(sentinel),
+            tail: Atomic::from(sentinel),
+        }
+    }
+
+    /// Enqueue at the tail; returns the CAS attempt count (≥ 1).
+    pub fn enqueue(&self, value: T) -> u32 {
+        let mut node = Owned::new(Node {
+            value: Some(value),
+            next: Atomic::null(),
+        });
+        let guard = epoch::pin();
+        let mut attempts = 1u32;
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: tail is never null (sentinel).
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Ordering::Acquire, &guard);
+            if !next.is_null() {
+                // Tail is lagging; help swing it and retry.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                );
+                attempts += 1;
+                continue;
+            }
+            match tail_ref.next.compare_exchange(
+                Shared::null(),
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(new) => {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        new,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        &guard,
+                    );
+                    return attempts;
+                }
+                Err(e) => {
+                    node = e.new;
+                    attempts += 1;
+                }
+            }
+        }
+    }
+
+    /// Dequeue from the head; returns the value and CAS attempt count.
+    pub fn dequeue(&self) -> Option<(T, u32)> {
+        let guard = epoch::pin();
+        let mut attempts = 1u32;
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head is never null (sentinel).
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Ordering::Acquire, &guard);
+            let next_ref = unsafe { next.as_ref() }?;
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            if head == tail {
+                // Tail lagging behind a concurrent enqueue; help.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                );
+            }
+            match self.head.compare_exchange(
+                head,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => {
+                    // SAFETY: we won the head CAS; `next` becomes the new
+                    // sentinel and we uniquely take its value; the old
+                    // head is retired.
+                    unsafe {
+                        let value = std::ptr::read(&next_ref.value).expect("non-sentinel value");
+                        guard.defer_destroy(head);
+                        return Some((value, attempts));
+                    }
+                }
+                Err(_) => attempts += 1,
+            }
+        }
+    }
+
+    /// Whether the queue is (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let next = unsafe { head.deref() }.next.load(Ordering::Acquire, &guard);
+        next.is_null()
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut cur = self.head.load(Ordering::Relaxed, guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            let next = node.next.load(Ordering::Relaxed, guard);
+            // The sentinel's value is None; real nodes hold Some. Taking
+            // ownership drops whichever it is.
+            unsafe {
+                drop(cur.into_owned());
+            }
+            cur = next;
+        }
+    }
+}
+
+// SAFETY: values move between threads only through atomically-published
+// nodes.
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = MsQueue::new();
+        assert!(q.is_empty());
+        for i in 0..10 {
+            q.enqueue(i);
+        }
+        assert!(!q.is_empty());
+        for i in 0..10 {
+            assert_eq!(q.dequeue().unwrap().0, i);
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn mpmc_preserves_all_elements() {
+        let q = Arc::new(MsQueue::new());
+        let producers = 3;
+        let per = 4_000u64;
+        let mut handles = Vec::new();
+        for t in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    q.enqueue(t * per + i);
+                }
+            }));
+        }
+        let consumed = Arc::new(std::sync::Mutex::new(HashSet::new()));
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            handles.push(thread::spawn(move || {
+                let mut local = HashSet::new();
+                loop {
+                    match q.dequeue() {
+                        Some((v, _)) => {
+                            assert!(local.insert(v));
+                        }
+                        None => {
+                            if local.len() as u64 >= per {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                consumed.lock().unwrap().extend(local);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Drain any remainder on this thread.
+        let mut rest = HashSet::new();
+        while let Some((v, _)) = q.dequeue() {
+            rest.insert(v);
+        }
+        let consumed = consumed.lock().unwrap();
+        let total = consumed.len() + rest.len();
+        assert_eq!(total as u64, producers * per);
+        assert!(consumed.is_disjoint(&rest));
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // Single producer, single consumer: strict FIFO.
+        let q = Arc::new(MsQueue::new());
+        let qp = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            for i in 0..10_000u64 {
+                qp.enqueue(i);
+            }
+        });
+        let mut expected = 0u64;
+        while expected < 10_000 {
+            if let Some((v, _)) = q.dequeue() {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drop_with_remaining_elements() {
+        let q = MsQueue::new();
+        for i in 0..50 {
+            q.enqueue(i);
+        }
+        drop(q);
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion benches for the ablations (A1–A3): each group runs one
+//! simulated variant so regressions in any ablation path show up in
+//! `cargo bench`. The outcome numbers themselves come from
+//! `repro ablations`.
+
+use bounce_atomics::Primitive;
+use bounce_harness::simrun::{sim_measure, SimRunConfig};
+use bounce_sim::{ArbitrationPolicy, HomePolicy};
+use bounce_topo::{presets, Placement};
+use bounce_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick_cfg() -> (bounce_topo::MachineTopology, SimRunConfig) {
+    let topo = presets::xeon_e5_2695_v4();
+    let mut cfg = SimRunConfig::for_machine(&topo);
+    cfg.duration_cycles = 300_000;
+    cfg.params.arbitration = ArbitrationPolicy::Fifo;
+    (topo, cfg)
+}
+
+fn bench_a1_backoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_a1_backoff");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    let (topo, cfg) = quick_cfg();
+    for (label, w) in [
+        (
+            "none",
+            Workload::CasRetryLoop {
+                window: 30,
+                work: 0,
+            },
+        ),
+        (
+            "ladder",
+            Workload::CasRetryLoopBackoff {
+                window: 30,
+                backoff: [64, 256, 1024],
+            },
+        ),
+    ] {
+        g.bench_function(label, |b| b.iter(|| sim_measure(&topo, &w, 8, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_a2_home_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_a2_home");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    let (topo, base) = quick_cfg();
+    for (label, policy) in [("fixed0", HomePolicy::Fixed(0)), ("hash", HomePolicy::Hash)] {
+        let mut cfg = base.clone();
+        cfg.params.home_policy = policy;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::HighContention {
+                        prim: Primitive::Faa,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_a3_arbitration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_a3_arbitration");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    let (topo, base) = quick_cfg();
+    for arb in ArbitrationPolicy::ALL {
+        let mut cfg = base.clone();
+        cfg.params.arbitration = arb;
+        cfg.placement = Placement::Scattered;
+        g.bench_function(arb.label(), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::HighContention {
+                        prim: Primitive::Faa,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_a1_backoff,
+    bench_a2_home_policy,
+    bench_a3_arbitration
+);
+criterion_main!(ablations);

@@ -1,0 +1,344 @@
+//! One Criterion bench per reproduced table/figure: each group runs the
+//! experiment's representative simulation point(s). `cargo bench`
+//! therefore exercises the full regeneration path of every figure and
+//! tracks its cost; the `repro` binary prints the actual rows.
+
+use bounce_atomics::Primitive;
+use bounce_harness::experiments::{self, ExpCtx, Machine};
+use bounce_harness::simrun::{sim_measure, SimRunConfig};
+use bounce_sim::ArbitrationPolicy;
+use bounce_topo::Placement;
+use bounce_workloads::{LockShape, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g
+}
+
+fn quick_cfg(m: Machine) -> (bounce_topo::MachineTopology, SimRunConfig) {
+    let topo = m.topo();
+    let mut cfg = SimRunConfig {
+        params: m.sim_params(),
+        duration_cycles: 300_000,
+        placement: Placement::Packed,
+    };
+    cfg.params.arbitration = ArbitrationPolicy::Fifo;
+    (topo, cfg)
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = group(c, "table2_lc_latency");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    for prim in [Primitive::Faa, Primitive::Cas] {
+        g.bench_function(prim.label(), |b| {
+            b.iter(|| sim_measure(&topo, &Workload::LowContention { prim, work: 0 }, 1, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = group(c, "fig1_hc_throughput");
+    for m in Machine::ALL {
+        let (topo, cfg) = quick_cfg(m);
+        g.bench_function(m.label(), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::HighContention {
+                        prim: Primitive::Faa,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = group(c, "fig2_hc_latency");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    g.bench_function("e5_cas_n8", |b| {
+        b.iter(|| {
+            sim_measure(
+                &topo,
+                &Workload::HighContention {
+                    prim: Primitive::Cas,
+                },
+                8,
+                &cfg,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = group(c, "fig3_cas_retry");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    g.bench_function("e5_n8_win30", |b| {
+        b.iter(|| {
+            sim_measure(
+                &topo,
+                &Workload::CasRetryLoop {
+                    window: 30,
+                    work: 0,
+                },
+                8,
+                &cfg,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = group(c, "fig4_fairness");
+    for arb in ArbitrationPolicy::ALL {
+        let (topo, mut cfg) = quick_cfg(Machine::E5);
+        cfg.params.arbitration = arb;
+        cfg.placement = Placement::Scattered;
+        g.bench_function(arb.label(), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::HighContention {
+                        prim: Primitive::Faa,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = group(c, "fig5_energy");
+    let (topo, cfg) = quick_cfg(Machine::Knl);
+    g.bench_function("knl_faa_n8", |b| {
+        b.iter(|| {
+            sim_measure(
+                &topo,
+                &Workload::HighContention {
+                    prim: Primitive::Faa,
+                },
+                8,
+                &cfg,
+            )
+            .energy_per_op_nj
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = group(c, "fig6_lc_scaling");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    g.bench_function("e5_faa_n8_private", |b| {
+        b.iter(|| {
+            sim_measure(
+                &topo,
+                &Workload::LowContention {
+                    prim: Primitive::Faa,
+                    work: 0,
+                },
+                8,
+                &cfg,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = group(c, "fig7_model_validation");
+    g.bench_function("e5_fit_and_predict", |b| {
+        b.iter(|| experiments::fig7(ExpCtx::quick(), Machine::E5))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = group(c, "fig8_placement");
+    for p in Placement::ALL {
+        let (topo, mut cfg) = quick_cfg(Machine::E5);
+        cfg.placement = p;
+        g.bench_function(p.label(), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::HighContention {
+                        prim: Primitive::Faa,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = group(c, "fig9_dilution");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    for work in [0u64, 800] {
+        g.bench_function(format!("e5_n8_work{work}"), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::Diluted {
+                        prim: Primitive::Faa,
+                        work,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = group(c, "fig10_locks");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    for shape in LockShape::ALL {
+        g.bench_function(shape.label(), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::LockHandoff {
+                        shape,
+                        cs: 100,
+                        noncs: 100,
+                    },
+                    4,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = group(c, "fig11_false_sharing");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    for (label, w) in [
+        (
+            "false-sharing",
+            Workload::FalseSharing {
+                prim: Primitive::Faa,
+            },
+        ),
+        (
+            "padded",
+            Workload::LowContention {
+                prim: Primitive::Faa,
+                work: 0,
+            },
+        ),
+    ] {
+        g.bench_function(label, |b| b.iter(|| sim_measure(&topo, &w, 8, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = group(c, "fig12_mixed_rw");
+    for mesif in [true, false] {
+        let (topo, mut cfg) = quick_cfg(Machine::E5);
+        cfg.params.mesif = mesif;
+        g.bench_function(if mesif { "mesif" } else { "mesi" }, |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::MixedReadWrite {
+                        writers: 1,
+                        prim: Primitive::Faa,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = group(c, "fig13_striping");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    for lines in [1usize, 4] {
+        g.bench_function(format!("lines{lines}"), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::MultiLine {
+                        prim: Primitive::Faa,
+                        lines,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = group(c, "fig14_zipf");
+    let (topo, cfg) = quick_cfg(Machine::E5);
+    for theta in [0.0f64, 1.2] {
+        g.bench_function(format!("theta{theta:.1}"), |b| {
+            b.iter(|| {
+                sim_measure(
+                    &topo,
+                    &Workload::Zipf {
+                        prim: Primitive::Faa,
+                        lines: 8,
+                        theta,
+                        seed: 7,
+                    },
+                    8,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table2,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14
+);
+criterion_main!(figures);

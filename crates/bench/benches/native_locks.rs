@@ -1,0 +1,26 @@
+//! Native uncontended lock acquire/release cost for every lock
+//! implementation in the ladder (the fast-path side of Fig 10).
+
+use bounce_atomics::locks::LockKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_uncontended_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_native_lock_fastpath");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for kind in LockKind::ALL {
+        g.bench_function(kind.label(), |b| {
+            let lock = kind.build();
+            b.iter(|| {
+                let t = lock.lock();
+                std::hint::black_box(&t);
+                lock.unlock(t);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended_locks);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Native uncontended atomic-primitive cost (Table 2's counterpart on
+//! the host machine): each primitive executed on a cache-line-isolated
+//! word that stays in M state — the `c_p` parameter of the model,
+//! measured for real.
+
+use bounce_atomics::{CachePadded, Primitive};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::atomic::AtomicU64;
+use std::time::Duration;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_native_uncontended");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for prim in Primitive::ALL {
+        g.bench_function(prim.label(), |b| {
+            let cell = CachePadded::new(AtomicU64::new(0));
+            b.iter_batched(
+                || (),
+                |_| std::hint::black_box(prim.execute_native(&cell, 1, 0)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_cas_expected_hit_vs_miss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_native_cas_outcome");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    // Always-succeeding CAS: expected tracks the value.
+    g.bench_function("cas_success", |b| {
+        let cell = CachePadded::new(AtomicU64::new(0));
+        let mut expected = 0u64;
+        b.iter(|| {
+            let out = Primitive::Cas.execute_native(&cell, expected.wrapping_add(1), expected);
+            if out.success {
+                expected = expected.wrapping_add(1);
+            } else {
+                expected = out.prev;
+            }
+            std::hint::black_box(out)
+        });
+    });
+    // Always-failing CAS: stale expected.
+    g.bench_function("cas_failure", |b| {
+        let cell = CachePadded::new(AtomicU64::new(1));
+        b.iter(|| std::hint::black_box(Primitive::Cas.execute_native(&cell, 2, 0)));
+    });
+    g.finish();
+}
+
+/// FAA under different memory orderings: on x86 every `lock xadd` is a
+/// full fence regardless, so these should be near-identical — a useful
+/// check that the measured `c_p` is the instruction, not the ordering
+/// annotation.
+fn bench_ordering_cost(c: &mut Criterion) {
+    use std::sync::atomic::Ordering;
+    let mut g = c.benchmark_group("table2_native_ordering");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for (label, order) in [
+        ("relaxed", Ordering::Relaxed),
+        ("acqrel", Ordering::AcqRel),
+        ("seqcst", Ordering::SeqCst),
+    ] {
+        g.bench_function(format!("faa_{label}"), |b| {
+            let cell = CachePadded::new(AtomicU64::new(0));
+            b.iter(|| std::hint::black_box(cell.fetch_add(1, order)));
+        });
+    }
+    // Plain store vs a SeqCst store (the latter compiles to xchg /
+    // mov+mfence — the one place ordering matters on x86).
+    g.bench_function("store_relaxed", |b| {
+        let cell = CachePadded::new(AtomicU64::new(0));
+        b.iter(|| cell.store(1, Ordering::Relaxed));
+    });
+    g.bench_function("store_seqcst", |b| {
+        let cell = CachePadded::new(AtomicU64::new(0));
+        b.iter(|| cell.store(1, Ordering::SeqCst));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_cas_expected_hit_vs_miss,
+    bench_ordering_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Native single-thread cost of the application structures (the
+//! uncontended baselines of the application case study).
+
+use bounce_atomics::counter::{CombiningCounter, ConcurrentCounter, SharedCounter, StripedCounter};
+use bounce_atomics::queue::MsQueue;
+use bounce_atomics::stack::TreiberStack;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps_native_structures");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+
+    g.bench_function("stack_push_pop", |b| {
+        let s = TreiberStack::new();
+        b.iter(|| {
+            s.push(1u64);
+            std::hint::black_box(s.pop())
+        });
+    });
+
+    g.bench_function("queue_enq_deq", |b| {
+        let q = MsQueue::new();
+        b.iter(|| {
+            q.enqueue(1u64);
+            std::hint::black_box(q.dequeue())
+        });
+    });
+
+    g.bench_function("counter_shared_add", |b| {
+        let c = SharedCounter::new();
+        b.iter(|| c.add(0, 1));
+    });
+
+    g.bench_function("counter_striped_add", |b| {
+        let c = StripedCounter::new(8);
+        b.iter(|| c.add(3, 1));
+    });
+
+    g.bench_function("counter_combining_add", |b| {
+        let c = CombiningCounter::new(8);
+        b.iter(|| c.add(3, 1));
+    });
+
+    g.bench_function("seqlock_read", |b| {
+        let sl = bounce_atomics::SeqLock::new([1u64, 2, 3, 4]);
+        b.iter(|| std::hint::black_box(sl.read()));
+    });
+
+    g.bench_function("seqlock_write", |b| {
+        let sl = bounce_atomics::SeqLock::new([0u64; 4]);
+        b.iter(|| sl.write(|d| d[0] += 1));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

@@ -1,0 +1,361 @@
+//! `repro` — regenerate every table and figure of the evaluation, and
+//! query the model directly.
+//!
+//! ```text
+//! repro list                      # show experiment ids
+//! repro all [--quick] [--out D]  # run everything, write TSVs + stdout
+//! repro fig1 --machine knl       # one experiment, one machine
+//! repro table2 --markdown        # markdown instead of TSV on stdout
+//! repro predict --machine e5 --threads 24 --prim faa [--placement packed]
+//! ```
+
+use bounce_bench::{to_markdown_doc, write_tsv, write_tsv_with_plot};
+use bounce_harness::experiments::{self, ExpCtx, Machine};
+use bounce_harness::report::Table;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    machine: Option<Machine>,
+    quick: bool,
+    markdown: bool,
+    plots: bool,
+    out: Option<PathBuf>,
+    threads: usize,
+    prim: bounce_atomics::Primitive,
+    placement: bounce_topo::Placement,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: "all".into(),
+        machine: None,
+        quick: false,
+        markdown: false,
+        plots: false,
+        out: None,
+        threads: 8,
+        prim: bounce_atomics::Primitive::Faa,
+        placement: bounce_topo::Placement::Packed,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut saw_command = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--markdown" => args.markdown = true,
+            "--plots" => args.plots = true,
+            "--machine" => {
+                let m = it.next().ok_or("--machine needs a value (e5|knl)")?;
+                args.machine = Some(match m.as_str() {
+                    "e5" => Machine::E5,
+                    "knl" => Machine::Knl,
+                    other => return Err(format!("unknown machine '{other}' (e5|knl)")),
+                });
+            }
+            "--out" => {
+                let d = it.next().ok_or("--out needs a directory")?;
+                args.out = Some(PathBuf::from(d));
+            }
+            "--threads" | "-n" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--prim" => {
+                let v = it.next().ok_or("--prim needs a primitive name")?;
+                args.prim = bounce_atomics::Primitive::from_label(&v)
+                    .ok_or(format!("unknown primitive '{v}'"))?;
+            }
+            "--placement" => {
+                let v = it.next().ok_or("--placement needs a policy name")?;
+                args.placement = match v.as_str() {
+                    "packed" => bounce_topo::Placement::Packed,
+                    "scattered" => bounce_topo::Placement::Scattered,
+                    "smt-first" => bounce_topo::Placement::SmtFirst,
+                    "linear" => bounce_topo::Placement::Linear,
+                    other => return Err(format!("unknown placement '{other}'")),
+                };
+            }
+            "--help" | "-h" => {
+                args.command = "help".into();
+                saw_command = true;
+            }
+            other if !saw_command && !other.starts_with('-') => {
+                args.command = other.to_string();
+                saw_command = true;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+const EXPERIMENT_IDS: [&str; 19] = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablations",
+    "sensitivity",
+    "latency-hist",
+];
+
+fn run_one(id: &str, ctx: ExpCtx, machine: Machine) -> Option<Table> {
+    Some(match id {
+        "table1" => experiments::table1(),
+        "table2" => experiments::table2(ctx),
+        "fig1" => experiments::fig1(ctx, machine),
+        "fig2" => experiments::fig2(ctx, machine),
+        "fig3" => experiments::fig3(ctx, machine),
+        "fig4" => experiments::fig4(ctx, machine),
+        "fig5" => experiments::fig5(ctx, machine),
+        "fig6" => experiments::fig6(ctx, machine),
+        "fig7" => experiments::fig7(ctx, machine),
+        "fig8" => experiments::fig8(ctx, machine),
+        "fig9" => experiments::fig9(ctx, machine),
+        "fig10" => experiments::fig10(ctx, machine),
+        "fig11" => experiments::fig11(ctx, machine),
+        "fig12" => experiments::fig12(ctx, machine),
+        "fig13" => experiments::fig13(ctx, machine),
+        "fig14" => experiments::fig14(ctx, machine),
+        "ablations" => experiments::ablations(ctx, machine),
+        "sensitivity" => experiments::sensitivity(ctx, machine),
+        "latency-hist" => experiments::latency_hist(ctx, machine),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = if args.quick {
+        ExpCtx::quick()
+    } else {
+        ExpCtx::full()
+    };
+    match args.command.as_str() {
+        "help" => {
+            eprintln!(
+                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--quick] [--markdown] [--plots] [--out DIR]",
+                EXPERIMENT_IDS.join("|")
+            );
+            ExitCode::SUCCESS
+        }
+        "validate" => {
+            use bounce_harness::campaign::{default_cfg, fit_and_validate, TrainSplit};
+            for m in Machine::ALL {
+                let topo = m.topo();
+                let ns = if args.quick {
+                    vec![2, 4, 8]
+                } else {
+                    m.sweep_ns(false)
+                };
+                let c = fit_and_validate(
+                    &topo,
+                    args.prim,
+                    &ns,
+                    &default_cfg(&topo, if args.quick { 300_000 } else { 2_000_000 }),
+                    &m.model_params(),
+                    TrainSplit::Alternate,
+                );
+                println!(
+                    "{:<4} {}: throughput MAPE {:>6.2}%   latency MAPE {:>6.2}%   ({} points)",
+                    m.label(),
+                    args.prim,
+                    c.throughput_mape(),
+                    c.latency_mape(),
+                    c.throughput_rows.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "fit" => {
+            use bounce_harness::campaign::{default_cfg, fit_and_validate, TrainSplit};
+            let machine = args.machine.unwrap_or(Machine::E5);
+            let topo = machine.topo();
+            let ns: Vec<usize> = if args.quick {
+                vec![2, 4, 8]
+            } else {
+                machine.sweep_ns(false)
+            };
+            eprintln!("measuring + fitting on simulated {} ...", topo.name);
+            let c = fit_and_validate(
+                &topo,
+                args.prim,
+                &ns,
+                &default_cfg(&topo, if args.quick { 300_000 } else { 2_000_000 }),
+                &machine.model_params(),
+                TrainSplit::Alternate,
+            );
+            let t = &c.fit.params.transfer;
+            println!("fitted transfer costs (cycles):");
+            println!("  t_smt    = {:.1}", t.smt);
+            println!("  t_tile   = {:.1}", t.tile);
+            println!("  t_socket = {:.1}", t.socket);
+            println!("  t_cross  = {:.1}", t.cross);
+            println!(
+                "training residual: {:.2}% rms over {} simplex iterations",
+                c.fit.rms_rel_error * 100.0,
+                c.fit.iterations
+            );
+            println!(
+                "validation: throughput MAPE {:.2}%, latency MAPE {:.2}% over {} points",
+                c.throughput_mape(),
+                c.latency_mape(),
+                c.throughput_rows.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "topo" => {
+            let machines: Vec<Machine> = match args.machine {
+                Some(m) => vec![m],
+                None => Machine::ALL.to_vec(),
+            };
+            for m in machines {
+                print!("{}", m.topo().render_ascii());
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        "list" => {
+            for id in EXPERIMENT_IDS {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        "predict" => {
+            let machine = args.machine.unwrap_or(Machine::E5);
+            let topo = machine.topo();
+            if args.threads == 0 || args.threads > topo.num_threads() {
+                eprintln!(
+                    "thread count {} out of range 1..={}",
+                    args.threads,
+                    topo.num_threads()
+                );
+                return ExitCode::FAILURE;
+            }
+            let model = bounce_core::Model::new(topo.clone(), machine.model_params());
+            let hw = args.placement.assign(&topo, args.threads);
+            let hc = model.predict_hc(&hw, args.prim);
+            let lc = model.predict_lc(args.threads, args.prim, 0.0);
+            println!("machine     : {}", topo.name);
+            println!(
+                "workload    : {} threads ({}), {} on one shared line",
+                args.threads,
+                args.placement.label(),
+                args.prim
+            );
+            println!(
+                "E[t]        : {:.1} cycles (mixture smt/tile/socket/cross = {:.2}/{:.2}/{:.2}/{:.2})",
+                hc.expected_transfer_cycles,
+                hc.mixture[1],
+                hc.mixture[2],
+                hc.mixture[3],
+                hc.mixture[4]
+            );
+            println!(
+                "HC predict  : {:.2} Mops/s, {:.0} cycles/op, {:.0} nJ/op",
+                hc.throughput_ops_per_sec / 1e6,
+                hc.latency_cycles,
+                hc.energy_per_op_nj
+            );
+            println!(
+                "LC predict  : {:.2} Mops/s, {:.0} cycles/op, {:.0} nJ/op (private lines)",
+                lc.throughput_ops_per_sec / 1e6,
+                lc.latency_cycles,
+                lc.energy_per_op_nj
+            );
+            if args.prim == bounce_atomics::Primitive::Cas {
+                let loop_pred = model.predict_cas_loop(&hw, 30.0);
+                println!(
+                    "CAS loop    : success rate {:.3}, goodput {:.2} Mops/s (window 30cy)",
+                    loop_pred.success_rate,
+                    loop_pred.goodput_ops_per_sec / 1e6
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            let tables = experiments::all_experiments(ctx);
+            if let Some(dir) = &args.out {
+                for (id, t) in &tables {
+                    let res = if args.plots {
+                        write_tsv_with_plot(dir, id, t)
+                    } else {
+                        write_tsv(dir, id, t)
+                    };
+                    if let Err(e) = res {
+                        eprintln!("error writing {id}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                eprintln!("wrote {} tables to {}", tables.len(), dir.display());
+            }
+            if args.markdown {
+                print!("{}", to_markdown_doc(&tables));
+            } else {
+                for (_, t) in &tables {
+                    println!("{}", t.to_tsv());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        id => {
+            let machines: Vec<Machine> = match args.machine {
+                Some(m) => vec![m],
+                None => Machine::ALL.to_vec(),
+            };
+            let mut found = false;
+            for m in machines {
+                match run_one(id, ctx, m) {
+                    Some(t) => {
+                        found = true;
+                        if let Some(dir) = &args.out {
+                            let file_id = format!("{id}-{}", m.label());
+                            if let Err(e) = write_tsv(dir, &file_id, &t) {
+                                eprintln!("error writing {file_id}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        if args.markdown {
+                            print!("{}", t.to_markdown());
+                        } else {
+                            println!("{}", t.to_tsv());
+                        }
+                        // The global tables are machine-independent.
+                        if id.starts_with("table") {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if !found {
+                eprintln!(
+                    "unknown experiment '{id}'; known: {}",
+                    EXPERIMENT_IDS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

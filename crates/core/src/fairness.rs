@@ -1,0 +1,153 @@
+//! Fairness prediction: an analytic abstraction of the per-line
+//! arbitration.
+//!
+//! FIFO and random arbitration hand the line to every contender at the
+//! same long-run rate — Jain's index ≈ 1. Locality-biased arbitration
+//! ("nearest to the current owner wins") is predicted by iterating the
+//! winner-selection rule itself: a tiny deterministic state machine over
+//! owner + waiting ages, which is exactly what the hardware abstraction
+//! in the simulator does, minus all timing. Stationary win frequencies
+//! drop out after a few hundred rounds.
+
+use bounce_topo::{HwThreadId, MachineTopology};
+
+/// Arbitration abstractions the model can predict fairness for.
+/// Mirrors `bounce_sim::ArbitrationPolicy` without depending on the
+/// simulator crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbitrationKind {
+    /// First-come-first-served.
+    Fifo,
+    /// Uniformly random winner.
+    Random,
+    /// Nearest waiter (fewest interconnect hops) to the current owner.
+    NearestFirst,
+}
+
+/// Predicted Jain fairness index for `threads` contending on one line
+/// under the given arbitration.
+pub fn predict_jain(
+    topo: &MachineTopology,
+    threads: &[HwThreadId],
+    policy: ArbitrationKind,
+) -> f64 {
+    let n = threads.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    match policy {
+        // Long-run service rates are equal by construction.
+        ArbitrationKind::Fifo | ArbitrationKind::Random => 1.0,
+        ArbitrationKind::NearestFirst => simulate_nearest_first(topo, threads),
+    }
+}
+
+/// Deterministic abstraction of nearest-first arbitration:
+///
+/// * the current owner is being served; every other thread waits;
+/// * the next winner is the waiter with the fewest hops to the owner,
+///   oldest-waiting first on ties (matching the queue-order tie-break of
+///   the hardware abstraction);
+/// * the served thread's wait age resets.
+///
+/// Win counts over the second half of the rounds give the stationary
+/// distribution.
+fn simulate_nearest_first(topo: &MachineTopology, threads: &[HwThreadId]) -> f64 {
+    let n = threads.len();
+    let rounds = 400 * n;
+    let warmup = rounds / 2;
+    let mut owner = 0usize;
+    let mut age = vec![0u64; n];
+    let mut wins = vec![0u64; n];
+    for round in 0..rounds {
+        // Pick the nearest waiter; the owner itself has not re-queued
+        // yet (its next request is still in flight), and the owner's
+        // SMT siblings are not waiting either — they hit in the shared
+        // L1 while their core holds the line.
+        let owner_core = topo.core_of(threads[owner]).id;
+        let mut best: Option<usize> = None;
+        for j in 0..n {
+            if j == owner || topo.core_of(threads[j]).id == owner_core {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let hj = topo.hop_count(threads[owner], threads[j]);
+                    let hb = topo.hop_count(threads[owner], threads[b]);
+                    hj < hb || (hj == hb && age[j] > age[b])
+                }
+            };
+            if better {
+                best = Some(j);
+            }
+        }
+        // Degenerate case: every other contender is an SMT sibling of
+        // the owner (e.g. n = 2 on one core) — ownership stays on the
+        // core and the siblings share it fairly.
+        let winner = best.unwrap_or((owner + 1) % n);
+        for (k, a) in age.iter_mut().enumerate() {
+            if k != winner {
+                *a += 1;
+            } else {
+                *a = 0;
+            }
+        }
+        owner = winner;
+        if round >= warmup {
+            wins[winner] += 1;
+        }
+    }
+    crate::stats::jain(&wins.iter().map(|&w| w as f64).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_topo::{presets, Placement};
+
+    #[test]
+    fn fifo_and_random_are_fair() {
+        let topo = presets::xeon_e5_2695_v4();
+        let threads = Placement::Packed.assign(&topo, 16);
+        assert_eq!(predict_jain(&topo, &threads, ArbitrationKind::Fifo), 1.0);
+        assert_eq!(predict_jain(&topo, &threads, ArbitrationKind::Random), 1.0);
+    }
+
+    #[test]
+    fn single_thread_trivially_fair() {
+        let topo = presets::tiny_test_machine();
+        let threads = Placement::Packed.assign(&topo, 1);
+        assert_eq!(
+            predict_jain(&topo, &threads, ArbitrationKind::NearestFirst),
+            1.0
+        );
+    }
+
+    #[test]
+    fn nearest_first_fair_on_symmetric_ring() {
+        // All contenders on one socket of a symmetric ring rotate
+        // ownership — near-perfect fairness (mirrors the simulator).
+        let topo = presets::dual_socket_small();
+        let threads = Placement::Packed.assign(&topo, 8); // socket 0 only
+        let j = predict_jain(&topo, &threads, ArbitrationKind::NearestFirst);
+        assert!(j > 0.9, "symmetric ring rotates: Jain={j:.3}");
+    }
+
+    #[test]
+    fn nearest_first_unfair_across_sockets() {
+        let topo = presets::dual_socket_small();
+        let threads = Placement::Scattered.assign(&topo, 8); // 4 + 4
+        let j = predict_jain(&topo, &threads, ArbitrationKind::NearestFirst);
+        assert!(j < 0.99, "cross-socket locality bias: Jain={j:.3}");
+    }
+
+    #[test]
+    fn nearest_first_unfair_on_knl_mesh_corners() {
+        let topo = presets::xeon_phi_7290();
+        // One thread per tile: mesh corners are far from everything.
+        let threads = Placement::Packed.assign(&topo, 36);
+        let j = predict_jain(&topo, &threads, ArbitrationKind::NearestFirst);
+        assert!(j < 1.0, "mesh asymmetry shows: Jain={j:.4}");
+    }
+}

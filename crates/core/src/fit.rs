@@ -1,0 +1,342 @@
+//! Parameter fitting: a Nelder–Mead simplex minimiser and the
+//! transfer-cost fitting routine that recovers the model's Θ from
+//! measured throughput sweeps.
+
+use crate::mixture::{domain_mixture, expected_transfer_cycles};
+use crate::params::{ModelParams, TransferCosts};
+use bounce_atomics::Primitive;
+use bounce_topo::{HwThreadId, MachineTopology};
+
+/// Derivative-free simplex minimiser (Nelder & Mead, 1965).
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Reflection coefficient (standard: 1).
+    pub alpha: f64,
+    /// Expansion coefficient (standard: 2).
+    pub gamma: f64,
+    /// Contraction coefficient (standard: 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (standard: 0.5).
+    pub sigma: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Convergence threshold on the simplex's function-value spread.
+    pub tol: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            max_iters: 2000,
+            tol: 1e-10,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Minimise `f` starting from `x0` with initial simplex step `step`.
+    /// Returns `(argmin, min, iterations)`.
+    pub fn minimize(
+        &self,
+        mut f: impl FnMut(&[f64]) -> f64,
+        x0: &[f64],
+        step: f64,
+    ) -> (Vec<f64>, f64, usize) {
+        let dim = x0.len();
+        assert!(dim >= 1, "need at least one dimension");
+        // Initial simplex: x0 plus a bumped copy per dimension.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
+        simplex.push((x0.to_vec(), f(x0)));
+        for d in 0..dim {
+            let mut x = x0.to_vec();
+            x[d] += if x[d] != 0.0 { step * x[d].abs() } else { step };
+            let fx = f(&x);
+            simplex.push((x, fx));
+        }
+        let mut iters = 0;
+        while iters < self.max_iters {
+            iters += 1;
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let best = simplex[0].1;
+            let worst = simplex[dim].1;
+            if (worst - best).abs() <= self.tol * (1.0 + best.abs()) {
+                break;
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; dim];
+            for (x, _) in &simplex[..dim] {
+                for (c, v) in centroid.iter_mut().zip(x) {
+                    *c += v / dim as f64;
+                }
+            }
+            let xw = simplex[dim].0.clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&xw)
+                .map(|(c, w)| c + self.alpha * (c - w))
+                .collect();
+            let fr = f(&reflect);
+            if fr < simplex[0].1 {
+                // Try expanding.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&xw)
+                    .map(|(c, w)| c + self.gamma * (c - w))
+                    .collect();
+                let fe = f(&expand);
+                simplex[dim] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+            } else if fr < simplex[dim - 1].1 {
+                simplex[dim] = (reflect, fr);
+            } else {
+                // Contract.
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(&xw)
+                    .map(|(c, w)| c + self.rho * (w - c))
+                    .collect();
+                let fc = f(&contract);
+                if fc < simplex[dim].1 {
+                    simplex[dim] = (contract, fc);
+                } else {
+                    // Shrink towards the best.
+                    let xb = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let x: Vec<f64> = xb
+                            .iter()
+                            .zip(&entry.0)
+                            .map(|(b, v)| b + self.sigma * (v - b))
+                            .collect();
+                        let fx = f(&x);
+                        *entry = (x, fx);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let (x, fx) = simplex.swap_remove(0);
+        (x, fx, iters)
+    }
+}
+
+/// One measured sweep point for fitting.
+#[derive(Debug, Clone)]
+pub struct SweepObservation {
+    /// Hardware threads that contended.
+    pub threads: Vec<HwThreadId>,
+    /// Primitive used.
+    pub prim: Primitive,
+    /// Measured aggregate throughput, ops/second.
+    pub throughput_ops_per_sec: f64,
+}
+
+/// Result of a fit.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The fitted parameters.
+    pub params: ModelParams,
+    /// Root-mean-square relative throughput error at the optimum.
+    pub rms_rel_error: f64,
+    /// Simplex iterations used.
+    pub iterations: usize,
+}
+
+/// Fit the four transfer costs to measured high-contention throughput
+/// observations, starting from `initial` (other parameters kept).
+///
+/// The optimisation runs in log-space (costs stay positive) and
+/// minimises the mean squared *relative* error between `1/E[t]` and the
+/// measured throughput. Observations with fewer than two threads are
+/// ignored (they carry no transfer information).
+pub fn fit_transfer_costs(
+    topo: &MachineTopology,
+    observations: &[SweepObservation],
+    initial: &ModelParams,
+) -> FitReport {
+    let usable: Vec<&SweepObservation> = observations
+        .iter()
+        .filter(|o| o.threads.len() >= 2 && o.throughput_ops_per_sec > 0.0)
+        .collect();
+    assert!(
+        !usable.is_empty(),
+        "need at least one multi-thread observation to fit transfer costs"
+    );
+    // Precompute mixtures once.
+    let mixtures: Vec<[f64; 5]> = usable
+        .iter()
+        .map(|o| domain_mixture(topo, &o.threads))
+        .collect();
+    let freq = initial.freq_ghz * 1e9;
+    let smt_floor_ln = usable
+        .iter()
+        .map(|o| initial.issue(o.prim))
+        .fold(f64::INFINITY, f64::min)
+        .max(1.0)
+        .ln();
+    let x0 = [
+        initial.transfer.smt.ln(),
+        initial.transfer.tile.ln(),
+        initial.transfer.socket.ln(),
+        initial.transfer.cross.ln(),
+    ];
+    let objective = |logc: &[f64]| -> f64 {
+        let costs = [
+            logc[0].exp(),
+            logc[0].exp(),
+            logc[1].exp(),
+            logc[2].exp(),
+            logc[3].exp(),
+        ];
+        let mut sse = 0.0;
+        for (obs, mix) in usable.iter().zip(&mixtures) {
+            let e_t = expected_transfer_cycles(mix, &costs);
+            let pred = freq / e_t;
+            let rel = (pred - obs.throughput_ops_per_sec) / obs.throughput_ops_per_sec;
+            sse += rel * rel;
+        }
+        // Soft penalty for violating the cost ladder (smt<=tile<=socket<=cross).
+        let mut penalty = 0.0;
+        for w in logc.windows(2) {
+            if w[0] > w[1] {
+                penalty += (w[0] - w[1]) * (w[0] - w[1]);
+            }
+        }
+        // Physical floor: an SMT-sibling "transfer" is the serialised
+        // L1 RMW itself, so it can't be cheaper than the issue cost.
+        if logc[0] < smt_floor_ln {
+            let d = smt_floor_ln - logc[0];
+            penalty += d * d;
+        }
+        sse / usable.len() as f64 + penalty
+    };
+    let nm = NelderMead::default();
+    let (xmin, fmin, iterations) = nm.minimize(objective, &x0, 0.1);
+    let mut params = initial.clone();
+    params.transfer = TransferCosts {
+        smt: xmin[0].exp(),
+        tile: xmin[1].exp(),
+        socket: xmin[2].exp(),
+        cross: xmin[3].exp(),
+    };
+    // The ladder penalty keeps violations tiny; clamp any residual so
+    // the fitted params always validate.
+    let t = &mut params.transfer;
+    t.tile = t.tile.max(t.smt);
+    t.socket = t.socket.max(t.tile);
+    t.cross = t.cross.max(t.socket);
+    FitReport {
+        params,
+        rms_rel_error: fmin.max(0.0).sqrt(),
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_topo::{presets, Placement};
+
+    #[test]
+    fn nelder_mead_minimises_quadratic() {
+        let nm = NelderMead::default();
+        let (x, fx, _) = nm.minimize(
+            |v| (v[0] - 3.0).powi(2) + (v[1] + 1.0).powi(2) + 5.0,
+            &[0.0, 0.0],
+            0.5,
+        );
+        assert!((x[0] - 3.0).abs() < 1e-4, "{x:?}");
+        assert!((x[1] + 1.0).abs() < 1e-4, "{x:?}");
+        assert!((fx - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let nm = NelderMead {
+            max_iters: 10_000,
+            ..NelderMead::default()
+        };
+        let rosen = |v: &[f64]| (1.0 - v[0]).powi(2) + 100.0 * (v[1] - v[0] * v[0]).powi(2);
+        let (x, fx, _) = nm.minimize(rosen, &[-1.2, 1.0], 0.5);
+        assert!(fx < 1e-6, "fx={fx}");
+        assert!(
+            (x[0] - 1.0).abs() < 1e-2 && (x[1] - 1.0).abs() < 1e-2,
+            "{x:?}"
+        );
+    }
+
+    #[test]
+    fn nelder_mead_one_dimension() {
+        let nm = NelderMead::default();
+        let (x, _, _) = nm.minimize(|v| (v[0] - 7.0).abs(), &[0.0], 1.0);
+        assert!((x[0] - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_costs() {
+        // Generate observations from known transfer costs; perturb the
+        // initial guess; the fit must recover throughput within ~2%.
+        let topo = presets::xeon_e5_2695_v4();
+        let truth = ModelParams::e5_default();
+        let order = Placement::Packed.full_order(&topo);
+        let freq = truth.freq_ghz * 1e9;
+        let mut obs = Vec::new();
+        for n in [2usize, 4, 8, 12, 18, 24, 36, 48, 72] {
+            let threads: Vec<HwThreadId> = order[..n].to_vec();
+            let mix = domain_mixture(&topo, &threads);
+            let e_t = expected_transfer_cycles(&mix, &truth.transfer.as_array());
+            obs.push(SweepObservation {
+                threads,
+                prim: Primitive::Faa,
+                throughput_ops_per_sec: freq / e_t,
+            });
+        }
+        let mut start = truth.clone();
+        start.transfer = TransferCosts {
+            smt: 10.0,
+            tile: 20.0,
+            socket: 40.0,
+            cross: 100.0,
+        };
+        let fit = fit_transfer_costs(&topo, &obs, &start);
+        assert!(
+            fit.rms_rel_error < 0.02,
+            "residual {:.4} too high",
+            fit.rms_rel_error
+        );
+        fit.params.validate().unwrap();
+        // Socket & cross dominate the observations; they must be close.
+        let s_err =
+            (fit.params.transfer.socket - truth.transfer.socket).abs() / truth.transfer.socket;
+        let c_err = (fit.params.transfer.cross - truth.transfer.cross).abs() / truth.transfer.cross;
+        assert!(s_err < 0.15, "socket err {s_err:.3}");
+        assert!(c_err < 0.15, "cross err {c_err:.3}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn fit_rejects_empty_observations() {
+        let topo = presets::tiny_test_machine();
+        let _ = fit_transfer_costs(&topo, &[], &ModelParams::tiny_default());
+    }
+
+    #[test]
+    fn fitted_params_always_validate() {
+        // Noisy observations must still give a monotone ladder.
+        let topo = presets::tiny_test_machine();
+        let order = Placement::Packed.full_order(&topo);
+        let obs: Vec<SweepObservation> = [2usize, 4, 8]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| SweepObservation {
+                threads: order[..n].to_vec(),
+                prim: Primitive::Faa,
+                throughput_ops_per_sec: 3.0e7 * (1.0 + 0.3 * (i as f64 - 1.0)),
+            })
+            .collect();
+        let fit = fit_transfer_costs(&topo, &obs, &ModelParams::tiny_default());
+        fit.params.validate().unwrap();
+    }
+}

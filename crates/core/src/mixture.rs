@@ -1,0 +1,118 @@
+//! Placement → transfer-domain mixture.
+//!
+//! Under saturated high contention, ownership of the line moves from one
+//! contender to another on every operation. Which *domain* each transfer
+//! crosses depends on where the consecutive owners sit. Under fair
+//! (FIFO/random) arbitration, consecutive-owner pairs are well
+//! approximated as uniform over ordered pairs of distinct threads; the
+//! mixture is then a pure function of the placement.
+
+use bounce_topo::{Domain, HwThreadId, MachineTopology};
+
+/// Probability of each transfer domain (indexed by [`Domain::ALL`] — the
+/// `SameThread` slot is always 0) for the given contender placement,
+/// assuming uniform consecutive-owner pairs.
+///
+/// Returns all-zeros except `SameThread = 1.0` for fewer than two
+/// threads (degenerate: no transfers happen at all).
+pub fn domain_mixture(topo: &MachineTopology, threads: &[HwThreadId]) -> [f64; 5] {
+    let n = threads.len();
+    let mut mix = [0.0f64; 5];
+    if n < 2 {
+        mix[0] = 1.0;
+        return mix;
+    }
+    let mut count = [0u64; 5];
+    for (i, &a) in threads.iter().enumerate() {
+        for (j, &b) in threads.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = topo.comm_domain(a, b);
+            let idx = Domain::ALL.iter().position(|x| *x == d).unwrap();
+            count[idx] += 1;
+        }
+    }
+    let total: u64 = count.iter().sum();
+    for (m, c) in mix.iter_mut().zip(count) {
+        *m = c as f64 / total as f64;
+    }
+    mix
+}
+
+/// Expected transfer cost (cycles) for a placement, given per-domain
+/// costs aligned with [`Domain::ALL`].
+pub fn expected_transfer_cycles(mix: &[f64; 5], costs: &[f64; 5]) -> f64 {
+    mix.iter().zip(costs).map(|(m, c)| m * c).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_topo::{presets, Placement};
+
+    #[test]
+    fn single_thread_degenerate() {
+        let topo = presets::tiny_test_machine();
+        let mix = domain_mixture(&topo, &[HwThreadId(0)]);
+        assert_eq!(mix[0], 1.0);
+        assert_eq!(mix[1..].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn mixture_sums_to_one() {
+        let topo = presets::xeon_e5_2695_v4();
+        for n in [2, 4, 8, 36, 72] {
+            let threads = Placement::Packed.assign(&topo, n);
+            let mix = domain_mixture(&topo, &threads);
+            let s: f64 = mix.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "n={n}: sum={s}");
+            assert_eq!(mix[0], 0.0, "no self-transfers with n >= 2");
+        }
+    }
+
+    #[test]
+    fn smt_pair_is_pure_smt() {
+        let topo = presets::tiny_test_machine();
+        // Threads 0 and 1 are SMT siblings.
+        let mix = domain_mixture(&topo, &[HwThreadId(0), HwThreadId(1)]);
+        assert_eq!(mix[1], 1.0);
+    }
+
+    #[test]
+    fn packed_within_socket_has_no_cross() {
+        let topo = presets::xeon_e5_2695_v4();
+        let threads = Placement::Packed.assign(&topo, 18); // socket 0 only
+        let mix = domain_mixture(&topo, &threads);
+        assert_eq!(mix[4], 0.0, "no cross-socket: {mix:?}");
+        assert!(mix[3] > 0.9, "dominantly same-socket: {mix:?}");
+    }
+
+    #[test]
+    fn scattered_has_majority_cross() {
+        let topo = presets::xeon_e5_2695_v4();
+        let threads = Placement::Scattered.assign(&topo, 8); // 4 + 4 sockets
+        let mix = domain_mixture(&topo, &threads);
+        // Ordered pairs: 8*7 = 56, cross pairs 2*4*4 = 32 -> 0.571.
+        assert!((mix[4] - 32.0 / 56.0).abs() < 1e-12, "{mix:?}");
+    }
+
+    #[test]
+    fn full_machine_mixture_reflects_split() {
+        let topo = presets::xeon_e5_2695_v4();
+        let threads = Placement::Packed.assign(&topo, 72);
+        let mix = domain_mixture(&topo, &threads);
+        // 72 threads, 36 per socket: cross pairs = 2*36*36 = 2592 of
+        // 72*71 = 5112 -> ~0.507.
+        assert!((mix[4] - 2592.0 / 5112.0).abs() < 1e-9, "{mix:?}");
+        // SMT pairs: 36 cores with 2 siblings -> 36*2 = 72 ordered pairs.
+        assert!((mix[1] - 72.0 / 5112.0).abs() < 1e-9, "{mix:?}");
+    }
+
+    #[test]
+    fn expected_cost_weighs_mixture() {
+        let mix = [0.0, 0.5, 0.0, 0.5, 0.0];
+        let costs = [0.0, 10.0, 20.0, 30.0, 40.0];
+        assert!((expected_transfer_cycles(&mix, &costs) - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Prediction-vs-measurement comparison: per-point rows and aggregate
+//! error metrics (experiment E9 / "model validation" figure).
+
+use serde::{Deserialize, Serialize};
+
+/// One prediction-vs-measurement comparison point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Thread count (or other sweep variable).
+    pub n: usize,
+    /// Model prediction.
+    pub predicted: f64,
+    /// Measured value.
+    pub measured: f64,
+}
+
+impl ValidationRow {
+    /// Signed relative error `(pred − meas)/meas`; 0 when measured is 0.
+    pub fn rel_error(&self) -> f64 {
+        if self.measured == 0.0 {
+            0.0
+        } else {
+            (self.predicted - self.measured) / self.measured
+        }
+    }
+
+    /// Absolute percentage error, in percent.
+    pub fn ape_pct(&self) -> f64 {
+        self.rel_error().abs() * 100.0
+    }
+}
+
+/// Mean absolute percentage error over rows (in percent). Rows with a
+/// zero measurement are skipped; returns 0 when nothing is comparable.
+pub fn mape(rows: &[ValidationRow]) -> f64 {
+    let usable: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.measured != 0.0)
+        .map(|r| r.ape_pct())
+        .collect();
+    if usable.is_empty() {
+        0.0
+    } else {
+        usable.iter().sum::<f64>() / usable.len() as f64
+    }
+}
+
+/// Worst absolute percentage error over rows (percent).
+pub fn max_ape(rows: &[ValidationRow]) -> f64 {
+    rows.iter()
+        .filter(|r| r.measured != 0.0)
+        .map(|r| r.ape_pct())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_error_signs() {
+        let over = ValidationRow {
+            n: 1,
+            predicted: 110.0,
+            measured: 100.0,
+        };
+        assert!((over.rel_error() - 0.1).abs() < 1e-12);
+        let under = ValidationRow {
+            n: 1,
+            predicted: 90.0,
+            measured: 100.0,
+        };
+        assert!((under.rel_error() + 0.1).abs() < 1e-12);
+        assert!((under.ape_pct() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_aggregates() {
+        let rows = vec![
+            ValidationRow {
+                n: 1,
+                predicted: 110.0,
+                measured: 100.0,
+            },
+            ValidationRow {
+                n: 2,
+                predicted: 80.0,
+                measured: 100.0,
+            },
+        ];
+        assert!((mape(&rows) - 15.0).abs() < 1e-12);
+        assert!((max_ape(&rows) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_measured_skipped() {
+        let rows = vec![ValidationRow {
+            n: 1,
+            predicted: 5.0,
+            measured: 0.0,
+        }];
+        assert_eq!(mape(&rows), 0.0);
+        assert_eq!(max_ape(&rows), 0.0);
+    }
+
+    #[test]
+    fn empty_rows() {
+        assert_eq!(mape(&[]), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The fit-and-validate campaign: the complete Fig 7 workflow — measure
+//! a sweep, fit Θ on a training subset, validate throughput *and*
+//! latency on the full sweep — as a reusable API.
+
+use crate::measurement::Measurement;
+use crate::simrun::{sim_measure, SimRunConfig};
+use bounce_atomics::Primitive;
+use bounce_core::fit::{fit_transfer_costs, FitReport, SweepObservation};
+use bounce_core::validate::{mape, ValidationRow};
+use bounce_core::{Model, ModelParams};
+use bounce_topo::{HwThreadId, MachineTopology, Placement};
+use bounce_workloads::Workload;
+
+/// Which sweep points train the fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainSplit {
+    /// Every point trains (resubstitution — reports optimistic error).
+    All,
+    /// Every second multi-thread point trains; the rest are held out.
+    Alternate,
+}
+
+/// Result of a fit-and-validate campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The fitted parameters and training residual.
+    pub fit: FitReport,
+    /// Per-point throughput validation (all multi-thread points).
+    pub throughput_rows: Vec<ValidationRow>,
+    /// Per-point mean-latency validation (all multi-thread points).
+    pub latency_rows: Vec<ValidationRow>,
+    /// The raw measurements, in sweep order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Campaign {
+    /// Throughput MAPE over the full sweep, percent.
+    pub fn throughput_mape(&self) -> f64 {
+        mape(&self.throughput_rows)
+    }
+
+    /// Latency MAPE over the full sweep, percent.
+    pub fn latency_mape(&self) -> f64 {
+        mape(&self.latency_rows)
+    }
+}
+
+/// Run the full campaign: measure the HC sweep for `prim` at every
+/// `ns`, fit the transfer costs on the chosen split, and validate both
+/// throughput and mean latency against the fitted model.
+pub fn fit_and_validate(
+    topo: &MachineTopology,
+    prim: Primitive,
+    ns: &[usize],
+    cfg: &SimRunConfig,
+    initial: &ModelParams,
+    split: TrainSplit,
+) -> Campaign {
+    let order = cfg.placement.full_order(topo);
+    let measurements: Vec<Measurement> = ns
+        .iter()
+        .map(|&n| sim_measure(topo, &Workload::HighContention { prim }, n, cfg))
+        .collect();
+    let multi: Vec<&Measurement> = measurements.iter().filter(|m| m.n >= 2).collect();
+    let train: Vec<SweepObservation> = multi
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| match split {
+            TrainSplit::All => true,
+            TrainSplit::Alternate => i % 2 == 0,
+        })
+        .map(|(_, m)| SweepObservation {
+            threads: order[..m.n].to_vec(),
+            prim,
+            throughput_ops_per_sec: m.throughput_ops_per_sec,
+        })
+        .collect();
+    let fit = fit_transfer_costs(topo, &train, initial);
+    let model = Model::new(topo.clone(), fit.params.clone());
+    let threads_of = |n: usize| -> Vec<HwThreadId> { order[..n].to_vec() };
+    let throughput_rows: Vec<ValidationRow> = multi
+        .iter()
+        .map(|m| ValidationRow {
+            n: m.n,
+            predicted: model
+                .predict_hc(&threads_of(m.n), prim)
+                .throughput_ops_per_sec,
+            measured: m.throughput_ops_per_sec,
+        })
+        .collect();
+    let latency_rows: Vec<ValidationRow> = multi
+        .iter()
+        .map(|m| ValidationRow {
+            n: m.n,
+            predicted: model.predict_hc(&threads_of(m.n), prim).latency_cycles,
+            measured: m.mean_latency_cycles,
+        })
+        .collect();
+    Campaign {
+        fit,
+        throughput_rows,
+        latency_rows,
+        measurements,
+    }
+}
+
+/// Convenience default: packed placement, FIFO arbitration, pinned home.
+pub fn default_cfg(topo: &MachineTopology, duration_cycles: u64) -> SimRunConfig {
+    let mut cfg = SimRunConfig::for_machine(topo);
+    cfg.params.arbitration = bounce_sim::ArbitrationPolicy::Fifo;
+    cfg.duration_cycles = duration_cycles;
+    cfg.placement = Placement::Packed;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_topo::presets;
+
+    #[test]
+    fn campaign_on_tiny_machine_converges() {
+        let topo = presets::tiny_test_machine();
+        let cfg = default_cfg(&topo, 400_000);
+        let c = fit_and_validate(
+            &topo,
+            Primitive::Faa,
+            &[1, 2, 4, 6, 8],
+            &cfg,
+            &ModelParams::tiny_default(),
+            TrainSplit::All,
+        );
+        assert_eq!(c.measurements.len(), 5);
+        assert_eq!(c.throughput_rows.len(), 4, "n=1 excluded");
+        assert!(
+            c.throughput_mape() < 30.0,
+            "throughput MAPE {:.1}%",
+            c.throughput_mape()
+        );
+        // Latency validation exists and is finite.
+        assert_eq!(c.latency_rows.len(), 4);
+        assert!(c.latency_rows.iter().all(|r| r.measured > 0.0));
+        c.fit.params.validate().unwrap();
+    }
+
+    #[test]
+    fn holdout_split_trains_on_half() {
+        let topo = presets::tiny_test_machine();
+        let cfg = default_cfg(&topo, 300_000);
+        let c = fit_and_validate(
+            &topo,
+            Primitive::Swap,
+            &[2, 4, 6, 8],
+            &cfg,
+            &ModelParams::tiny_default(),
+            TrainSplit::Alternate,
+        );
+        // 4 multi-thread points; alternate split trains on 2; all 4
+        // validated.
+        assert_eq!(c.throughput_rows.len(), 4);
+        assert!(c.throughput_mape().is_finite());
+    }
+}

@@ -1,0 +1,1225 @@
+//! The experiment registry: every reconstructed table and figure of the
+//! evaluation (see DESIGN.md for the E-number ↔ figure mapping), each as
+//! a function producing a [`Table`].
+//!
+//! All experiments run on the simulator backend configured as one of
+//! the two paper machines. `ExpCtx::quick` shrinks sweeps and durations
+//! for tests; the `repro` binary runs the full versions.
+
+use crate::report::{fmt_f64, Table};
+use crate::simrun::{sim_measure, sim_measure_pinned, SimRunConfig};
+use bounce_atomics::Primitive;
+use bounce_core::fairness::{predict_jain, ArbitrationKind};
+use bounce_core::{Model, ModelParams};
+use bounce_sim::{ArbitrationPolicy, SimParams};
+use bounce_topo::{presets, Interconnect, MachineTopology, Placement};
+use bounce_workloads::{LockShape, Workload};
+
+/// The two paper testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Machine {
+    /// Intel Xeon E5-2695 v4 (2 × 18 × 2).
+    E5,
+    /// Intel Xeon Phi 7290 (36 tiles × 2 × 4).
+    Knl,
+}
+
+impl Machine {
+    /// Both machines.
+    pub const ALL: [Machine; 2] = [Machine::E5, Machine::Knl];
+
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Machine::E5 => "e5",
+            Machine::Knl => "knl",
+        }
+    }
+
+    /// The topology preset.
+    pub fn topo(&self) -> MachineTopology {
+        match self {
+            Machine::E5 => presets::xeon_e5_2695_v4(),
+            Machine::Knl => presets::xeon_phi_7290(),
+        }
+    }
+
+    /// The simulator parameter preset.
+    pub fn sim_params(&self) -> SimParams {
+        match self {
+            Machine::E5 => SimParams::e5(),
+            Machine::Knl => SimParams::knl(),
+        }
+    }
+
+    /// The model parameter defaults.
+    pub fn model_params(&self) -> ModelParams {
+        match self {
+            Machine::E5 => ModelParams::e5_default(),
+            Machine::Knl => ModelParams::knl_default(),
+        }
+    }
+
+    /// The thread-count sweep used by the contention figures.
+    pub fn sweep_ns(&self, quick: bool) -> Vec<usize> {
+        if quick {
+            return vec![1, 2, 4, 8];
+        }
+        match self {
+            Machine::E5 => vec![1, 2, 4, 8, 12, 18, 24, 36, 48, 60, 72],
+            Machine::Knl => vec![1, 2, 4, 8, 16, 32, 64, 72, 144, 288],
+        }
+    }
+}
+
+/// Experiment context: sweep/duration scaling.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpCtx {
+    /// Short sweeps and windows (tests).
+    pub quick: bool,
+}
+
+impl ExpCtx {
+    /// Full-scale context.
+    pub fn full() -> Self {
+        ExpCtx { quick: false }
+    }
+
+    /// Quick context for tests.
+    pub fn quick() -> Self {
+        ExpCtx { quick: true }
+    }
+
+    fn run_cfg(&self, machine: Machine, _topo: &MachineTopology) -> SimRunConfig {
+        let mut cfg = SimRunConfig {
+            params: machine.sim_params(),
+            duration_cycles: if self.quick { 300_000 } else { 2_000_000 },
+            placement: Placement::Packed,
+        };
+        // FIFO arbitration for every throughput/latency experiment —
+        // the fairness experiment (fig4) varies the policy itself — and
+        // a pinned home slice (the paper's NUMA-node-0 allocation).
+        cfg.params.arbitration = ArbitrationPolicy::Fifo;
+        cfg.params.home_policy = bounce_sim::HomePolicy::Fixed(0);
+        cfg
+    }
+}
+
+fn mops(x: f64) -> String {
+    fmt_f64(x / 1e6)
+}
+
+/// Table 1 (E1): the machine configurations.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1 (E1): machine configurations",
+        &[
+            "machine",
+            "sockets",
+            "cores",
+            "hw_threads",
+            "smt",
+            "freq_ghz",
+            "interconnect",
+            "llc",
+        ],
+    );
+    for m in Machine::ALL {
+        let topo = m.topo();
+        let inter = match topo.interconnect {
+            Interconnect::Ring { .. } => "ring+QPI",
+            Interconnect::Mesh { .. } => "2D mesh",
+            Interconnect::Uniform { .. } => "uniform",
+        };
+        let llc = topo
+            .caches
+            .last()
+            .map(|c| format!("{} {}KiB", c.name, c.size_bytes / 1024))
+            .unwrap_or_default();
+        t.push(vec![
+            topo.name.clone(),
+            topo.num_sockets().to_string(),
+            topo.num_cores().to_string(),
+            topo.num_threads().to_string(),
+            topo.smt_ways().to_string(),
+            format!("{}", topo.freq_ghz),
+            inter.to_string(),
+            llc,
+        ]);
+    }
+    t
+}
+
+/// Table 2 (E2): uncontended (single-thread, own line) latency of each
+/// primitive, in cycles, on both machines.
+pub fn table2(ctx: ExpCtx) -> Table {
+    let mut t = Table::new(
+        "Table 2 (E2): uncontended latency of atomic primitives (cycles)",
+        &["machine", "primitive", "latency_cycles", "throughput_mops"],
+    );
+    for m in Machine::ALL {
+        let topo = m.topo();
+        let cfg = ctx.run_cfg(m, &topo);
+        for prim in Primitive::ALL {
+            let meas = sim_measure(&topo, &Workload::LowContention { prim, work: 0 }, 1, &cfg);
+            t.push(vec![
+                m.label().into(),
+                prim.label().into(),
+                fmt_f64(meas.mean_latency_cycles),
+                mops(meas.throughput_ops_per_sec),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig 1 (E3): high-contention throughput vs thread count, one column
+/// per primitive.
+pub fn fig1(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let mut t = Table::new(
+        format!(
+            "Fig 1 (E3): HC throughput vs threads (Mops/s) — {}",
+            topo.name
+        ),
+        &["n", "load", "store", "swap", "tas", "faa", "cas"],
+    );
+    for n in machine.sweep_ns(ctx.quick) {
+        let mut row = vec![n.to_string()];
+        for prim in Primitive::ALL {
+            let meas = sim_measure(&topo, &Workload::HighContention { prim }, n, &cfg);
+            row.push(mops(meas.throughput_ops_per_sec));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Fig 2 (E4): high-contention mean per-op latency vs thread count.
+pub fn fig2(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let mut t = Table::new(
+        format!("Fig 2 (E4): HC latency vs threads (cycles) — {}", topo.name),
+        &["n", "swap", "tas", "faa", "cas", "cas_p99"],
+    );
+    for n in machine.sweep_ns(ctx.quick) {
+        let mut row = vec![n.to_string()];
+        let mut cas_p99 = 0.0;
+        for prim in Primitive::RMW {
+            let meas = sim_measure(&topo, &Workload::HighContention { prim }, n, &cfg);
+            row.push(fmt_f64(meas.mean_latency_cycles));
+            if prim == Primitive::Cas {
+                cas_p99 = meas.p99_latency_cycles;
+            }
+        }
+        row.push(fmt_f64(cas_p99));
+        t.push(row);
+    }
+    t
+}
+
+/// Fig 3 (E5): CAS retry-loop success/failure vs thread count, with the
+/// model's predicted failure rate.
+pub fn fig3(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let model = Model::new(topo.clone(), machine.model_params());
+    let order = Placement::Packed.full_order(&topo);
+    let window = 30u64;
+    let mut t = Table::new(
+        format!(
+            "Fig 3 (E5): CAS retry loop (window={window}cy) vs threads — {}",
+            topo.name
+        ),
+        &[
+            "n",
+            "attempts_mops",
+            "goodput_mops",
+            "fail_rate",
+            "model_fail_rate",
+        ],
+    );
+    for n in machine.sweep_ns(ctx.quick) {
+        let meas = sim_measure(&topo, &Workload::CasRetryLoop { window, work: 0 }, n, &cfg);
+        let pred = model.predict_cas_loop(&order[..n], window as f64);
+        t.push(vec![
+            n.to_string(),
+            mops(meas.cond_attempts_per_sec),
+            mops(meas.goodput_ops_per_sec),
+            fmt_f64(meas.failure_rate),
+            fmt_f64(1.0 - pred.success_rate),
+        ]);
+    }
+    t
+}
+
+/// Fig 4 (E6): fairness (Jain index of per-thread successes) vs thread
+/// count under each arbitration policy, plus the model's prediction for
+/// the locality-biased policy.
+pub fn fig4(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let order = Placement::Scattered.full_order(&topo);
+    let mut t = Table::new(
+        format!(
+            "Fig 4 (E6): fairness vs threads (FAA, scattered) — {}",
+            topo.name
+        ),
+        &["n", "fifo", "random", "nearest", "model_nearest"],
+    );
+    for n in machine.sweep_ns(ctx.quick) {
+        if n < 2 {
+            continue;
+        }
+        let mut row = vec![n.to_string()];
+        for arb in ArbitrationPolicy::ALL {
+            let mut cfg = ctx.run_cfg(machine, &topo);
+            cfg.params.arbitration = arb;
+            let meas = sim_measure_pinned(
+                &topo,
+                &Workload::HighContention {
+                    prim: Primitive::Faa,
+                },
+                &order[..n],
+                &cfg,
+            );
+            row.push(fmt_f64(meas.jain));
+        }
+        let pred = predict_jain(&topo, &order[..n], ArbitrationKind::NearestFirst);
+        row.push(fmt_f64(pred));
+        t.push(row);
+    }
+    t
+}
+
+/// Fig 5 (E7): energy per operation vs thread count (HC), simulator
+/// RAPL-substitute vs model.
+pub fn fig5(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let model = Model::new(topo.clone(), machine.model_params());
+    let order = Placement::Packed.full_order(&topo);
+    let mut t = Table::new(
+        format!("Fig 5 (E7): energy per op vs threads (HC) — {}", topo.name),
+        &["n", "faa_nj", "cas_nj", "model_faa_nj", "lc_faa_nj"],
+    );
+    for n in machine.sweep_ns(ctx.quick) {
+        let faa = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            n,
+            &cfg,
+        );
+        let cas = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Cas,
+            },
+            n,
+            &cfg,
+        );
+        let lc = sim_measure(
+            &topo,
+            &Workload::LowContention {
+                prim: Primitive::Faa,
+                work: 0,
+            },
+            n,
+            &cfg,
+        );
+        let pred = model.predict_hc(&order[..n], Primitive::Faa);
+        t.push(vec![
+            n.to_string(),
+            fmt_f64(faa.energy_per_op_nj.unwrap_or(0.0)),
+            fmt_f64(cas.energy_per_op_nj.unwrap_or(0.0)),
+            fmt_f64(pred.energy_per_op_nj),
+            fmt_f64(lc.energy_per_op_nj.unwrap_or(0.0)),
+        ]);
+    }
+    t
+}
+
+/// Fig 6 (E8): low-contention throughput scaling vs thread count.
+pub fn fig6(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let mut t = Table::new(
+        format!(
+            "Fig 6 (E8): LC throughput vs threads (Mops/s) — {}",
+            topo.name
+        ),
+        &["n", "swap", "tas", "faa", "cas", "ideal_faa"],
+    );
+    let model = Model::new(topo.clone(), machine.model_params());
+    for n in machine.sweep_ns(ctx.quick) {
+        let mut row = vec![n.to_string()];
+        for prim in Primitive::RMW {
+            let meas = sim_measure(&topo, &Workload::LowContention { prim, work: 0 }, n, &cfg);
+            row.push(mops(meas.throughput_ops_per_sec));
+        }
+        row.push(mops(
+            model
+                .predict_lc(n, Primitive::Faa, 0.0)
+                .throughput_ops_per_sec,
+        ));
+        t.push(row);
+    }
+    t
+}
+
+/// Fig 7 (E9): model validation — fit the transfer costs on alternating
+/// sweep points ([`crate::campaign`]), predict every point, and report
+/// per-point error and MAPE for *both* throughput and mean latency.
+pub fn fig7(ctx: ExpCtx, machine: Machine) -> Table {
+    use crate::campaign::{fit_and_validate, TrainSplit};
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let ns = machine.sweep_ns(ctx.quick);
+    let split = if ns.iter().filter(|&&n| n >= 2).count() >= 4 {
+        TrainSplit::Alternate
+    } else {
+        TrainSplit::All
+    };
+    let campaign = fit_and_validate(
+        &topo,
+        Primitive::Faa,
+        &ns,
+        &cfg,
+        &machine.model_params(),
+        split,
+    );
+    let fitted = &campaign.fit.params.transfer;
+    let mut t = Table::new(
+        format!(
+            "Fig 7 (E9): model validation, HC FAA — {} (fitted smt={} tile={} socket={} cross={})",
+            topo.name,
+            fmt_f64(fitted.smt),
+            fmt_f64(fitted.tile),
+            fmt_f64(fitted.socket),
+            fmt_f64(fitted.cross),
+        ),
+        &[
+            "n",
+            "measured_mops",
+            "predicted_mops",
+            "err_pct",
+            "measured_lat_cy",
+            "predicted_lat_cy",
+            "lat_err_pct",
+        ],
+    );
+    for (x, l) in campaign.throughput_rows.iter().zip(&campaign.latency_rows) {
+        t.push(vec![
+            x.n.to_string(),
+            mops(x.measured),
+            mops(x.predicted),
+            fmt_f64(x.ape_pct()),
+            fmt_f64(l.measured),
+            fmt_f64(l.predicted),
+            fmt_f64(l.ape_pct()),
+        ]);
+    }
+    t.push(vec![
+        "MAPE".into(),
+        String::new(),
+        String::new(),
+        fmt_f64(campaign.throughput_mape()),
+        String::new(),
+        String::new(),
+        fmt_f64(campaign.latency_mape()),
+    ]);
+    t
+}
+
+/// Fig 8 (E10): placement effect — HC throughput at a fixed thread
+/// count under each placement policy, vs the model.
+pub fn fig8(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let model = Model::new(topo.clone(), machine.model_params());
+    let n = if ctx.quick {
+        4
+    } else {
+        match machine {
+            Machine::E5 => 24,
+            Machine::Knl => 32,
+        }
+    };
+    let mut t = Table::new(
+        format!(
+            "Fig 8 (E10): placement effect at n={n} (HC FAA) — {}",
+            topo.name
+        ),
+        &[
+            "placement",
+            "throughput_mops",
+            "model_mops",
+            "cross_socket_share",
+        ],
+    );
+    for placement in Placement::ALL {
+        let hw = placement.assign(&topo, n);
+        let meas = sim_measure_pinned(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            &hw,
+            &cfg,
+        );
+        let pred = model.predict_hc(&hw, Primitive::Faa);
+        t.push(vec![
+            placement.label().into(),
+            mops(meas.throughput_ops_per_sec),
+            mops(pred.throughput_ops_per_sec),
+            fmt_f64(pred.mixture[4]),
+        ]);
+    }
+    t
+}
+
+/// Fig 9 (E11): contention dilution — throughput and latency vs local
+/// work between ops at a fixed thread count.
+///
+/// The paper-shaped observation: under saturation the injected local
+/// work is *free* (system throughput stays at the 1/E\[t\] plateau while
+/// per-op latency falls) until the knee at `w* ≈ (N−1)·E[t]`, after
+/// which the system becomes demand-limited and throughput declines as
+/// `N/(w + c_p + E[t])`.
+pub fn fig9(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let model = Model::new(topo.clone(), machine.model_params());
+    let n = if ctx.quick { 4 } else { 16 };
+    let order = Placement::Packed.assign(&topo, n);
+    let works: &[u64] = if ctx.quick {
+        &[0, 100, 3200]
+    } else {
+        &[0, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800]
+    };
+    let mut t = Table::new(
+        format!(
+            "Fig 9 (E11): throughput vs local work between ops, n={n} (FAA) — {}",
+            topo.name
+        ),
+        &[
+            "work_cycles",
+            "throughput_mops",
+            "model_mops",
+            "latency_cycles",
+        ],
+    );
+    for &work in works {
+        let meas = sim_measure(
+            &topo,
+            &Workload::Diluted {
+                prim: Primitive::Faa,
+                work,
+            },
+            n,
+            &cfg,
+        );
+        let pred = model.predict_dilution(&order, Primitive::Faa, work as f64);
+        t.push(vec![
+            work.to_string(),
+            mops(meas.throughput_ops_per_sec),
+            mops(pred.throughput_ops_per_sec),
+            fmt_f64(meas.mean_latency_cycles),
+        ]);
+    }
+    t
+}
+
+/// Fig 10 (E12): application case study — lock implementations under
+/// contention (critical-section handoffs per second).
+pub fn fig10(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let mut cfg = ctx.run_cfg(machine, &topo);
+    // Locks are latency-bound; give the sim a longer window so every
+    // thread acquires several times even at large n.
+    cfg.duration_cycles *= 2;
+    let ns = if ctx.quick {
+        vec![2, 4]
+    } else {
+        match machine {
+            Machine::E5 => vec![2, 4, 8, 18, 36, 72],
+            Machine::Knl => vec![2, 4, 16, 64, 144, 288],
+        }
+    };
+    let mut t = Table::new(
+        format!(
+            "Fig 10 (E12): lock handoffs/s vs threads (cs=100cy, noncs=100cy) — {}",
+            topo.name
+        ),
+        &[
+            "n",
+            "tas_mops",
+            "ttas_mops",
+            "ticket_mops",
+            "mcs_mops",
+            "model_tas",
+            "model_mcs",
+            "ticket_jain",
+        ],
+    );
+    let model = Model::new(topo.clone(), machine.model_params());
+    for n in ns {
+        let mut row = vec![n.to_string()];
+        let mut ticket_jain = 1.0;
+        for shape in LockShape::ALL {
+            let meas = sim_measure(
+                &topo,
+                &Workload::LockHandoff {
+                    shape,
+                    cs: 100,
+                    noncs: 100,
+                },
+                n,
+                &cfg,
+            );
+            // Handoffs = successful acquisitions. TAS/TTAS: the
+            // successful-TAS count. Ticket: two FAAs per handoff (take
+            // ticket + advance serving). MCS: exactly one SWAP per
+            // acquisition (its release CAS only succeeds when
+            // uncontended, so goodput would undercount).
+            let handoffs = match shape {
+                LockShape::Ticket => meas.goodput_ops_per_sec / 2.0,
+                LockShape::Mcs => {
+                    let total: u64 = meas.per_thread_ops.iter().sum();
+                    let swaps = meas.ops_by_prim.map_or(0, |o| {
+                        o[Primitive::ALL
+                            .iter()
+                            .position(|p| *p == Primitive::Swap)
+                            .unwrap()]
+                    });
+                    if total == 0 {
+                        0.0
+                    } else {
+                        meas.throughput_ops_per_sec * swaps as f64 / total as f64
+                    }
+                }
+                _ => meas.goodput_ops_per_sec,
+            };
+            row.push(mops(handoffs));
+            if shape == LockShape::Ticket {
+                ticket_jain = meas.jain;
+            }
+        }
+        let threads = Placement::Packed.assign(&topo, n);
+        let (m_tas, _m_ttas, _m_ticket, m_mcs) = model.predict_lock_handoffs(&threads, 100.0);
+        row.push(mops(m_tas));
+        row.push(mops(m_mcs));
+        row.push(fmt_f64(ticket_jain));
+        t.push(row);
+    }
+    t
+}
+
+/// Fig 11 (E13): false sharing — per-thread words on one line vs padded
+/// private lines. Logically private data, physically shared line: the
+/// HC behaviour reappears.
+pub fn fig11(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let mut t = Table::new(
+        format!(
+            "Fig 11 (E13): false sharing vs padded (FAA, Mops/s) — {}",
+            topo.name
+        ),
+        &["n", "false_sharing", "padded", "slowdown"],
+    );
+    for n in machine.sweep_ns(ctx.quick) {
+        if n > 8 && ctx.quick {
+            continue;
+        }
+        let fs = sim_measure(
+            &topo,
+            &Workload::FalseSharing {
+                prim: Primitive::Faa,
+            },
+            n,
+            &cfg,
+        );
+        let padded = sim_measure(
+            &topo,
+            &Workload::LowContention {
+                prim: Primitive::Faa,
+                work: 0,
+            },
+            n,
+            &cfg,
+        );
+        let slow = padded.throughput_ops_per_sec / fs.throughput_ops_per_sec.max(1.0);
+        t.push(vec![
+            n.to_string(),
+            mops(fs.throughput_ops_per_sec),
+            mops(padded.throughput_ops_per_sec),
+            fmt_f64(slow),
+        ]);
+    }
+    t
+}
+
+/// Fig 12 (E14): read-mostly sharing — one writer, growing reader
+/// count, with and without the MESIF Forward state. Cache-to-cache
+/// forwarding (MESIF) spares the memory round trip after every
+/// invalidation burst.
+pub fn fig12(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let model = Model::new(topo.clone(), machine.model_params());
+    let order = Placement::Packed.full_order(&topo);
+    let mut t = Table::new(
+        format!(
+            "Fig 12 (E14): 1 writer + readers, MESIF vs MESI (total Mops/s) — {}",
+            topo.name
+        ),
+        &["readers", "mesif", "mesi", "mesif_gain", "model"],
+    );
+    let reader_counts: Vec<usize> = if ctx.quick {
+        vec![1, 3, 7]
+    } else {
+        vec![1, 3, 7, 15, 23, 31]
+    };
+    for readers in reader_counts {
+        let n = readers + 1;
+        if n > topo.num_threads() {
+            continue;
+        }
+        let run = |mesif: bool| {
+            let mut cfg = ctx.run_cfg(machine, &topo);
+            cfg.params.mesif = mesif;
+            sim_measure(
+                &topo,
+                &Workload::MixedReadWrite {
+                    writers: 1,
+                    prim: Primitive::Faa,
+                },
+                n,
+                &cfg,
+            )
+            .throughput_ops_per_sec
+        };
+        let with = run(true);
+        let without = run(false);
+        // The reader loop in the workload inserts 8 cycles of local
+        // work per read (see `bounce_workloads::spec::reader_loop`).
+        let pred = model.predict_mixed_rw(order[0], &order[1..n], 8.0);
+        t.push(vec![
+            readers.to_string(),
+            mops(with),
+            mops(without),
+            fmt_f64(with / without.max(1.0)),
+            mops(pred.total_ops_per_sec),
+        ]);
+    }
+    t
+}
+
+/// Fig 13 (E15): contention spreading — fixed thread count, growing
+/// number of contended lines (the line-striped counter). Throughput
+/// grows ~linearly with stripes until the demand cap.
+pub fn fig13(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let model = Model::new(topo.clone(), machine.model_params());
+    let n = if ctx.quick { 4 } else { 16 };
+    let order = Placement::Packed.assign(&topo, n);
+    let stripes: Vec<usize> = if ctx.quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let mut t = Table::new(
+        format!(
+            "Fig 13 (E15): contention spreading, n={n} (FAA, Mops/s) — {}",
+            topo.name
+        ),
+        &["lines", "throughput_mops", "model_mops", "speedup_vs_1"],
+    );
+    let mut base = 0.0;
+    for lines in stripes {
+        let meas = sim_measure(
+            &topo,
+            &Workload::MultiLine {
+                prim: Primitive::Faa,
+                lines,
+            },
+            n,
+            &cfg,
+        );
+        let pred = model.predict_multiline(&order, Primitive::Faa, lines);
+        if lines == 1 {
+            base = meas.throughput_ops_per_sec;
+        }
+        t.push(vec![
+            lines.to_string(),
+            mops(meas.throughput_ops_per_sec),
+            mops(pred.throughput_ops_per_sec),
+            fmt_f64(meas.throughput_ops_per_sec / base.max(1.0)),
+        ]);
+    }
+    t
+}
+
+/// Ablation table (A1–A3): the design choices DESIGN.md calls out —
+/// CAS backoff, home-slice placement, arbitration policy — each probed
+/// at one contention level.
+pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let n = if ctx.quick { 4 } else { 16 };
+    let mut t = Table::new(
+        format!("Ablations (A1-A5) at n={n} — {}", topo.name),
+        &["ablation", "variant", "goodput_mops", "fail_rate", "jain"],
+    );
+    // A1: backoff ladder on the CAS retry loop.
+    for (label, w) in [
+        (
+            "none",
+            Workload::CasRetryLoop {
+                window: 30,
+                work: 0,
+            },
+        ),
+        (
+            "ladder-64",
+            Workload::CasRetryLoopBackoff {
+                window: 30,
+                backoff: [64, 256, 1024],
+            },
+        ),
+        (
+            "ladder-512",
+            Workload::CasRetryLoopBackoff {
+                window: 30,
+                backoff: [512, 2048, 8192],
+            },
+        ),
+    ] {
+        let cfg = ctx.run_cfg(machine, &topo);
+        let m = sim_measure(&topo, &w, n, &cfg);
+        t.push(vec![
+            "A1-backoff".into(),
+            label.into(),
+            mops(m.goodput_ops_per_sec),
+            fmt_f64(m.failure_rate),
+            fmt_f64(m.jain),
+        ]);
+    }
+    // A2: home-slice placement for HC FAA.
+    for (label, policy) in [
+        ("fixed-0", bounce_sim::HomePolicy::Fixed(0)),
+        (
+            "fixed-far",
+            bounce_sim::HomePolicy::Fixed(topo.num_tiles() - 1),
+        ),
+        ("hash", bounce_sim::HomePolicy::Hash),
+    ] {
+        let mut cfg = ctx.run_cfg(machine, &topo);
+        cfg.params.home_policy = policy;
+        let m = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            n,
+            &cfg,
+        );
+        t.push(vec![
+            "A2-home".into(),
+            label.into(),
+            mops(m.goodput_ops_per_sec),
+            fmt_f64(m.failure_rate),
+            fmt_f64(m.jain),
+        ]);
+    }
+    // A3: arbitration policy's throughput/fairness trade (scattered
+    // placement so locality matters).
+    for arb in ArbitrationPolicy::ALL {
+        let mut cfg = ctx.run_cfg(machine, &topo);
+        cfg.params.arbitration = arb;
+        cfg.placement = Placement::Scattered;
+        let m = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            n,
+            &cfg,
+        );
+        t.push(vec![
+            "A3-arbitration".into(),
+            arb.label().into(),
+            mops(m.goodput_ops_per_sec),
+            fmt_f64(m.failure_rate),
+            fmt_f64(m.jain),
+        ]);
+    }
+    // A4: home-agent bandwidth under line striping — with a finite
+    // home port, striping only helps when the stripes' homes are
+    // *distributed* (hashed), not when every stripe shares one slice.
+    for (label, policy, occupancy) in [
+        ("fixed0-infbw", bounce_sim::HomePolicy::Fixed(0), 0u32),
+        ("fixed0-port40", bounce_sim::HomePolicy::Fixed(0), 40),
+        ("hash-port40", bounce_sim::HomePolicy::Hash, 40),
+    ] {
+        let mut cfg = ctx.run_cfg(machine, &topo);
+        cfg.params.home_policy = policy;
+        cfg.params.home_port_occupancy = occupancy;
+        let m = sim_measure(
+            &topo,
+            &Workload::MultiLine {
+                prim: Primitive::Faa,
+                lines: (n / 2).max(2),
+            },
+            n,
+            &cfg,
+        );
+        t.push(vec![
+            "A4-home-bandwidth".into(),
+            label.into(),
+            mops(m.goodput_ops_per_sec),
+            fmt_f64(m.failure_rate),
+            fmt_f64(m.jain),
+        ]);
+    }
+    // A5: NoC link bandwidth — striped HC traffic with hashed homes,
+    // with and without per-link occupancy. Finite links couple flows
+    // whose routes overlap.
+    for (label, occupancy) in [("inf-links", 0u32), ("link-occ8", 8), ("link-occ24", 24)] {
+        let mut cfg = ctx.run_cfg(machine, &topo);
+        cfg.params.home_policy = bounce_sim::HomePolicy::Hash;
+        cfg.params.link_occupancy_cycles = occupancy;
+        let m = sim_measure(
+            &topo,
+            &Workload::MultiLine {
+                prim: Primitive::Faa,
+                lines: (n / 2).max(2),
+            },
+            n,
+            &cfg,
+        );
+        t.push(vec![
+            "A5-link-bandwidth".into(),
+            label.into(),
+            mops(m.goodput_ops_per_sec),
+            fmt_f64(m.failure_rate),
+            fmt_f64(m.jain),
+        ]);
+    }
+    t
+}
+
+/// Latency-distribution table (D1): the full log2 histogram behind
+/// Fig 2 for a few representative thread counts, under *random*
+/// arbitration (FIFO's strict rotation gives every op the same queue
+/// depth and collapses the distribution to one bucket — the spread
+/// comes from winner variance and the domain mixture).
+pub fn latency_hist(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let mut cfg = ctx.run_cfg(machine, &topo);
+    cfg.params.arbitration = ArbitrationPolicy::Random;
+    let ns: Vec<usize> = if ctx.quick {
+        vec![2, 4]
+    } else {
+        vec![2, 8, 36]
+    };
+    let mut t = Table::new(
+        format!(
+            "Latency distribution (D1): HC FAA log2 buckets, random arbitration — {}",
+            topo.name
+        ),
+        &[
+            "n",
+            "bucket_lo_cycles",
+            "bucket_hi_cycles",
+            "count",
+            "share",
+        ],
+    );
+    for n in ns {
+        if n > topo.num_threads() {
+            continue;
+        }
+        // Re-run through the engine directly to reach the histogram.
+        let sim_cfg = bounce_sim::SimConfig::new(cfg.params.clone(), cfg.duration_cycles);
+        let mut eng = bounce_sim::Engine::new(&topo, sim_cfg);
+        let w = Workload::HighContention {
+            prim: Primitive::Faa,
+        };
+        for (hw, p) in Placement::Scattered
+            .assign(&topo, n)
+            .into_iter()
+            .zip(w.sim_programs(n))
+        {
+            eng.add_thread(hw, p);
+        }
+        let report = eng.run();
+        let merged = report.merged_latency();
+        let total = merged.count.max(1) as f64;
+        for (i, &count) in merged.hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            t.push(vec![
+                n.to_string(),
+                (1u64 << i).to_string(),
+                ((1u64 << i) * 2 - 1).to_string(),
+                count.to_string(),
+                fmt_f64(count as f64 / total),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig 14 (E16): Zipf-skewed contention — throughput vs skew θ over a
+/// fixed line population. θ = 0 is the striped regime; growing θ
+/// funnels traffic into one hot line and collapses toward single-line
+/// HC. The model bound treats the hottest line as the bottleneck:
+/// `X ≤ min( (f/E[t]) / p₀,  N·f/c_p )` with `p₀` the head line's
+/// popularity.
+pub fn fig14(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let cfg = ctx.run_cfg(machine, &topo);
+    let model = Model::new(topo.clone(), machine.model_params());
+    let n = if ctx.quick { 4 } else { 16 };
+    let lines = 8;
+    let order = Placement::Packed.assign(&topo, n);
+    let thetas: &[f64] = if ctx.quick {
+        &[0.0, 1.2]
+    } else {
+        &[0.0, 0.4, 0.8, 1.2, 1.6, 2.4]
+    };
+    let mut t = Table::new(
+        format!(
+            "Fig 14 (E16): Zipf contention, n={n}, {lines} lines (FAA, Mops/s) — {}",
+            topo.name
+        ),
+        &[
+            "theta",
+            "throughput_mops",
+            "hot_line_share",
+            "model_bound_mops",
+        ],
+    );
+    for &theta in thetas {
+        let meas = sim_measure(
+            &topo,
+            &Workload::Zipf {
+                prim: Primitive::Faa,
+                lines,
+                theta,
+                seed: 7,
+            },
+            n,
+            &cfg,
+        );
+        let p0 = bounce_workloads::Zipf::new(lines, theta).pmf(0);
+        let hc = model.predict_hc(&order, Primitive::Faa);
+        let lc = model.predict_lc(n, Primitive::Faa, 0.0);
+        let bound = (hc.throughput_ops_per_sec / p0).min(lc.throughput_ops_per_sec);
+        t.push(vec![
+            format!("{theta:.1}"),
+            mops(meas.throughput_ops_per_sec),
+            fmt_f64(p0),
+            mops(bound),
+        ]);
+    }
+    t
+}
+
+/// Sensitivity table (S1): elasticities of the HC predictions with
+/// respect to each model parameter, at a within-socket and a
+/// cross-socket configuration. Answers "how much does a fitting error
+/// in θ matter?".
+pub fn sensitivity(ctx: ExpCtx, machine: Machine) -> Table {
+    use bounce_core::sensitivity::hc_sensitivities;
+    let topo = machine.topo();
+    let model = Model::new(topo.clone(), machine.model_params());
+    let configs: Vec<(&str, usize)> = if ctx.quick {
+        vec![("small", 4)]
+    } else {
+        match machine {
+            Machine::E5 => vec![("within-socket", 16), ("cross-socket", 36)],
+            Machine::Knl => vec![("few-tiles", 16), ("full-mesh", 144)],
+        }
+    };
+    let mut t = Table::new(
+        format!("Sensitivity (S1): HC elasticities, FAA — {}", topo.name),
+        &["config", "param", "d_throughput", "d_latency", "d_energy"],
+    );
+    for (label, n) in configs {
+        let threads = Placement::Packed.assign(&topo, n);
+        for s in hc_sensitivities(&model, &threads, Primitive::Faa, 0.05) {
+            t.push(vec![
+                label.into(),
+                s.param.label().into(),
+                fmt_f64(s.throughput),
+                fmt_f64(s.latency),
+                fmt_f64(s.energy),
+            ]);
+        }
+    }
+    t
+}
+
+/// Every experiment, in presentation order, with stable ids.
+pub fn all_experiments(ctx: ExpCtx) -> Vec<(String, Table)> {
+    let mut out = vec![
+        ("table1".to_string(), table1()),
+        ("table2".to_string(), table2(ctx)),
+    ];
+    for m in Machine::ALL {
+        out.push((format!("fig1-{}", m.label()), fig1(ctx, m)));
+        out.push((format!("fig2-{}", m.label()), fig2(ctx, m)));
+        out.push((format!("fig3-{}", m.label()), fig3(ctx, m)));
+        out.push((format!("fig4-{}", m.label()), fig4(ctx, m)));
+        out.push((format!("fig5-{}", m.label()), fig5(ctx, m)));
+        out.push((format!("fig6-{}", m.label()), fig6(ctx, m)));
+        out.push((format!("fig7-{}", m.label()), fig7(ctx, m)));
+        out.push((format!("fig8-{}", m.label()), fig8(ctx, m)));
+        out.push((format!("fig9-{}", m.label()), fig9(ctx, m)));
+        out.push((format!("fig10-{}", m.label()), fig10(ctx, m)));
+        out.push((format!("fig11-{}", m.label()), fig11(ctx, m)));
+        out.push((format!("fig12-{}", m.label()), fig12(ctx, m)));
+        out.push((format!("fig13-{}", m.label()), fig13(ctx, m)));
+        out.push((format!("fig14-{}", m.label()), fig14(ctx, m)));
+        out.push((format!("ablations-{}", m.label()), ablations(ctx, m)));
+        out.push((format!("sensitivity-{}", m.label()), sensitivity(ctx, m)));
+        out.push((format!("latency-hist-{}", m.label()), latency_hist(ctx, m)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_both_machines() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0][0].contains("E5"));
+        assert!(t.rows[1][0].contains("Phi"));
+    }
+
+    #[test]
+    fn table2_rmw_slower_than_load() {
+        let t = table2(ExpCtx::quick());
+        // 2 machines x 6 primitives.
+        assert_eq!(t.rows.len(), 12);
+        let lat = t.column("latency_cycles").unwrap();
+        let prim = t.column("primitive").unwrap();
+        let find = |machine_rows: &[&Vec<String>], p: &str| -> f64 {
+            machine_rows.iter().find(|r| r[prim] == p).unwrap()[lat]
+                .parse()
+                .unwrap()
+        };
+        let e5_rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "e5").collect();
+        assert!(find(&e5_rows, "faa") > find(&e5_rows, "load"));
+        assert!(find(&e5_rows, "cas") >= find(&e5_rows, "faa"));
+    }
+
+    #[test]
+    fn fig1_has_expected_shape() {
+        let t = fig1(ExpCtx::quick(), Machine::E5);
+        assert_eq!(t.headers.len(), 7);
+        assert_eq!(t.rows.len(), 4); // quick sweep 1,2,4,8
+                                     // Single-thread FAA beats 8-thread FAA (the contention cliff).
+        let faa = t.column_f64("faa").unwrap();
+        assert!(faa[0] > faa[3], "n=1 {} should beat n=8 {}", faa[0], faa[3]);
+    }
+
+    #[test]
+    fn fig3_failure_grows_with_n() {
+        let t = fig3(ExpCtx::quick(), Machine::E5);
+        let fail = t.column_f64("fail_rate").unwrap();
+        assert!(fail[0] <= fail[fail.len() - 1] + 0.05);
+        // Model column exists and is a probability.
+        let mf = t.column_f64("model_fail_rate").unwrap();
+        assert!(mf.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn fig7_reports_mape() {
+        let t = fig7(ExpCtx::quick(), Machine::E5);
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[0], "MAPE");
+        let m: f64 = last[3].parse().unwrap();
+        assert!(m < 50.0, "MAPE {m} suspiciously high even for quick mode");
+    }
+
+    #[test]
+    fn fig9_free_work_then_decline() {
+        let t = fig9(ExpCtx::quick(), Machine::E5);
+        let x = t.column_f64("throughput_mops").unwrap();
+        // Small work is free under saturation...
+        assert!(
+            (x[1] / x[0] - 1.0).abs() < 0.25,
+            "work below the knee is ~free: {x:?}"
+        );
+        // ...huge work is demand-limiting.
+        assert!(
+            *x.last().unwrap() < 0.5 * x[0],
+            "work far past the knee must cost throughput: {x:?}"
+        );
+        // Latency falls once contention is diluted.
+        let lat = t.column_f64("latency_cycles").unwrap();
+        assert!(lat.last().unwrap() < lat.first().unwrap(), "{lat:?}");
+    }
+
+    #[test]
+    fn all_experiments_quick_runs() {
+        let all = all_experiments(ExpCtx::quick());
+        assert_eq!(all.len(), 2 + 2 * 17);
+        for (id, t) in &all {
+            assert!(!t.rows.is_empty(), "{id} produced no rows");
+        }
+    }
+
+    #[test]
+    fn fig11_false_sharing_much_slower_than_padded() {
+        let t = fig11(ExpCtx::quick(), Machine::E5);
+        let slow = t.column_f64("slowdown").unwrap();
+        // At n >= 4 padding must win by a wide margin.
+        assert!(
+            *slow.last().unwrap() > 3.0,
+            "false sharing should be >3x slower: {slow:?}"
+        );
+    }
+
+    #[test]
+    fn fig12_mesif_helps_readers() {
+        let t = fig12(ExpCtx::quick(), Machine::E5);
+        let gain = t.column_f64("mesif_gain").unwrap();
+        assert!(
+            gain.iter().all(|&g| g >= 0.9),
+            "MESIF should never hurt: {gain:?}"
+        );
+        assert!(
+            gain.iter().any(|&g| g > 1.05),
+            "MESIF should visibly help read-mostly sharing: {gain:?}"
+        );
+    }
+
+    #[test]
+    fn ablation_backoff_reduces_failures() {
+        let t = ablations(ExpCtx::quick(), Machine::E5);
+        let variant = t.column("variant").unwrap();
+        let fail = t.column("fail_rate").unwrap();
+        let get = |v: &str| -> f64 {
+            t.rows.iter().find(|r| r[variant] == v).unwrap()[fail]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            get("ladder-512") <= get("none") + 0.02,
+            "heavy backoff must not increase the failure rate: {} vs {}",
+            get("ladder-512"),
+            get("none")
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Measurement harness: runs the paper's workloads on either backend,
+//! produces unified [`Measurement`]s, renders tables, and hosts the
+//! E1..E12 experiment registry that regenerates every table and figure
+//! of the evaluation.
+//!
+//! # Backends
+//!
+//! * [`simrun`] — the default: the `bounce-sim` coherence simulator
+//!   configured as one of the paper's machines (Xeon E5 / Xeon Phi).
+//!   Deterministic, runs anywhere, reports energy.
+//! * [`native`] — real pinned threads issuing real atomic instructions
+//!   with `rdtsc` timing and (when the host exposes it) RAPL energy.
+//!   Meaningful only on a real multicore host; on this repository's CI
+//!   it is exercised single-threaded for correctness.
+//!
+//! # Experiments
+//!
+//! [`experiments`] maps every reconstructed table/figure (see DESIGN.md)
+//! to a function that produces a [`report::Table`]. The `repro` binary
+//! in `bounce-bench` prints them; EXPERIMENTS.md records the outcomes.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod experiments;
+pub mod measurement;
+pub mod native;
+pub mod rapl;
+pub mod report;
+pub mod simrun;
+pub mod sweeps;
+
+pub use measurement::{Backend, Measurement};
+pub use report::Table;
+pub use simrun::{sim_measure, sim_measure_seeds, SeededSummary, SimRunConfig};

@@ -1,0 +1,668 @@
+//! The native backend: real pinned threads executing real atomic
+//! instructions, timed with `rdtsc`, with RAPL energy when available.
+//!
+//! This is what the paper actually ran on its two machines. On this
+//! repository's single-CPU CI host, multi-thread runs merely timeslice —
+//! they stay *correct* (the tests verify counts, not speed) but carry no
+//! performance signal; use the simulator backend for the contention
+//! experiments there. On a real multicore the same code produces
+//! publishable curves.
+
+use crate::measurement::{Backend, Measurement};
+use crate::rapl::{delta_j, Rapl};
+use bounce_atomics::locks::RawLock;
+use bounce_atomics::{Backoff, CachePadded, LockKind, Primitive};
+use bounce_topo::{HwThreadId, MachineTopology, Placement};
+use bounce_workloads::{LockShape, Workload};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Native run configuration.
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Measured duration.
+    pub duration: Duration,
+    /// Warmup before the measured window.
+    pub warmup: Duration,
+    /// Pin threads with `sched_setaffinity` (disable when the host has
+    /// fewer CPUs than threads).
+    pub pin: bool,
+    /// Sample one op latency with `rdtsc` every `2^k` ops (0 disables).
+    pub latency_sample_shift: u32,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig {
+            duration: Duration::from_millis(200),
+            warmup: Duration::from_millis(50),
+            pin: true,
+            latency_sample_shift: 6,
+        }
+    }
+}
+
+impl NativeConfig {
+    /// A short configuration for tests.
+    pub fn quick() -> Self {
+        NativeConfig {
+            duration: Duration::from_millis(30),
+            warmup: Duration::from_millis(5),
+            pin: false,
+            latency_sample_shift: 4,
+        }
+    }
+}
+
+/// Read the timestamp counter.
+#[inline]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: RDTSC is unprivileged on every Linux x86-64 configuration
+    // we target.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::SystemTime;
+        SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Pin the calling thread to one OS CPU. Returns false if the kernel
+/// refused (CPU offline, cgroup restriction).
+pub fn pin_to_cpu(cpu: usize) -> bool {
+    #[cfg(target_os = "linux")]
+    // SAFETY: CPU_SET/CPU_ZERO manipulate a local cpu_set_t;
+    // sched_setaffinity(0, ...) affects only the calling thread.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        if cpu >= libc::CPU_SETSIZE as usize {
+            return false;
+        }
+        libc::CPU_SET(cpu, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = cpu;
+        false
+    }
+}
+
+/// Per-thread counters shared with the coordinator, each on its own
+/// line.
+struct ThreadCounters {
+    ops: CachePadded<AtomicU64>,
+    successes: CachePadded<AtomicU64>,
+    failures: CachePadded<AtomicU64>,
+    latency_sum: CachePadded<AtomicU64>,
+    latency_count: CachePadded<AtomicU64>,
+    /// Sampled per-op latencies (only the worker thread pushes; the
+    /// coordinator reads after join).
+    latency_samples: CachePadded<std::sync::Mutex<Vec<u64>>>,
+}
+
+impl ThreadCounters {
+    fn new() -> Self {
+        ThreadCounters {
+            ops: CachePadded::new(AtomicU64::new(0)),
+            successes: CachePadded::new(AtomicU64::new(0)),
+            failures: CachePadded::new(AtomicU64::new(0)),
+            latency_sum: CachePadded::new(AtomicU64::new(0)),
+            latency_count: CachePadded::new(AtomicU64::new(0)),
+            latency_samples: CachePadded::new(std::sync::Mutex::new(Vec::new())),
+        }
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    cells: Box<[CachePadded<AtomicU64>]>,
+    line_words: SharedLineWords,
+    lock: Option<Box<dyn RawLock>>,
+    counters: Vec<ThreadCounters>,
+}
+
+// SAFETY: all interior state is atomics / Sync trait objects.
+unsafe impl Sync for Shared {}
+
+/// Whether the workload's recorded ops are conditional primitives.
+fn workload_is_conditional(w: &Workload) -> bool {
+    match w {
+        Workload::CasRetryLoop { .. } | Workload::CasRetryLoopBackoff { .. } => true,
+        Workload::HighContention { prim }
+        | Workload::Diluted { prim, .. }
+        | Workload::FalseSharing { prim }
+        | Workload::MultiLine { prim, .. }
+        | Workload::Zipf { prim, .. }
+        | Workload::LowContention { prim, .. } => prim.is_conditional(),
+        Workload::MixedReadWrite { prim, .. } => prim.is_conditional(),
+        Workload::LockHandoff { .. } => false,
+    }
+}
+
+/// Eight words forced onto one cache-line pair: the false-sharing cell.
+#[repr(align(128))]
+struct SharedLineWords {
+    words: [AtomicU64; 8],
+}
+
+impl SharedLineWords {
+    fn new() -> Self {
+        SharedLineWords {
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn burn(cycles: u64) {
+    for _ in 0..cycles {
+        std::hint::spin_loop();
+    }
+}
+
+/// The per-thread hot loop for one workload. Returns only when `stop`
+/// is set.
+fn thread_body(w: &Workload, tid: usize, shared: &Shared, sample_mask: u64) {
+    let ctr = &shared.counters[tid];
+    let mut local_ops = 0u64;
+    let record = |ctr: &ThreadCounters, ok: bool, lat: Option<u64>| {
+        ctr.ops.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            ctr.successes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ctr.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(l) = lat {
+            ctr.latency_sum.fetch_add(l, Ordering::Relaxed);
+            ctr.latency_count.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut v) = ctr.latency_samples.try_lock() {
+                if v.len() < 1 << 16 {
+                    v.push(l);
+                }
+            }
+        }
+    };
+    match *w {
+        Workload::HighContention { prim } | Workload::Diluted { prim, .. } => {
+            let work = match *w {
+                Workload::Diluted { work, .. } => work,
+                _ => 0,
+            };
+            let cell = &*shared.cells[0];
+            // For CAS, mirror the simulator's blind-increment loop:
+            // compare against the last observed value, write prev + 1.
+            let mut expected = 0u64;
+            while !shared.stop.load(Ordering::Relaxed) {
+                if work > 0 {
+                    burn(work);
+                }
+                let sample = local_ops & sample_mask == 0;
+                let t0 = if sample { rdtsc() } else { 0 };
+                let out = if prim == Primitive::Cas {
+                    let o = prim.execute_native(cell, expected.wrapping_add(1), expected);
+                    expected = if o.success {
+                        expected.wrapping_add(1)
+                    } else {
+                        o.prev
+                    };
+                    o
+                } else {
+                    prim.execute_native(cell, 1, 0)
+                };
+                let lat = sample.then(|| rdtsc().saturating_sub(t0));
+                record(ctr, out.success, lat);
+                local_ops += 1;
+            }
+        }
+        Workload::LowContention { prim, work } => {
+            let cell = &*shared.cells[tid];
+            while !shared.stop.load(Ordering::Relaxed) {
+                if work > 0 {
+                    burn(work);
+                }
+                let sample = local_ops & sample_mask == 0;
+                let t0 = if sample { rdtsc() } else { 0 };
+                let out = prim.execute_native(cell, 1, 0);
+                let lat = sample.then(|| rdtsc().saturating_sub(t0));
+                record(ctr, out.success, lat);
+                local_ops += 1;
+            }
+        }
+        Workload::CasRetryLoop { window, work } => {
+            let cell = &*shared.cells[0];
+            let mut backoff = Backoff::none();
+            while !shared.stop.load(Ordering::Relaxed) {
+                if work > 0 {
+                    burn(work);
+                }
+                loop {
+                    let old = cell.load(Ordering::Relaxed);
+                    if window > 0 {
+                        burn(window);
+                    }
+                    let sample = local_ops & sample_mask == 0;
+                    let t0 = if sample { rdtsc() } else { 0 };
+                    let out = Primitive::Cas.execute_native(cell, old.wrapping_add(1), old);
+                    let lat = sample.then(|| rdtsc().saturating_sub(t0));
+                    record(ctr, out.success, lat);
+                    local_ops += 1;
+                    if out.success || shared.stop.load(Ordering::Relaxed) {
+                        backoff.reset();
+                        break;
+                    }
+                    backoff.spin();
+                }
+            }
+        }
+        Workload::CasRetryLoopBackoff { window, backoff } => {
+            let cell = &*shared.cells[0];
+            let mut fails = 0usize;
+            while !shared.stop.load(Ordering::Relaxed) {
+                let old = cell.load(Ordering::Relaxed);
+                if window > 0 {
+                    burn(window);
+                }
+                let out = Primitive::Cas.execute_native(cell, old.wrapping_add(1), old);
+                record(ctr, out.success, None);
+                if out.success {
+                    fails = 0;
+                } else {
+                    burn(backoff[fails.min(2)].max(1));
+                    fails += 1;
+                }
+            }
+        }
+        Workload::FalseSharing { prim } => {
+            let cell = &shared.line_words.words[tid % 8];
+            while !shared.stop.load(Ordering::Relaxed) {
+                let sample = local_ops & sample_mask == 0;
+                let t0 = if sample { rdtsc() } else { 0 };
+                let out = prim.execute_native(cell, 1, 0);
+                let lat = sample.then(|| rdtsc().saturating_sub(t0));
+                record(ctr, out.success, lat);
+                local_ops += 1;
+            }
+        }
+        Workload::MultiLine { prim, lines } => {
+            let cell = &*shared.cells[tid % lines.max(1).min(shared.cells.len())];
+            while !shared.stop.load(Ordering::Relaxed) {
+                let sample = local_ops & sample_mask == 0;
+                let t0 = if sample { rdtsc() } else { 0 };
+                let out = prim.execute_native(cell, 1, 0);
+                let lat = sample.then(|| rdtsc().saturating_sub(t0));
+                record(ctr, out.success, lat);
+                local_ops += 1;
+            }
+        }
+        Workload::Zipf {
+            prim,
+            lines,
+            theta,
+            seed,
+        } => {
+            use rand::{Rng, SeedableRng};
+            let zipf = bounce_workloads::Zipf::new(lines.max(1), theta);
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9E37_79B9));
+            let n_cells = shared.cells.len();
+            while !shared.stop.load(Ordering::Relaxed) {
+                let k = zipf.sample(&mut rng) % n_cells;
+                let cell = &*shared.cells[k];
+                let out = prim.execute_native(cell, 1, 0);
+                record(ctr, out.success, None);
+                let _ = rng.gen_bool(0.5); // decorrelate consecutive picks cheaply
+            }
+        }
+        Workload::MixedReadWrite { writers, prim } => {
+            let cell = &*shared.cells[0];
+            let is_writer = tid < writers;
+            while !shared.stop.load(Ordering::Relaxed) {
+                let out = if is_writer {
+                    prim.execute_native(cell, 1, 0)
+                } else {
+                    Primitive::Load.execute_native(cell, 0, 0)
+                };
+                record(ctr, out.success, None);
+            }
+        }
+        Workload::LockHandoff { cs, noncs, .. } => {
+            let lock = shared.lock.as_ref().expect("lock workload has a lock");
+            while !shared.stop.load(Ordering::Relaxed) {
+                let sample = local_ops & sample_mask == 0;
+                let t0 = if sample { rdtsc() } else { 0 };
+                let token = lock.lock();
+                burn(cs.max(1));
+                lock.unlock(token);
+                let lat = sample.then(|| rdtsc().saturating_sub(t0));
+                record(ctr, true, lat);
+                burn(noncs.max(1));
+                local_ops += 1;
+            }
+        }
+    }
+}
+
+/// Run `workload` natively with `n` threads, pinned per `placement` on
+/// `topo` (which should be the *host* topology from
+/// `bounce_topo::host::detect()` when pinning).
+pub fn native_measure(
+    topo: &MachineTopology,
+    workload: &Workload,
+    n: usize,
+    cfg: &NativeConfig,
+) -> Measurement {
+    assert!(n >= 1);
+    let placement: Vec<HwThreadId> = if cfg.pin {
+        Placement::Packed.assign(topo, n)
+    } else {
+        (0..n).map(HwThreadId).collect()
+    };
+    let lock = match workload {
+        Workload::LockHandoff { shape, .. } => Some(match shape {
+            LockShape::Tas => LockKind::Tas.build(),
+            LockShape::Ttas => LockKind::Ttas.build(),
+            LockShape::Ticket => LockKind::Ticket.build(),
+            LockShape::Mcs => LockKind::Mcs.build(),
+        }),
+        _ => None,
+    };
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        cells: bounce_atomics::padded::padded_array(n.max(1), 0),
+        line_words: SharedLineWords::new(),
+        lock,
+        counters: (0..n).map(|_| ThreadCounters::new()).collect(),
+    });
+    let sample_mask = if cfg.latency_sample_shift == 0 {
+        u64::MAX // never sample (x & MAX == 0 only for x = 0)
+    } else {
+        (1u64 << cfg.latency_sample_shift) - 1
+    };
+    let barrier = Arc::new(Barrier::new(n + 1));
+    let mut handles = Vec::with_capacity(n);
+    for (tid, hw) in placement.iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let barrier = Arc::clone(&barrier);
+        let w = workload.clone();
+        let pin = cfg.pin;
+        let cpu = if pin {
+            bounce_topo::host::os_cpu_of(topo, *hw)
+        } else {
+            0
+        };
+        handles.push(thread::spawn(move || {
+            if pin {
+                let _ = pin_to_cpu(cpu);
+            }
+            barrier.wait();
+            thread_body(&w, tid, &shared, sample_mask);
+        }));
+    }
+    barrier.wait();
+    // Warmup, then snapshot, measure, snapshot again.
+    thread::sleep(cfg.warmup);
+    let rapl = Rapl::discover();
+    let e0 = rapl.as_ref().and_then(|r| r.read_uj());
+    let snap0: Vec<(u64, u64, u64)> = shared
+        .counters
+        .iter()
+        .map(|c| {
+            (
+                c.ops.load(Ordering::Relaxed),
+                c.successes.load(Ordering::Relaxed),
+                c.failures.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    let c0 = rdtsc();
+    thread::sleep(cfg.duration);
+    let elapsed = t0.elapsed();
+    let c1 = rdtsc();
+    let snap1: Vec<(u64, u64, u64)> = shared
+        .counters
+        .iter()
+        .map(|c| {
+            (
+                c.ops.load(Ordering::Relaxed),
+                c.successes.load(Ordering::Relaxed),
+                c.failures.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let e1 = rapl.as_ref().and_then(|r| r.read_uj());
+    shared.stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Reduce.
+    let per_thread_ops: Vec<u64> = snap0.iter().zip(&snap1).map(|(a, b)| b.0 - a.0).collect();
+    let ops: u64 = per_thread_ops.iter().sum();
+    let successes: u64 = snap0.iter().zip(&snap1).map(|(a, b)| b.1 - a.1).sum();
+    let failures: u64 = snap0.iter().zip(&snap1).map(|(a, b)| b.2 - a.2).sum();
+    let secs = elapsed.as_secs_f64();
+    let per_thread_succ: Vec<f64> = snap0
+        .iter()
+        .zip(&snap1)
+        .map(|(a, b)| (b.1 - a.1) as f64)
+        .collect();
+    let (lat_sum, lat_count) = shared.counters.iter().fold((0u64, 0u64), |(s, c), ctr| {
+        (
+            s + ctr.latency_sum.load(Ordering::Relaxed),
+            c + ctr.latency_count.load(Ordering::Relaxed),
+        )
+    });
+    let mean_latency = if lat_count == 0 {
+        0.0
+    } else {
+        lat_sum as f64 / lat_count as f64
+    };
+    let mut samples: Vec<f64> = shared
+        .counters
+        .iter()
+        .flat_map(|c| {
+            c.latency_samples
+                .lock()
+                .map(|v| v.iter().map(|&x| x as f64).collect::<Vec<_>>())
+                .unwrap_or_default()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = bounce_core::stats::percentile_sorted(&samples, 50.0);
+    let p99 = bounce_core::stats::percentile_sorted(&samples, 99.0);
+    let energy_per_op_nj = match (e0, e1) {
+        (Some(a), Some(b)) if ops > 0 => delta_j(a, b).map(|j| j * 1e9 / ops as f64),
+        _ => None,
+    };
+    let _tsc_span = c1.saturating_sub(c0); // diagnostic only
+    Measurement {
+        workload: workload.label(),
+        machine: topo.name.clone(),
+        backend: Backend::Native,
+        n,
+        throughput_ops_per_sec: ops as f64 / secs,
+        goodput_ops_per_sec: successes as f64 / secs,
+        // Natively, the per-op recorder only fires on the "real"
+        // attempts (a retry loop's re-read is not recorded), so the
+        // recorded op count doubles as the conditional attempt count
+        // for workloads whose recorded op is conditional.
+        cond_attempts_per_sec: if workload_is_conditional(workload) {
+            (successes + failures) as f64 / secs
+        } else {
+            0.0
+        },
+        failure_rate: if successes + failures == 0 {
+            0.0
+        } else {
+            failures as f64 / (successes + failures) as f64
+        },
+        mean_latency_cycles: mean_latency,
+        p50_latency_cycles: p50,
+        p99_latency_cycles: p99,
+        jain: bounce_core::stats::jain(&per_thread_succ),
+        energy_per_op_nj,
+        transfers_by_domain: None,
+        ops_by_prim: None,
+        per_thread_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_topo::host;
+
+    fn host_topo() -> MachineTopology {
+        host::detect()
+    }
+
+    #[test]
+    fn rdtsc_monotone_enough() {
+        let a = rdtsc();
+        let b = rdtsc();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn pin_to_current_cpu_usually_works() {
+        // CPU 0 exists everywhere we run.
+        let ok = pin_to_cpu(0);
+        #[cfg(target_os = "linux")]
+        assert!(ok, "pinning to cpu0 should succeed on Linux");
+        #[cfg(not(target_os = "linux"))]
+        let _ = ok;
+        // Out-of-range CPU is rejected, not UB.
+        assert!(!pin_to_cpu(1 << 20));
+    }
+
+    #[test]
+    fn native_hc_single_thread() {
+        let topo = host_topo();
+        let m = native_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            1,
+            &NativeConfig::quick(),
+        );
+        assert!(
+            m.throughput_ops_per_sec > 1e5,
+            "{}",
+            m.throughput_ops_per_sec
+        );
+        assert_eq!(m.failure_rate, 0.0);
+        assert!(m.mean_latency_cycles > 0.0);
+        assert!(m.p99_latency_cycles >= m.p50_latency_cycles);
+        assert!(m.p50_latency_cycles > 0.0, "sampled percentiles collected");
+        assert_eq!(m.backend, Backend::Native);
+    }
+
+    #[test]
+    fn native_false_sharing_runs() {
+        let topo = host_topo();
+        let m = native_measure(
+            &topo,
+            &Workload::FalseSharing {
+                prim: Primitive::Faa,
+            },
+            2,
+            &NativeConfig::quick(),
+        );
+        assert!(m.throughput_ops_per_sec > 0.0);
+        assert_eq!(m.failure_rate, 0.0);
+    }
+
+    #[test]
+    fn native_cas_backoff_runs() {
+        let topo = host_topo();
+        let m = native_measure(
+            &topo,
+            &Workload::CasRetryLoopBackoff {
+                window: 0,
+                backoff: [16, 64, 256],
+            },
+            2,
+            &NativeConfig::quick(),
+        );
+        assert!(m.goodput_ops_per_sec > 0.0);
+        assert!(m.cond_attempts_per_sec > 0.0);
+    }
+
+    #[test]
+    fn native_lc_runs_multithreaded() {
+        let topo = host_topo();
+        let m = native_measure(
+            &topo,
+            &Workload::LowContention {
+                prim: Primitive::Faa,
+                work: 0,
+            },
+            2,
+            &NativeConfig::quick(),
+        );
+        assert_eq!(m.per_thread_ops.len(), 2);
+        assert!(m.total_transfers().is_none(), "native can't see transfers");
+        assert!(m.throughput_ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn native_cas_loop_counts_outcomes() {
+        let topo = host_topo();
+        let m = native_measure(
+            &topo,
+            &Workload::CasRetryLoop { window: 0, work: 0 },
+            2,
+            &NativeConfig::quick(),
+        );
+        assert!(m.goodput_ops_per_sec > 0.0);
+        assert!(m.failure_rate >= 0.0 && m.failure_rate < 1.0);
+    }
+
+    #[test]
+    fn native_lock_handoff_all_shapes() {
+        let topo = host_topo();
+        for shape in LockShape::ALL {
+            let m = native_measure(
+                &topo,
+                &Workload::LockHandoff {
+                    shape,
+                    cs: 10,
+                    noncs: 10,
+                },
+                2,
+                &NativeConfig::quick(),
+            );
+            assert!(
+                m.throughput_ops_per_sec > 0.0,
+                "{} produced no acquisitions",
+                shape.label()
+            );
+        }
+    }
+
+    #[test]
+    fn native_mixed_read_write() {
+        let topo = host_topo();
+        let m = native_measure(
+            &topo,
+            &Workload::MixedReadWrite {
+                writers: 1,
+                prim: Primitive::Faa,
+            },
+            3,
+            &NativeConfig::quick(),
+        );
+        assert_eq!(m.per_thread_ops.len(), 3);
+        assert!(m.throughput_ops_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests on the reporting layer: tables render losslessly and
+//! `fmt_f64` output always round-trips through `parse::<f64>()`.
+
+use bounce_harness::report::{fmt_f64, Table};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every cell written is present in the TSV, row count and arity
+    /// preserved.
+    #[test]
+    fn tsv_is_lossless(
+        headers in proptest::collection::vec("[a-z_]{1,10}", 1..6),
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[A-Za-z0-9.]{0,12}", 1..6),
+            0..20,
+        ),
+    ) {
+        let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new("prop", &hrefs);
+        let mut pushed = 0;
+        for r in rows {
+            if r.len() == headers.len() {
+                t.push(r);
+                pushed += 1;
+            }
+        }
+        let tsv = t.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        prop_assert_eq!(lines.len(), 2 + pushed, "title + header + rows");
+        prop_assert_eq!(lines[1].split('\t').count(), headers.len());
+        for (i, row) in t.rows.iter().enumerate() {
+            let cells: Vec<&str> = lines[2 + i].split('\t').collect();
+            prop_assert_eq!(cells.len(), headers.len());
+            for (c, expect) in cells.iter().zip(row) {
+                prop_assert_eq!(*c, expect.as_str());
+            }
+        }
+    }
+
+    /// `fmt_f64` output parses back to within float-formatting rounding
+    /// of the original (0.1% relative, to cover the 3-decimal branch).
+    #[test]
+    fn fmt_f64_roundtrips(v in -1e12f64..1e12) {
+        let s = fmt_f64(v);
+        let back: f64 = s.parse().unwrap();
+        if v == 0.0 {
+            prop_assert_eq!(back, 0.0);
+        } else if v.abs() >= 0.01 {
+            let rel = ((back - v) / v).abs();
+            prop_assert!(rel < 1e-2, "{v} -> '{s}' -> {back}");
+        }
+    }
+
+    /// Markdown rendering has the right number of pipe-rows.
+    #[test]
+    fn markdown_row_count(nrows in 0usize..30) {
+        let mut t = Table::new("md", &["a", "b"]);
+        for i in 0..nrows {
+            t.push(vec![i.to_string(), (i * 2).to_string()]);
+        }
+        let md = t.to_markdown();
+        let pipe_rows = md.lines().filter(|l| l.starts_with('|')).count();
+        // header + separator + rows
+        prop_assert_eq!(pipe_rows, 2 + nrows);
+    }
+
+    /// column_f64 returns NaN exactly for unparseable cells.
+    #[test]
+    fn column_f64_nan_mapping(vals in proptest::collection::vec(prop_oneof![
+        (-1e9f64..1e9).prop_map(|v| v.to_string()),
+        Just("not-a-number".to_string()),
+    ], 1..20)) {
+        let mut t = Table::new("c", &["x"]);
+        for v in &vals {
+            t.push(vec![v.clone()]);
+        }
+        let parsed = t.column_f64("x").unwrap();
+        for (p, v) in parsed.iter().zip(&vals) {
+            prop_assert_eq!(p.is_nan(), v.parse::<f64>().is_err());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Cache-line addressing, MESI/MESIF line states, and a set-associative
+//! L1 model with LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// A cache-line address (the address with the low 6 bits stripped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineId(pub u64);
+
+/// A word address: a line plus a 64-bit-word index within it (0..8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WordAddr {
+    /// The cache line.
+    pub line: LineId,
+    /// Word within the line (0..8 for 64-byte lines).
+    pub word: u8,
+}
+
+impl WordAddr {
+    /// Word 0 of line `l` — the common case for a padded cell.
+    pub const fn of_line(l: u64) -> Self {
+        WordAddr {
+            line: LineId(l),
+            word: 0,
+        }
+    }
+}
+
+/// MESI(F) line state in a private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineState {
+    /// Modified: sole copy, dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: one of several read-only copies.
+    Shared,
+    /// Forward (MESIF only): a shared copy designated to answer the next
+    /// read request cache-to-cache.
+    Forward,
+    /// Invalid / not present.
+    Invalid,
+}
+
+impl LineState {
+    /// Can a load be satisfied locally from this state?
+    pub fn readable(&self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// Can a store/RMW be performed locally (no coherence action)?
+    pub fn writable(&self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+}
+
+/// One way of a cache set.
+#[derive(Debug, Clone)]
+struct Way {
+    tag: LineId,
+    state: LineState,
+    /// Monotone use-stamp for LRU.
+    last_use: u64,
+}
+
+/// A set-associative cache of line *states* (data lives in the engine's
+/// value map — the simulator is coherence-accurate, not data-layout
+/// accurate).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    stamp: u64,
+}
+
+impl SetAssocCache {
+    /// A cache with `sets` sets of `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways >= 1);
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            stamp: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineId) -> usize {
+        (line.0 as usize) & (self.sets.len() - 1)
+    }
+
+    /// Current state of `line` (Invalid when absent).
+    pub fn state(&self, line: LineId) -> LineState {
+        let set = &self.sets[self.set_of(line)];
+        set.iter()
+            .find(|w| w.tag == line)
+            .map_or(LineState::Invalid, |w| w.state)
+    }
+
+    /// Touch `line` for LRU purposes (call on every hit).
+    pub fn touch(&mut self, line: LineId) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_of(line);
+        if let Some(w) = self.sets[set_idx].iter_mut().find(|w| w.tag == line) {
+            w.last_use = stamp;
+        }
+    }
+
+    /// Install `line` in `state`, evicting the LRU way if the set is
+    /// full. Returns the evicted line and its state, if any.
+    pub fn install(&mut self, line: LineId, state: LineState) -> Option<(LineId, LineState)> {
+        debug_assert!(state != LineState::Invalid, "install Invalid is remove");
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.tag == line) {
+            w.state = state;
+            w.last_use = stamp;
+            return None;
+        }
+        if set.len() < ways {
+            set.push(Way {
+                tag: line,
+                state,
+                last_use: stamp,
+            });
+            return None;
+        }
+        // Evict LRU.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let evicted = set[victim].tag;
+        let evicted_state = set[victim].state;
+        set[victim] = Way {
+            tag: line,
+            state,
+            last_use: stamp,
+        };
+        Some((evicted, evicted_state))
+    }
+
+    /// Change the state of a present line; no-op if absent.
+    pub fn set_state(&mut self, line: LineId, state: LineState) {
+        let set_idx = self.set_of(line);
+        if let Some(w) = self.sets[set_idx].iter_mut().find(|w| w.tag == line) {
+            if state == LineState::Invalid {
+                let tag = w.tag;
+                self.sets[set_idx].retain(|w| w.tag != tag);
+            } else {
+                w.state = state;
+            }
+        }
+    }
+
+    /// Remove a line (invalidation).
+    pub fn invalidate(&mut self, line: LineId) {
+        self.set_state(line, LineState::Invalid);
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_addr_helper() {
+        let a = WordAddr::of_line(0x40);
+        assert_eq!(a.line, LineId(0x40));
+        assert_eq!(a.word, 0);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(LineState::Modified.writable() && LineState::Modified.readable());
+        assert!(LineState::Exclusive.writable());
+        assert!(!LineState::Shared.writable() && LineState::Shared.readable());
+        assert!(LineState::Forward.readable() && !LineState::Forward.writable());
+        assert!(!LineState::Invalid.readable());
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert_eq!(c.state(LineId(1)), LineState::Invalid);
+        assert!(c.install(LineId(1), LineState::Exclusive).is_none());
+        assert_eq!(c.state(LineId(1)), LineState::Exclusive);
+        c.set_state(LineId(1), LineState::Modified);
+        assert_eq!(c.state(LineId(1)), LineState::Modified);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.install(LineId(1), LineState::Shared);
+        c.invalidate(LineId(1));
+        assert_eq!(c.state(LineId(1)), LineState::Invalid);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = SetAssocCache::new(1, 2); // one set, two ways
+        c.install(LineId(10), LineState::Shared);
+        c.install(LineId(20), LineState::Shared);
+        c.touch(LineId(10)); // 20 is now LRU
+        let evicted = c.install(LineId(30), LineState::Exclusive);
+        assert_eq!(evicted, Some((LineId(20), LineState::Shared)));
+        assert_eq!(c.state(LineId(10)), LineState::Shared);
+        assert_eq!(c.state(LineId(30)), LineState::Exclusive);
+    }
+
+    #[test]
+    fn reinstall_updates_in_place() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.install(LineId(4), LineState::Shared);
+        let e = c.install(LineId(4), LineState::Modified);
+        assert!(e.is_none());
+        assert_eq!(c.state(LineId(4)), LineState::Modified);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lines_map_to_distinct_sets() {
+        let mut c = SetAssocCache::new(4, 1);
+        // Lines 0..4 hit sets 0..4: no evictions.
+        for i in 0..4 {
+            assert!(c.install(LineId(i), LineState::Shared).is_none());
+        }
+        assert_eq!(c.occupancy(), 4);
+        // Line 4 collides with line 0.
+        let e = c.install(LineId(4), LineState::Shared);
+        assert_eq!(e, Some((LineId(0), LineState::Shared)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_sets_rejected() {
+        let _ = SetAssocCache::new(3, 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Simulation parameters: protocol latencies, energy coefficients,
+//! arbitration and home-mapping policies, and per-machine presets.
+
+use bounce_atomics::Primitive;
+use bounce_topo::MachineTopology;
+use serde::{Deserialize, Serialize};
+
+/// Order in which requests queued at a directory entry are served.
+///
+/// Real home agents are roughly FIFO per line, but the *effective* winner
+/// of the next ownership round on real hardware is biased (a requester
+/// close to the current owner snoops the line faster) — the paper's
+/// fairness experiment probes exactly this. The policies below bracket
+/// the behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbitrationPolicy {
+    /// Strict first-come-first-served per line (ideal fair hardware).
+    Fifo,
+    /// Uniformly random among the waiters.
+    Random,
+    /// The waiter nearest (fewest interconnect hops) to the current owner
+    /// wins — models the locality bias of snoop-based transfers and
+    /// produces the unfairness seen on real machines.
+    NearestFirst,
+}
+
+impl ArbitrationPolicy {
+    /// All policies.
+    pub const ALL: [ArbitrationPolicy; 3] = [
+        ArbitrationPolicy::Fifo,
+        ArbitrationPolicy::Random,
+        ArbitrationPolicy::NearestFirst,
+    ];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbitrationPolicy::Fifo => "fifo",
+            ArbitrationPolicy::Random => "random",
+            ArbitrationPolicy::NearestFirst => "nearest",
+        }
+    }
+}
+
+/// How a line's home directory slice is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HomePolicy {
+    /// Hash the line address over all slices (the hardware default).
+    Hash,
+    /// Force every line's home to a fixed slice (models memory pinned to
+    /// one NUMA node / one tag-directory tile).
+    Fixed(usize),
+}
+
+/// Energy coefficients (nanojoules per event, watts for static power).
+///
+/// These stand in for the RAPL counters of the paper's machines. They are
+/// order-of-magnitude figures from the energy-per-operation literature;
+/// the *shape* of the energy curves (linear growth of J/op with thread
+/// count under high contention) comes from the static term, which
+/// dominates — as the paper observes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Static + active power burned by one core while its thread runs, W.
+    pub static_w_per_core: f64,
+    /// Energy to retire one atomic op locally, nJ.
+    pub op_nj: f64,
+    /// Energy of an L1 access, nJ.
+    pub l1_nj: f64,
+    /// Energy of a directory lookup/update, nJ.
+    pub dir_nj: f64,
+    /// Energy per interconnect hop of a line-carrying message, nJ.
+    pub hop_nj: f64,
+    /// Energy of a memory (DRAM/MCDRAM) line access, nJ.
+    pub mem_nj: f64,
+    /// Energy of delivering one invalidation, nJ.
+    pub inv_nj: f64,
+}
+
+impl EnergyParams {
+    /// Broadwell-class defaults.
+    pub fn e5() -> Self {
+        EnergyParams {
+            static_w_per_core: 3.5,
+            op_nj: 0.6,
+            l1_nj: 0.12,
+            dir_nj: 0.9,
+            hop_nj: 0.25,
+            mem_nj: 15.0,
+            inv_nj: 0.4,
+        }
+    }
+
+    /// KNL-class defaults (smaller cores, cheaper per-event energy, but
+    /// many more of them).
+    pub fn knl() -> Self {
+        EnergyParams {
+            static_w_per_core: 0.9,
+            op_nj: 0.35,
+            l1_nj: 0.08,
+            dir_nj: 0.7,
+            hop_nj: 0.18,
+            mem_nj: 20.0,
+            inv_nj: 0.3,
+        }
+    }
+}
+
+/// Protocol latency parameters, in core cycles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimParams {
+    /// L1 hit latency.
+    pub l1_hit: u32,
+    /// Directory slice lookup/occupancy cost per transaction.
+    pub dir_lookup: u32,
+    /// Cost for a peer cache to respond to a forwarded request.
+    pub peer_lookup: u32,
+    /// DRAM/MCDRAM access latency.
+    pub mem_latency: u32,
+    /// Fixed request-path overhead (miss handling, MSHR allocation).
+    pub req_overhead: u32,
+    /// Line install cost at the requester.
+    pub install_cost: u32,
+    /// Execution cost of an uncontended atomic RMW (the `lock`-prefixed
+    /// instruction itself).
+    pub rmw_exec: u32,
+    /// Extra execution cost for CAS over other RMWs (compare + flags).
+    pub cas_extra: u32,
+    /// Execution cost of a plain load.
+    pub load_exec: u32,
+    /// Execution cost of a plain store (into the store buffer).
+    pub store_exec: u32,
+    /// L1 sets (power of two).
+    pub l1_sets: usize,
+    /// L1 ways.
+    pub l1_ways: usize,
+    /// Use the MESIF Forward state (Intel) instead of plain MESI.
+    pub mesif: bool,
+    /// Interconnect link occupancy per line-carrying message, cycles.
+    /// When non-zero, every wire leg marks each link on its route busy
+    /// for this long and queues behind earlier messages at the
+    /// bottleneck link — the NoC bandwidth model. 0 disables.
+    pub link_occupancy_cycles: u32,
+    /// Home-agent port occupancy per transaction, cycles. When non-zero,
+    /// every transaction occupies its home tile's port for this long, so
+    /// transactions on *different* lines homed at the same tile queue
+    /// behind each other — the bandwidth term the contention-spreading
+    /// ablation (A4) probes. 0 disables (infinite home bandwidth).
+    pub home_port_occupancy: u32,
+    /// Arbitration among queued requests to one line.
+    pub arbitration: ArbitrationPolicy,
+    /// Home-slice selection.
+    pub home_policy: HomePolicy,
+    /// Energy coefficients.
+    pub energy: EnergyParams,
+    /// RNG seed (Random arbitration, hash salt).
+    pub seed: u64,
+}
+
+impl SimParams {
+    /// Parameters matching the Xeon E5 preset topology (Broadwell-EP):
+    /// fast big cores, MESIF, in-LLC directory.
+    pub fn e5() -> Self {
+        SimParams {
+            l1_hit: 4,
+            dir_lookup: 18,
+            peer_lookup: 12,
+            mem_latency: 220,
+            req_overhead: 8,
+            install_cost: 4,
+            rmw_exec: 19,
+            cas_extra: 2,
+            load_exec: 1,
+            store_exec: 1,
+            l1_sets: 64,
+            l1_ways: 8,
+            mesif: true,
+            link_occupancy_cycles: 0,
+            home_port_occupancy: 0,
+            arbitration: ArbitrationPolicy::NearestFirst,
+            home_policy: HomePolicy::Hash,
+            energy: EnergyParams::e5(),
+            seed: 0x1CC9_2019,
+        }
+    }
+
+    /// Parameters matching the Xeon Phi KNL preset topology: slow 2-wide
+    /// cores (higher instruction costs), distributed tag directory, plain
+    /// MESI, longer memory path.
+    pub fn knl() -> Self {
+        SimParams {
+            l1_hit: 5,
+            dir_lookup: 30,
+            peer_lookup: 18,
+            mem_latency: 380,
+            req_overhead: 12,
+            install_cost: 6,
+            rmw_exec: 35,
+            cas_extra: 4,
+            load_exec: 2,
+            store_exec: 2,
+            l1_sets: 64,
+            l1_ways: 8,
+            mesif: false,
+            link_occupancy_cycles: 0,
+            home_port_occupancy: 0,
+            arbitration: ArbitrationPolicy::NearestFirst,
+            home_policy: HomePolicy::Hash,
+            energy: EnergyParams::knl(),
+            seed: 0x1CC9_2019,
+        }
+    }
+
+    /// Pick default parameters for a topology by name heuristics (E5-like
+    /// for multi-socket ring machines, KNL-like for meshes).
+    pub fn for_machine(topo: &MachineTopology) -> Self {
+        match topo.interconnect {
+            bounce_topo::Interconnect::Mesh { .. } => SimParams::knl(),
+            _ => SimParams::e5(),
+        }
+    }
+
+    /// Instruction execution cost of a primitive (no coherence).
+    pub fn exec_cost(&self, p: Primitive) -> u32 {
+        match p {
+            Primitive::Load => self.load_exec,
+            Primitive::Store => self.store_exec,
+            Primitive::Cas => self.rmw_exec + self.cas_extra,
+            _ => self.rmw_exec,
+        }
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.l1_sets.is_power_of_two() {
+            return Err(format!("l1_sets {} not a power of two", self.l1_sets));
+        }
+        if self.l1_ways == 0 {
+            return Err("l1_ways must be >= 1".into());
+        }
+        if self.mem_latency == 0 {
+            return Err("mem_latency must be positive".into());
+        }
+        if self.energy.static_w_per_core < 0.0 {
+            return Err("negative static power".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete simulation request: machine, parameters, per-thread
+/// programs, and the measurement window.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Protocol/energy parameters.
+    pub params: SimParams,
+    /// Total simulated duration, cycles.
+    pub duration_cycles: u64,
+    /// Measurements are recorded only at and after this instant.
+    pub warmup_cycles: u64,
+    /// Per-op latency histogram collection (off saves memory on long
+    /// runs).
+    pub collect_latency: bool,
+}
+
+impl SimConfig {
+    /// A config with the given parameters and a `duration` measurement
+    /// window preceded by 10% warmup.
+    pub fn new(params: SimParams, duration_cycles: u64) -> Self {
+        SimConfig {
+            params,
+            duration_cycles,
+            warmup_cycles: duration_cycles / 10,
+            collect_latency: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_topo::presets;
+
+    #[test]
+    fn presets_validate() {
+        SimParams::e5().validate().unwrap();
+        SimParams::knl().validate().unwrap();
+    }
+
+    #[test]
+    fn exec_costs_ordered() {
+        let p = SimParams::e5();
+        assert!(p.exec_cost(Primitive::Load) < p.exec_cost(Primitive::Faa));
+        assert!(p.exec_cost(Primitive::Cas) > p.exec_cost(Primitive::Faa));
+        assert_eq!(p.exec_cost(Primitive::Swap), p.rmw_exec);
+    }
+
+    #[test]
+    fn for_machine_picks_by_interconnect() {
+        let e5 = SimParams::for_machine(&presets::xeon_e5_2695_v4());
+        assert!(e5.mesif);
+        let knl = SimParams::for_machine(&presets::xeon_phi_7290());
+        assert!(!knl.mesif);
+        assert!(knl.rmw_exec > e5.rmw_exec, "KNL cores are slower");
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let mut p = SimParams::e5();
+        p.l1_sets = 48;
+        assert!(p.validate().is_err());
+        let mut p = SimParams::e5();
+        p.l1_ways = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn config_defaults_warmup() {
+        let c = SimConfig::new(SimParams::e5(), 1000);
+        assert_eq!(c.warmup_cycles, 100);
+        assert!(c.collect_latency);
+    }
+
+    #[test]
+    fn arbitration_labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            ArbitrationPolicy::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), ArbitrationPolicy::ALL.len());
+    }
+}

@@ -1,0 +1,271 @@
+//! The coherence directory: per-line owner/sharer bookkeeping, home-slice
+//! mapping, and the request queue whose service order is the arbitration
+//! policy.
+//!
+//! One [`LineDir`] entry exists per cache line that has ever been
+//! requested. The entry serialises transactions: at most one request per
+//! line is in service at a time; the rest wait in `queue`. This per-line
+//! serialisation is the mechanism behind the paper's model — every
+//! exclusive-ownership transfer ("bounce") is one serviced request.
+
+use crate::cache::LineId;
+use crate::config::HomePolicy;
+use bounce_topo::{MachineTopology, TileId};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A coherence request waiting at (or being serviced by) the directory.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Simulated-thread index of the requester.
+    pub thread: usize,
+    /// Core index of the requester.
+    pub core: usize,
+    /// True for GetM (exclusive / RFO), false for GetS (read).
+    pub excl: bool,
+    /// Simulation time the op was issued (for queueing-latency stats).
+    pub issued_at: u64,
+}
+
+/// Directory state for one line.
+///
+/// The directory serialises *exclusive* transactions per line (one GetM
+/// in flight at a time — the bouncing), but services read (GetS)
+/// requests concurrently, as real LLC/home agents do. A waiting GetM
+/// gets writer priority: no new GetS starts until it has been served.
+#[derive(Debug, Default)]
+pub struct LineDir {
+    /// Core holding the line in M/E, if any.
+    pub owner: Option<usize>,
+    /// Cores holding shared copies.
+    pub sharers: BTreeSet<usize>,
+    /// Core holding the MESIF Forward copy, if any.
+    pub forward: Option<usize>,
+    /// The exclusive request currently in service, if any.
+    pub excl_in_flight: Option<Request>,
+    /// Number of read (GetS) requests currently in service.
+    pub shared_in_flight: u32,
+    /// Waiting requests.
+    pub queue: VecDeque<Request>,
+}
+
+impl LineDir {
+    /// Whether an exclusive transaction is in service.
+    pub fn busy_excl(&self) -> bool {
+        self.excl_in_flight.is_some()
+    }
+
+    /// Whether anything at all is in service.
+    pub fn any_in_flight(&self) -> bool {
+        self.busy_excl() || self.shared_in_flight > 0
+    }
+
+    /// Directory invariant: an owned line has no sharers and no Forward
+    /// copy; the Forward holder, when present, is also listed as
+    /// sharer; exclusive and shared service never overlap.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if let Some(o) = self.owner {
+            if !self.sharers.is_empty() {
+                return Err(format!(
+                    "owner {o} coexists with sharers {:?}",
+                    self.sharers
+                ));
+            }
+            if self.forward.is_some() {
+                return Err(format!("owner {o} coexists with a Forward copy"));
+            }
+        }
+        if let Some(f) = self.forward {
+            if !self.sharers.contains(&f) {
+                return Err(format!("forward holder {f} not in sharer set"));
+            }
+        }
+        if self.busy_excl() && self.shared_in_flight > 0 {
+            return Err(format!(
+                "exclusive service overlaps {} shared services",
+                self.shared_in_flight
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Maps lines to their home tile and owns all per-line entries.
+#[derive(Debug)]
+pub struct Directory {
+    entries: HashMap<LineId, LineDir>,
+    /// Candidate home tiles (all tiles for a mesh's distributed tag
+    /// directory; all tiles likewise for ring LLC slices — one slice per
+    /// ring stop).
+    home_tiles: Vec<TileId>,
+    policy: HomePolicy,
+    salt: u64,
+}
+
+impl Directory {
+    /// Build the directory for a machine.
+    pub fn new(topo: &MachineTopology, policy: HomePolicy, salt: u64) -> Self {
+        let home_tiles = topo.tiles.iter().map(|t| t.id).collect();
+        Directory {
+            entries: HashMap::new(),
+            home_tiles,
+            policy,
+            salt,
+        }
+    }
+
+    /// The home tile of a line.
+    pub fn home_tile(&self, line: LineId) -> TileId {
+        match self.policy {
+            HomePolicy::Fixed(i) => self.home_tiles[i % self.home_tiles.len()],
+            HomePolicy::Hash => {
+                let h = splitmix64(line.0 ^ self.salt);
+                self.home_tiles[(h % self.home_tiles.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// The entry for a line, created on first touch.
+    pub fn entry(&mut self, line: LineId) -> &mut LineDir {
+        self.entries.entry(line).or_default()
+    }
+
+    /// Read-only lookup.
+    pub fn get(&self, line: LineId) -> Option<&LineDir> {
+        self.entries.get(&line)
+    }
+
+    /// Number of lines tracked.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Check every entry's invariants (tests / debug).
+    pub fn check_all_invariants(&self) -> Result<(), String> {
+        for (line, e) in &self.entries {
+            e.check_invariants()
+                .map_err(|m| format!("line {:#x}: {m}", line.0))?;
+        }
+        Ok(())
+    }
+
+    /// Drop the owner record of a line (e.g. after a silent eviction /
+    /// writeback). No-op if the core is not the owner.
+    pub fn evict_owner(&mut self, line: LineId, core: usize) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            if e.owner == Some(core) {
+                e.owner = None;
+            }
+        }
+    }
+
+    /// Drop a sharer record of a line (silent S-state eviction).
+    pub fn evict_sharer(&mut self, line: LineId, core: usize) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers.remove(&core);
+            if e.forward == Some(core) {
+                e.forward = None;
+            }
+        }
+    }
+}
+
+/// SplitMix64 — cheap, well-distributed hash for home-slice selection.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_topo::presets;
+
+    #[test]
+    fn home_hash_is_deterministic_and_spread() {
+        let topo = presets::xeon_phi_7290();
+        let dir = Directory::new(&topo, HomePolicy::Hash, 42);
+        let h1 = dir.home_tile(LineId(0x1000));
+        let h2 = dir.home_tile(LineId(0x1000));
+        assert_eq!(h1, h2);
+        // Many lines spread over many tiles.
+        let homes: std::collections::HashSet<_> =
+            (0..256u64).map(|i| dir.home_tile(LineId(i * 64))).collect();
+        assert!(homes.len() > 10, "only {} distinct homes", homes.len());
+    }
+
+    #[test]
+    fn home_fixed_pins_all_lines() {
+        let topo = presets::xeon_e5_2695_v4();
+        let dir = Directory::new(&topo, HomePolicy::Fixed(3), 0);
+        for i in 0..64u64 {
+            assert_eq!(dir.home_tile(LineId(i * 64)), TileId(3));
+        }
+    }
+
+    #[test]
+    fn entry_created_on_demand() {
+        let topo = presets::tiny_test_machine();
+        let mut dir = Directory::new(&topo, HomePolicy::Hash, 0);
+        assert!(dir.get(LineId(64)).is_none());
+        dir.entry(LineId(64)).owner = Some(1);
+        assert_eq!(dir.get(LineId(64)).unwrap().owner, Some(1));
+        assert_eq!(dir.tracked_lines(), 1);
+    }
+
+    #[test]
+    fn invariants_catch_owner_with_sharers() {
+        let mut e = LineDir {
+            owner: Some(0),
+            ..LineDir::default()
+        };
+        e.sharers.insert(1);
+        assert!(e.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_catch_forward_not_sharer() {
+        let mut e = LineDir {
+            forward: Some(2),
+            ..LineDir::default()
+        };
+        assert!(e.check_invariants().is_err());
+        e.sharers.insert(2);
+        assert!(e.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn eviction_helpers() {
+        let topo = presets::tiny_test_machine();
+        let mut dir = Directory::new(&topo, HomePolicy::Hash, 0);
+        {
+            let e = dir.entry(LineId(0));
+            e.owner = Some(2);
+        }
+        dir.evict_owner(LineId(0), 1); // wrong core: no-op
+        assert_eq!(dir.get(LineId(0)).unwrap().owner, Some(2));
+        dir.evict_owner(LineId(0), 2);
+        assert_eq!(dir.get(LineId(0)).unwrap().owner, None);
+
+        {
+            let e = dir.entry(LineId(64));
+            e.sharers.insert(1);
+            e.forward = Some(1);
+        }
+        dir.evict_sharer(LineId(64), 1);
+        let e = dir.get(LineId(64)).unwrap();
+        assert!(e.sharers.is_empty() && e.forward.is_none());
+    }
+
+    #[test]
+    fn splitmix_distributes() {
+        let mut buckets = [0u32; 8];
+        for i in 0..8000u64 {
+            buckets[(splitmix64(i) % 8) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "bucket {b} out of range");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Systematic MESI(F) transition tests: drive short scripted op
+//! sequences through the engine and check the cache/directory states
+//! they must leave behind. These pin the protocol semantics the
+//! timing model rides on.
+
+use bounce_atomics::Primitive;
+use bounce_sim::cache::{LineState, WordAddr};
+use bounce_sim::program::{Operand, Program, Step};
+use bounce_sim::{ArbitrationPolicy, Engine, SimConfig, SimParams};
+use bounce_topo::{presets, HwThreadId};
+
+const LINE: u64 = 0x4000;
+
+fn addr() -> WordAddr {
+    WordAddr::of_line(LINE)
+}
+
+fn params(mesif: bool) -> SimParams {
+    let mut p = SimParams::e5();
+    p.arbitration = ArbitrationPolicy::Fifo;
+    p.mesif = mesif;
+    p
+}
+
+/// One op then halt.
+fn once(prim: Primitive, operand: u64, expected: u64) -> Program {
+    Program::new(vec![
+        Step::Op {
+            prim,
+            addr: addr(),
+            operand: Operand::Const(operand),
+            expected: Operand::Const(expected),
+        },
+        Step::Halt,
+    ])
+    .unwrap()
+}
+
+/// Two ops then halt (second op delayed so cross-thread order is
+/// deterministic when combined with `Work` paddings).
+fn seq(steps: Vec<Step>) -> Program {
+    let mut v = steps;
+    v.push(Step::Halt);
+    Program::new(v).unwrap()
+}
+
+/// Run the engine with the given per-hardware-thread programs and
+/// return it for state inspection.
+fn run(mesif: bool, programs: Vec<(usize, Program)>) -> Engine {
+    let topo = presets::tiny_test_machine();
+    let mut eng = Engine::new(&topo, SimConfig::new(params(mesif), 50_000));
+    for (hw, p) in programs {
+        eng.add_thread(HwThreadId(hw), p);
+    }
+    let _ = eng.run();
+    eng
+}
+
+#[test]
+fn rmw_leaves_modified_and_owner_recorded() {
+    // A single FAA: the line ends Modified in core 0's cache with core 0
+    // as the directory owner.
+    let eng = run(true, vec![(0, once(Primitive::Faa, 1, 0))]);
+    assert_eq!(eng.word(addr()), 1);
+    // hw thread 0 is core 0 on the tiny machine.
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Modified);
+    assert_eq!(eng.dir_owner(addr().line), Some(0));
+}
+
+#[test]
+fn load_from_memory_installs_forward_under_mesif() {
+    let eng = run(true, vec![(0, once(Primitive::Load, 0, 0))]);
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Forward);
+    assert_eq!(eng.dir_owner(addr().line), None);
+    assert!(eng.dir_sharers(addr().line).contains(&0));
+}
+
+#[test]
+fn load_from_memory_installs_shared_under_mesi() {
+    let eng = run(false, vec![(0, once(Primitive::Load, 0, 0))]);
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Shared);
+}
+
+#[test]
+fn second_reader_takes_forward_first_demotes() {
+    // Thread on core 0 reads, then (later) thread on core 1 reads: the
+    // newest reader holds F, the older one S.
+    let t0 = once(Primitive::Load, 0, 0);
+    let t1 = seq(vec![
+        Step::Work(2_000), // let core 0 finish first
+        Step::Op {
+            prim: Primitive::Load,
+            addr: addr(),
+            operand: Operand::Const(0),
+            expected: Operand::Const(0),
+        },
+    ]);
+    // hw threads 0 and 2 are cores 0 and 1 on the tiny machine.
+    let eng = run(true, vec![(0, t0), (2, t1)]);
+    assert_eq!(eng.cache_state(1, addr().line), LineState::Forward);
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Shared);
+    let sharers = eng.dir_sharers(addr().line);
+    assert!(sharers.contains(&0) && sharers.contains(&1));
+}
+
+#[test]
+fn writer_invalidates_all_readers() {
+    // Two readers, then a writer on a third core: both reader copies
+    // invalid, writer Modified, sharers emptied.
+    let reader = once(Primitive::Load, 0, 0);
+    let reader2 = seq(vec![
+        Step::Work(1_000),
+        Step::Op {
+            prim: Primitive::Load,
+            addr: addr(),
+            operand: Operand::Const(0),
+            expected: Operand::Const(0),
+        },
+    ]);
+    let writer = seq(vec![
+        Step::Work(4_000),
+        Step::Op {
+            prim: Primitive::Swap,
+            addr: addr(),
+            operand: Operand::Const(9),
+            expected: Operand::Const(0),
+        },
+    ]);
+    let eng = run(true, vec![(0, reader), (2, reader2), (4, writer)]);
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Invalid);
+    assert_eq!(eng.cache_state(1, addr().line), LineState::Invalid);
+    assert_eq!(eng.cache_state(2, addr().line), LineState::Modified);
+    assert_eq!(eng.dir_owner(addr().line), Some(2));
+    assert!(eng.dir_sharers(addr().line).is_empty());
+    assert_eq!(eng.word(addr()), 9);
+}
+
+#[test]
+fn reader_downgrades_a_writer() {
+    // Writer first, reader later: writer's M copy demotes to S, reader
+    // gets F (MESIF), directory moves owner into the sharer set.
+    let writer = once(Primitive::Faa, 5, 0);
+    let reader = seq(vec![
+        Step::Work(3_000),
+        Step::Op {
+            prim: Primitive::Load,
+            addr: addr(),
+            operand: Operand::Const(0),
+            expected: Operand::Const(0),
+        },
+    ]);
+    let eng = run(true, vec![(0, writer), (2, reader)]);
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Shared);
+    assert_eq!(eng.cache_state(1, addr().line), LineState::Forward);
+    assert_eq!(eng.dir_owner(addr().line), None);
+    let sharers = eng.dir_sharers(addr().line);
+    assert!(sharers.contains(&0) && sharers.contains(&1));
+    assert_eq!(eng.word(addr()), 5, "reader observed the written value");
+}
+
+#[test]
+fn ownership_moves_between_writers() {
+    // Writer on core 0, then writer on core 1: ownership transfers,
+    // core 0 invalid.
+    let w0 = once(Primitive::Faa, 1, 0);
+    let w1 = seq(vec![
+        Step::Work(3_000),
+        Step::Op {
+            prim: Primitive::Faa,
+            addr: addr(),
+            operand: Operand::Const(1),
+            expected: Operand::Const(0),
+        },
+    ]);
+    let eng = run(true, vec![(0, w0), (2, w1)]);
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Invalid);
+    assert_eq!(eng.cache_state(1, addr().line), LineState::Modified);
+    assert_eq!(eng.dir_owner(addr().line), Some(1));
+    assert_eq!(eng.word(addr()), 2, "both increments applied");
+}
+
+#[test]
+fn failed_cas_still_acquires_ownership() {
+    // x86 semantics: CAS takes the line exclusively even when the
+    // compare fails.
+    let eng = run(true, vec![(0, once(Primitive::Cas, 9, 7))]);
+    assert_eq!(eng.word(addr()), 0, "mismatch: no write");
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Modified);
+    assert_eq!(eng.dir_owner(addr().line), Some(0));
+}
+
+#[test]
+fn distinct_lines_do_not_interact() {
+    let other = WordAddr::of_line(0x8000);
+    let p0 = once(Primitive::Faa, 1, 0);
+    let p1 = Program::new(vec![
+        Step::Op {
+            prim: Primitive::Faa,
+            addr: other,
+            operand: Operand::Const(1),
+            expected: Operand::Const(0),
+        },
+        Step::Halt,
+    ])
+    .unwrap();
+    let eng = run(true, vec![(0, p0), (2, p1)]);
+    assert_eq!(eng.cache_state(0, addr().line), LineState::Modified);
+    assert_eq!(eng.cache_state(1, other.line), LineState::Modified);
+    assert_eq!(eng.cache_state(0, other.line), LineState::Invalid);
+    assert_eq!(eng.cache_state(1, addr().line), LineState::Invalid);
+}

@@ -1,0 +1,316 @@
+//! A fluent builder for custom machine topologies, for users modelling
+//! their own boxes rather than the two paper presets.
+//!
+//! ```
+//! use bounce_topo::builder::TopologyBuilder;
+//!
+//! let topo = TopologyBuilder::new("my-epyc-ish-box")
+//!     .sockets(2)
+//!     .tiles_per_socket(4)
+//!     .cores_per_tile(4)
+//!     .smt(2)
+//!     .ring(2, 4, 90)
+//!     .l1_kib(32, 8, 4)
+//!     .l2_kib(512, 8, 12)
+//!     .l3_mib(32, 16, 40)
+//!     .freq_ghz(2.8)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(topo.num_threads(), 2 * 4 * 4 * 2);
+//! topo.validate().unwrap();
+//! ```
+
+use crate::machine::{CacheLevel, CacheSharing, Interconnect, MachineTopology, MeshPos};
+
+/// Fluent construction of a [`MachineTopology`].
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    sockets: usize,
+    tiles_per_socket: usize,
+    cores_per_tile: usize,
+    smt: usize,
+    interconnect: Option<Interconnect>,
+    caches: Vec<CacheLevel>,
+    freq_ghz: f64,
+}
+
+impl TopologyBuilder {
+    /// Start a builder with 1×1×1×1 defaults at 2 GHz.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            sockets: 1,
+            tiles_per_socket: 1,
+            cores_per_tile: 1,
+            smt: 1,
+            interconnect: None,
+            caches: Vec::new(),
+            freq_ghz: 2.0,
+        }
+    }
+
+    /// Number of sockets.
+    pub fn sockets(mut self, n: usize) -> Self {
+        self.sockets = n;
+        self
+    }
+
+    /// Tiles per socket.
+    pub fn tiles_per_socket(mut self, n: usize) -> Self {
+        self.tiles_per_socket = n;
+        self
+    }
+
+    /// Cores per tile.
+    pub fn cores_per_tile(mut self, n: usize) -> Self {
+        self.cores_per_tile = n;
+        self
+    }
+
+    /// SMT contexts per core.
+    pub fn smt(mut self, n: usize) -> Self {
+        self.smt = n;
+        self
+    }
+
+    /// Ring interconnect: hop latency, stops per socket (must equal
+    /// tiles per socket), cross-socket link latency.
+    pub fn ring(mut self, hop_cycles: u32, stops_per_socket: u16, cross_link_cycles: u32) -> Self {
+        self.interconnect = Some(Interconnect::Ring {
+            hop_cycles,
+            stops_per_socket,
+            cross_link_cycles,
+        });
+        self
+    }
+
+    /// Mesh interconnect: columns × rows (must cover tiles per socket ×
+    /// sockets), hop latency.
+    pub fn mesh(mut self, cols: u16, rows: u16, hop_cycles: u32) -> Self {
+        self.interconnect = Some(Interconnect::Mesh {
+            cols,
+            rows,
+            hop_cycles,
+        });
+        self
+    }
+
+    /// Uniform (flat) interconnect.
+    pub fn uniform(mut self, latency_cycles: u32) -> Self {
+        self.interconnect = Some(Interconnect::Uniform { latency_cycles });
+        self
+    }
+
+    fn push_cache(
+        mut self,
+        name: &str,
+        size_bytes: usize,
+        assoc: usize,
+        hit: u32,
+        sharing: CacheSharing,
+    ) -> Self {
+        self.caches.push(CacheLevel {
+            name: name.into(),
+            size_bytes,
+            line_bytes: 64,
+            assoc,
+            sharing,
+            hit_cycles: hit,
+        });
+        self
+    }
+
+    /// Per-core L1d.
+    pub fn l1_kib(self, kib: usize, assoc: usize, hit_cycles: u32) -> Self {
+        self.push_cache("L1d", kib * 1024, assoc, hit_cycles, CacheSharing::PerCore)
+    }
+
+    /// Per-tile L2.
+    pub fn l2_kib(self, kib: usize, assoc: usize, hit_cycles: u32) -> Self {
+        self.push_cache("L2", kib * 1024, assoc, hit_cycles, CacheSharing::PerTile)
+    }
+
+    /// Per-socket L3.
+    pub fn l3_mib(self, mib: usize, assoc: usize, hit_cycles: u32) -> Self {
+        self.push_cache(
+            "L3",
+            mib * 1024 * 1024,
+            assoc,
+            hit_cycles,
+            CacheSharing::PerSocket,
+        )
+    }
+
+    /// Nominal core frequency.
+    pub fn freq_ghz(mut self, ghz: f64) -> Self {
+        self.freq_ghz = ghz;
+        self
+    }
+
+    /// Build and validate. Mesh/ring stop positions are assigned
+    /// automatically (tiles row-major on a mesh; ring stops in tile
+    /// order per socket).
+    pub fn build(self) -> Result<MachineTopology, String> {
+        if self.sockets == 0 || self.tiles_per_socket == 0 || self.cores_per_tile == 0 {
+            return Err("socket/tile/core counts must be positive".into());
+        }
+        if self.smt == 0 {
+            return Err("smt must be >= 1".into());
+        }
+        let caches = if self.caches.is_empty() {
+            vec![CacheLevel {
+                name: "L1d".into(),
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                assoc: 8,
+                sharing: CacheSharing::PerCore,
+                hit_cycles: 4,
+            }]
+        } else {
+            self.caches
+        };
+        let interconnect = self
+            .interconnect
+            .unwrap_or(Interconnect::Uniform { latency_cycles: 40 });
+        // Geometry consistency checks before construction.
+        match &interconnect {
+            Interconnect::Ring {
+                stops_per_socket, ..
+            } => {
+                if *stops_per_socket as usize != self.tiles_per_socket {
+                    return Err(format!(
+                        "ring stops/socket ({stops_per_socket}) must equal tiles/socket ({})",
+                        self.tiles_per_socket
+                    ));
+                }
+            }
+            Interconnect::Mesh { cols, rows, .. } => {
+                let capacity = *cols as usize * *rows as usize;
+                let tiles = self.sockets * self.tiles_per_socket;
+                if capacity < tiles {
+                    return Err(format!("{cols}x{rows} mesh cannot hold {tiles} tiles"));
+                }
+            }
+            Interconnect::Uniform { .. } => {}
+        }
+        let mut topo = MachineTopology::homogeneous(
+            &self.name,
+            self.sockets,
+            self.tiles_per_socket,
+            self.cores_per_tile,
+            self.smt,
+            caches,
+            interconnect,
+            self.freq_ghz,
+        );
+        match &topo.interconnect {
+            Interconnect::Mesh { cols, .. } => {
+                let cols = *cols;
+                for (i, tile) in topo.tiles.iter_mut().enumerate() {
+                    tile.mesh_pos = Some(MeshPos {
+                        col: (i % cols as usize) as u16,
+                        row: (i / cols as usize) as u16,
+                    });
+                }
+            }
+            Interconnect::Ring { .. } => {
+                let per = self.tiles_per_socket;
+                for tile in topo.tiles.iter_mut() {
+                    tile.ring_stop = Some((tile.id.0 % per) as u16);
+                }
+            }
+            Interconnect::Uniform { .. } => {}
+        }
+        topo.validate()?;
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::HwThreadId;
+    use crate::Domain;
+
+    #[test]
+    fn defaults_build_single_core() {
+        let t = TopologyBuilder::new("mini").build().unwrap();
+        assert_eq!(t.num_threads(), 1);
+        assert_eq!(t.caches.len(), 1, "default L1 added");
+    }
+
+    #[test]
+    fn full_custom_machine() {
+        let t = TopologyBuilder::new("custom")
+            .sockets(2)
+            .tiles_per_socket(3)
+            .cores_per_tile(2)
+            .smt(2)
+            .ring(2, 3, 100)
+            .l1_kib(48, 12, 5)
+            .l2_kib(1024, 16, 14)
+            .l3_mib(64, 16, 42)
+            .freq_ghz(3.0)
+            .build()
+            .unwrap();
+        assert_eq!(t.num_threads(), 2 * 3 * 2 * 2);
+        assert_eq!(t.caches.len(), 3);
+        assert_eq!(
+            t.comm_domain(HwThreadId(0), HwThreadId(t.num_threads() - 1)),
+            Domain::CrossSocket
+        );
+    }
+
+    #[test]
+    fn mesh_positions_assigned() {
+        let t = TopologyBuilder::new("meshy")
+            .tiles_per_socket(6)
+            .mesh(3, 2, 2)
+            .build()
+            .unwrap();
+        assert!(t.tiles.iter().all(|tl| tl.mesh_pos.is_some()));
+        // Tile 4 at (1, 1) on a 3-wide mesh.
+        assert_eq!(t.tiles[4].mesh_pos.unwrap().col, 1);
+        assert_eq!(t.tiles[4].mesh_pos.unwrap().row, 1);
+    }
+
+    #[test]
+    fn ring_stop_mismatch_rejected() {
+        let err = TopologyBuilder::new("bad")
+            .tiles_per_socket(4)
+            .ring(2, 3, 100)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("must equal tiles/socket"), "{err}");
+    }
+
+    #[test]
+    fn undersized_mesh_rejected() {
+        let err = TopologyBuilder::new("bad")
+            .tiles_per_socket(9)
+            .mesh(2, 2, 2)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("cannot hold"), "{err}");
+    }
+
+    #[test]
+    fn zero_counts_rejected() {
+        assert!(TopologyBuilder::new("z").sockets(0).build().is_err());
+        assert!(TopologyBuilder::new("z").smt(0).build().is_err());
+    }
+
+    #[test]
+    fn built_machine_runs_in_the_simulator() {
+        // End-to-end: a custom machine drives the whole stack.
+        let t = TopologyBuilder::new("sim-check")
+            .tiles_per_socket(2)
+            .cores_per_tile(2)
+            .uniform(30)
+            .build()
+            .unwrap();
+        assert_eq!(t.num_threads(), 4);
+        assert!(t.validate().is_ok());
+    }
+}

@@ -1,0 +1,303 @@
+//! Best-effort detection of the *host* machine's topology from
+//! `/sys/devices/system/cpu` (Linux).
+//!
+//! The native measurement backend uses this to pin threads on real
+//! hardware. Detection is deliberately conservative: anything that cannot
+//! be parsed falls back to a flat single-socket description, which is
+//! always safe (placement degenerates to linear pinning).
+
+use crate::machine::{
+    CacheLevel, CacheSharing, Core, CoreId, HwThread, HwThreadId, Interconnect, MachineTopology,
+    Socket, SocketId, Tile, TileId,
+};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Detect the host topology, falling back to [`flat_fallback`] when sysfs
+/// is unavailable or inconsistent.
+pub fn detect() -> MachineTopology {
+    try_detect().unwrap_or_else(|| flat_fallback(available_cpus().max(1)))
+}
+
+/// A flat description: `n` single-thread cores on one socket, uniform
+/// interconnect. Used when nothing better is known.
+pub fn flat_fallback(n: usize) -> MachineTopology {
+    let caches = vec![CacheLevel {
+        name: "L1d".into(),
+        size_bytes: 32 * 1024,
+        line_bytes: 64,
+        assoc: 8,
+        sharing: CacheSharing::PerCore,
+        hit_cycles: 4,
+    }];
+    MachineTopology::homogeneous(
+        &format!("host-flat ({n} cpus)"),
+        1,
+        1,
+        n,
+        1,
+        caches,
+        Interconnect::Uniform { latency_cycles: 40 },
+        2.0,
+    )
+}
+
+/// Number of online CPUs according to the OS.
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn read_usize(path: &Path) -> Option<usize> {
+    fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+/// Parse a sysfs cache size string like `"32K"` / `"2M"` into bytes.
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1024),
+        b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<usize>().ok().map(|n| n * mult)
+}
+
+/// Detect the data/unified cache hierarchy of cpu0 from sysfs; empty
+/// when nothing is readable.
+pub fn detect_caches() -> Vec<CacheLevel> {
+    let base = Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(base) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        let name = entry.file_name();
+        if !name.to_string_lossy().starts_with("index") {
+            continue;
+        }
+        let cache_type = fs::read_to_string(dir.join("type")).unwrap_or_default();
+        let cache_type = cache_type.trim();
+        if cache_type == "Instruction" {
+            continue;
+        }
+        let Some(level) = read_usize(&dir.join("level")) else {
+            continue;
+        };
+        let Some(size) = fs::read_to_string(dir.join("size"))
+            .ok()
+            .and_then(|s| parse_size(&s))
+        else {
+            continue;
+        };
+        let assoc = read_usize(&dir.join("ways_of_associativity")).unwrap_or(8);
+        let line = read_usize(&dir.join("coherency_line_size")).unwrap_or(64);
+        // Sharing: shared_cpu_list with >1 cpu on a multi-core host means
+        // beyond-core sharing; approximate per-core vs per-socket.
+        let shared = fs::read_to_string(dir.join("shared_cpu_list")).unwrap_or_default();
+        let beyond_core = shared.trim().contains(',') || shared.trim().contains('-');
+        out.push(CacheLevel {
+            name: format!("L{level}{}", if cache_type == "Data" { "d" } else { "" }),
+            size_bytes: size,
+            line_bytes: line,
+            assoc: assoc.max(1),
+            sharing: if beyond_core {
+                CacheSharing::PerSocket
+            } else {
+                CacheSharing::PerCore
+            },
+            hit_cycles: match level {
+                1 => 4,
+                2 => 12,
+                _ => 40,
+            },
+        });
+    }
+    out.sort_by_key(|c| c.size_bytes);
+    out
+}
+
+fn try_detect() -> Option<MachineTopology> {
+    let base = Path::new("/sys/devices/system/cpu");
+    if !base.exists() {
+        return None;
+    }
+    // cpu index -> (physical package id, core id within package)
+    let mut cpus: Vec<(usize, usize, usize)> = Vec::new();
+    for entry in fs::read_dir(base).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let name = name.to_str()?;
+        let Some(idx) = name
+            .strip_prefix("cpu")
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let topo_dir = entry.path().join("topology");
+        let pkg = read_usize(&topo_dir.join("physical_package_id"))?;
+        let core = read_usize(&topo_dir.join("core_id"))?;
+        cpus.push((idx, pkg, core));
+    }
+    if cpus.is_empty() {
+        return None;
+    }
+    cpus.sort_unstable();
+
+    // Group hardware threads by (package, core).
+    let mut by_core: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for &(cpu, pkg, core) in &cpus {
+        by_core.entry((pkg, core)).or_default().push(cpu);
+    }
+    let packages: Vec<usize> = {
+        let mut p: Vec<usize> = by_core.keys().map(|&(pkg, _)| pkg).collect();
+        p.dedup();
+        p
+    };
+
+    let mut topo = MachineTopology {
+        name: format!("host ({} cpus)", cpus.len()),
+        threads: vec![
+            HwThread {
+                id: HwThreadId(0),
+                core: CoreId(0),
+                smt_index: 0
+            };
+            cpus.len()
+        ],
+        cores: Vec::new(),
+        tiles: Vec::new(),
+        sockets: Vec::new(),
+        caches: {
+            let detected = detect_caches();
+            if detected.is_empty() {
+                vec![CacheLevel {
+                    name: "L1d".into(),
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    assoc: 8,
+                    sharing: CacheSharing::PerCore,
+                    hit_cycles: 4,
+                }]
+            } else {
+                detected
+            }
+        },
+        interconnect: Interconnect::Uniform { latency_cycles: 40 },
+        freq_ghz: 2.0,
+    };
+
+    for &pkg in &packages {
+        let sid = SocketId(topo.sockets.len());
+        let mut tile_ids = Vec::new();
+        for ((p, _), thread_cpus) in by_core.iter().filter(|((p, _), _)| *p == pkg) {
+            debug_assert_eq!(*p, pkg);
+            let tid = TileId(topo.tiles.len());
+            let cid = CoreId(topo.cores.len());
+            let mut thread_ids = Vec::new();
+            for (smt, &cpu) in thread_cpus.iter().enumerate() {
+                // Hardware thread ids must be dense 0..n; the OS cpu index
+                // is dense for online cpus in practice, but be defensive:
+                // map cpu index -> position in the sorted cpu list.
+                let pos = cpus.binary_search_by_key(&cpu, |&(c, _, _)| c).ok()?;
+                topo.threads[pos] = HwThread {
+                    id: HwThreadId(pos),
+                    core: cid,
+                    smt_index: smt as u8,
+                };
+                thread_ids.push(HwThreadId(pos));
+            }
+            topo.cores.push(Core {
+                id: cid,
+                tile: tid,
+                socket: sid,
+                threads: thread_ids,
+            });
+            topo.tiles.push(Tile {
+                id: tid,
+                socket: sid,
+                cores: vec![cid],
+                mesh_pos: None,
+                ring_stop: None,
+            });
+            tile_ids.push(tid);
+        }
+        topo.sockets.push(Socket {
+            id: sid,
+            tiles: tile_ids,
+        });
+    }
+
+    topo.validate().ok()?;
+    Some(topo)
+}
+
+/// Map a detected hardware-thread id back to the OS cpu number it
+/// represents. With the detection above these coincide for machines with
+/// dense online-cpu numbering, which is the common case; exposed for
+/// clarity at call sites.
+pub fn os_cpu_of(topo: &MachineTopology, t: HwThreadId) -> usize {
+    debug_assert!(t.0 < topo.num_threads());
+    t.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_validates() {
+        let topo = detect();
+        topo.validate().unwrap();
+        assert!(topo.num_threads() >= 1);
+    }
+
+    #[test]
+    fn flat_fallback_shape() {
+        let topo = flat_fallback(4);
+        topo.validate().unwrap();
+        assert_eq!(topo.num_threads(), 4);
+        assert_eq!(topo.num_sockets(), 1);
+        assert_eq!(topo.smt_ways(), 1);
+    }
+
+    #[test]
+    fn available_cpus_positive() {
+        assert!(available_cpus() >= 1);
+    }
+
+    #[test]
+    fn parse_size_units() {
+        assert_eq!(parse_size("32K"), Some(32 * 1024));
+        assert_eq!(parse_size("2M"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_size("1G"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("junk"), None);
+    }
+
+    #[test]
+    fn detect_caches_is_sane_when_present() {
+        let caches = detect_caches();
+        for c in &caches {
+            assert!(c.size_bytes > 0);
+            assert!(c.line_bytes.is_power_of_two());
+            assert!(c.assoc >= 1);
+        }
+        // Sorted smallest (closest) first.
+        for w in caches.windows(2) {
+            assert!(w[0].size_bytes <= w[1].size_bytes);
+        }
+    }
+
+    #[test]
+    fn os_cpu_mapping_is_identity() {
+        let topo = flat_fallback(3);
+        for i in 0..3 {
+            assert_eq!(os_cpu_of(&topo, HwThreadId(i)), i);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Machine topology substrate for the atomic-primitive performance study.
+//!
+//! The ICPP'19 paper ("Modeling the Performance of Atomic Primitives on
+//! Modern Architectures") evaluates two machines: a 2-socket Intel Xeon E5
+//! (Broadwell class: ring interconnect, inclusive shared L3 with an in-LLC
+//! coherence directory, QPI between sockets) and an Intel Xeon Phi
+//! Knights Landing (a 2D mesh of tiles, each tile holding two cores that
+//! share an L2, with a distributed tag directory instead of a shared LLC).
+//!
+//! This crate provides:
+//!
+//! * a uniform description of such machines ([`MachineTopology`]): hardware
+//!   threads grouped into cores, cores into tiles, tiles into sockets, plus
+//!   the cache hierarchy and the interconnect geometry;
+//! * [`presets`] for the two paper testbeds and a couple of auxiliary
+//!   configurations;
+//! * communication-distance classification between hardware threads
+//!   ([`Domain`], [`MachineTopology::comm_domain`]) — the quantity the
+//!   cache-line-bouncing model is parameterised on;
+//! * thread [`placement`] policies (packed, scattered, SMT-first, ...) used
+//!   by the placement experiments.
+//!
+//! The crate is purely descriptive: latencies in *cycles* for each
+//! communication domain live in the simulator configuration
+//! (`bounce-sim`) and in the analytic model parameters (`bounce-core`);
+//! here we only expose structure (who shares what, how many mesh hops apart
+//! two cores sit).
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod distance;
+pub mod host;
+pub mod machine;
+pub mod placement;
+pub mod presets;
+pub mod render;
+pub mod route;
+
+pub use builder::TopologyBuilder;
+pub use distance::Domain;
+pub use machine::{
+    CacheLevel, CacheSharing, Core, CoreId, HwThread, HwThreadId, Interconnect, MachineTopology,
+    MeshPos, Socket, SocketId, Tile, TileId,
+};
+pub use placement::Placement;
+pub use route::Link;

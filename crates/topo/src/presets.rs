@@ -1,0 +1,313 @@
+//! Topology presets for the paper's two testbeds plus auxiliary machines.
+//!
+//! Numbers (cache sizes, frequencies, hop latencies) follow the published
+//! specifications of the parts and the usual microarchitectural estimates;
+//! the simulator's *protocol* latencies are configured separately in
+//! `bounce-sim` and the analytic model fits its own per-domain transfer
+//! costs, so the presets only need to get the *structure* right.
+
+use crate::machine::{CacheLevel, CacheSharing, Interconnect, MachineTopology, MeshPos};
+
+/// Intel Xeon E5-2695 v4 ("Broadwell-EP"), the paper's big-core testbed:
+/// 2 sockets × 18 cores × 2-way SMT = 72 hardware threads; per-core
+/// L1d/L2; inclusive shared L3 of 45 MiB per socket with an in-LLC
+/// snoop/home directory; bidirectional ring on package; QPI between
+/// packages; 2.1 GHz nominal.
+pub fn xeon_e5_2695_v4() -> MachineTopology {
+    let caches = vec![
+        CacheLevel {
+            name: "L1d".into(),
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            sharing: CacheSharing::PerCore,
+            hit_cycles: 4,
+        },
+        CacheLevel {
+            name: "L2".into(),
+            size_bytes: 256 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            sharing: CacheSharing::PerCore,
+            hit_cycles: 12,
+        },
+        CacheLevel {
+            name: "L3".into(),
+            size_bytes: 45 * 1024 * 1024,
+            line_bytes: 64,
+            assoc: 20,
+            sharing: CacheSharing::PerSocket,
+            hit_cycles: 40,
+        },
+    ];
+    // One "tile" per core (no shared mid-level cache on Broadwell); each
+    // core is one ring stop.
+    let mut m = MachineTopology::homogeneous(
+        "Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)",
+        2,
+        18,
+        1,
+        2,
+        caches,
+        Interconnect::Ring {
+            hop_cycles: 2,
+            stops_per_socket: 18,
+            cross_link_cycles: 120,
+        },
+        2.1,
+    );
+    for tile in m.tiles.iter_mut() {
+        // Tiles are created socket-major; stop index is the tile's index
+        // within its socket.
+        let within = tile.id.0 % 18;
+        tile.ring_stop = Some(within as u16);
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+/// Intel Xeon Phi 7290 ("Knights Landing"), the paper's many-core testbed:
+/// 72 cores = 36 active tiles × 2 cores, 4-way SMT = 288 hardware threads;
+/// per-core L1d, 1 MiB L2 shared by the two cores of a tile; no shared
+/// LLC — coherence through a distributed tag directory, one slice per
+/// tile; 2D mesh (modelled as 6×6 over the active tiles); 1.5 GHz.
+pub fn xeon_phi_7290() -> MachineTopology {
+    let caches = vec![
+        CacheLevel {
+            name: "L1d".into(),
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            sharing: CacheSharing::PerCore,
+            hit_cycles: 5,
+        },
+        CacheLevel {
+            name: "L2".into(),
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            assoc: 16,
+            sharing: CacheSharing::PerTile,
+            hit_cycles: 17,
+        },
+    ];
+    let mut m = MachineTopology::homogeneous(
+        "Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)",
+        1,
+        36,
+        2,
+        4,
+        caches,
+        Interconnect::Mesh {
+            cols: 6,
+            rows: 6,
+            hop_cycles: 3,
+        },
+        1.5,
+    );
+    for (i, tile) in m.tiles.iter_mut().enumerate() {
+        tile.mesh_pos = Some(MeshPos {
+            col: (i % 6) as u16,
+            row: (i / 6) as u16,
+        });
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+/// A deliberately tiny machine (1 socket × 2 tiles × 2 cores × 2 SMT = 8
+/// hardware threads) for fast unit tests and examples.
+pub fn tiny_test_machine() -> MachineTopology {
+    let caches = vec![
+        CacheLevel {
+            name: "L1d".into(),
+            size_bytes: 16 * 1024,
+            line_bytes: 64,
+            assoc: 4,
+            sharing: CacheSharing::PerCore,
+            hit_cycles: 4,
+        },
+        CacheLevel {
+            name: "L2".into(),
+            size_bytes: 128 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            sharing: CacheSharing::PerTile,
+            hit_cycles: 12,
+        },
+        CacheLevel {
+            name: "L3".into(),
+            size_bytes: 2 * 1024 * 1024,
+            line_bytes: 64,
+            assoc: 16,
+            sharing: CacheSharing::PerSocket,
+            hit_cycles: 30,
+        },
+    ];
+    let mut m = MachineTopology::homogeneous(
+        "tiny-test (1S x 2Tile x 2C x 2T)",
+        1,
+        2,
+        2,
+        2,
+        caches,
+        Interconnect::Ring {
+            hop_cycles: 3,
+            stops_per_socket: 2,
+            cross_link_cycles: 80,
+        },
+        2.0,
+    );
+    for (i, tile) in m.tiles.iter_mut().enumerate() {
+        tile.ring_stop = Some(i as u16);
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+/// A two-socket medium machine (2 × 8 cores × 2 SMT = 32 threads) used by
+/// examples that want cross-socket effects without E5-scale sweep times.
+pub fn dual_socket_small() -> MachineTopology {
+    let caches = vec![
+        CacheLevel {
+            name: "L1d".into(),
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            sharing: CacheSharing::PerCore,
+            hit_cycles: 4,
+        },
+        CacheLevel {
+            name: "L2".into(),
+            size_bytes: 256 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            sharing: CacheSharing::PerCore,
+            hit_cycles: 12,
+        },
+        CacheLevel {
+            name: "L3".into(),
+            size_bytes: 16 * 1024 * 1024,
+            line_bytes: 64,
+            assoc: 16,
+            sharing: CacheSharing::PerSocket,
+            hit_cycles: 38,
+        },
+    ];
+    let mut m = MachineTopology::homogeneous(
+        "dual-socket-small (2S x 8C x 2T)",
+        2,
+        8,
+        1,
+        2,
+        caches,
+        Interconnect::Ring {
+            hop_cycles: 2,
+            stops_per_socket: 8,
+            cross_link_cycles: 110,
+        },
+        2.4,
+    );
+    for tile in m.tiles.iter_mut() {
+        tile.ring_stop = Some((tile.id.0 % 8) as u16);
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+/// Look up a preset by name (used by the `repro` CLI).
+pub fn by_name(name: &str) -> Option<MachineTopology> {
+    match name {
+        "e5" | "xeon-e5" | "xeon_e5_2695_v4" => Some(xeon_e5_2695_v4()),
+        "knl" | "xeon-phi" | "xeon_phi_7290" => Some(xeon_phi_7290()),
+        "tiny" | "tiny_test_machine" => Some(tiny_test_machine()),
+        "dual" | "dual_socket_small" => Some(dual_socket_small()),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`by_name`], canonical first.
+pub const PRESET_NAMES: [&str; 4] = ["e5", "knl", "tiny", "dual"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Domain;
+    use crate::machine::HwThreadId;
+
+    #[test]
+    fn e5_shape() {
+        let m = xeon_e5_2695_v4();
+        m.validate().unwrap();
+        assert_eq!(m.num_sockets(), 2);
+        assert_eq!(m.num_cores(), 36);
+        assert_eq!(m.num_threads(), 72);
+        assert_eq!(m.smt_ways(), 2);
+        assert_eq!(m.line_bytes(), 64);
+    }
+
+    #[test]
+    fn knl_shape() {
+        let m = xeon_phi_7290();
+        m.validate().unwrap();
+        assert_eq!(m.num_sockets(), 1);
+        assert_eq!(m.num_tiles(), 36);
+        assert_eq!(m.num_cores(), 72);
+        assert_eq!(m.num_threads(), 288);
+        assert_eq!(m.smt_ways(), 4);
+    }
+
+    #[test]
+    fn e5_cross_socket_domain() {
+        let m = xeon_e5_2695_v4();
+        // Threads are socket-major: first 36 threads on socket 0.
+        assert_eq!(
+            m.comm_domain(HwThreadId(0), HwThreadId(36)),
+            Domain::CrossSocket
+        );
+        assert_eq!(
+            m.comm_domain(HwThreadId(0), HwThreadId(2)),
+            Domain::SameSocket
+        );
+        assert_eq!(
+            m.comm_domain(HwThreadId(0), HwThreadId(1)),
+            Domain::SmtSibling
+        );
+    }
+
+    #[test]
+    fn knl_tile_sharing() {
+        let m = xeon_phi_7290();
+        // Threads 0..4 = core 0 (4 SMT); 4..8 = core 1, same tile.
+        assert_eq!(
+            m.comm_domain(HwThreadId(0), HwThreadId(4)),
+            Domain::SameTile
+        );
+        assert_eq!(
+            m.comm_domain(HwThreadId(0), HwThreadId(8)),
+            Domain::SameSocket
+        );
+    }
+
+    #[test]
+    fn knl_mesh_distances_vary() {
+        let m = xeon_phi_7290();
+        // Tile 0 at (0,0), tile 35 at (5,5): 10 hops.
+        let corner = HwThreadId(35 * 8); // first thread of tile 35
+        assert_eq!(m.hop_count(HwThreadId(0), corner), 10);
+    }
+
+    #[test]
+    fn presets_by_name() {
+        for n in PRESET_NAMES {
+            assert!(by_name(n).is_some(), "{n}");
+        }
+        assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for n in PRESET_NAMES {
+            by_name(n).unwrap().validate().unwrap();
+        }
+    }
+}

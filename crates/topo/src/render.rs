@@ -1,0 +1,144 @@
+//! Human-readable topology rendering: a compact ASCII picture of
+//! sockets, tiles, cores and the interconnect, for docs, debugging and
+//! the `repro topo` subcommand.
+
+use crate::machine::{Interconnect, MachineTopology};
+use std::fmt::Write as _;
+
+impl MachineTopology {
+    /// A multi-line ASCII description of the machine.
+    ///
+    /// Ring machines render one line per socket with its ring stops;
+    /// mesh machines render the 2D grid of tiles; every variant ends
+    /// with the cache hierarchy summary.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.name);
+        let _ = writeln!(
+            out,
+            "{} socket(s) x {} tile(s) x {} core(s) x {}-way SMT = {} hw threads @ {} GHz",
+            self.num_sockets(),
+            self.num_tiles() / self.num_sockets().max(1),
+            self.cores.len() / self.num_tiles().max(1),
+            self.smt_ways(),
+            self.num_threads(),
+            self.freq_ghz
+        );
+        match &self.interconnect {
+            Interconnect::Mesh {
+                cols,
+                rows,
+                hop_cycles,
+            } => {
+                let _ = writeln!(out, "interconnect: {cols}x{rows} mesh, {hop_cycles} cy/hop");
+                for r in 0..*rows {
+                    let mut line = String::from("  ");
+                    for c in 0..*cols {
+                        let tile = self.tiles.iter().find(|t| {
+                            t.mesh_pos
+                                .map(|p| p.col == c && p.row == r)
+                                .unwrap_or(false)
+                        });
+                        match tile {
+                            Some(t) => {
+                                let _ = write!(line, "[T{:02}]", t.id.0);
+                            }
+                            None => line.push_str("[ - ]"),
+                        }
+                        if c + 1 < *cols {
+                            line.push('-');
+                        }
+                    }
+                    let _ = writeln!(out, "{line}");
+                    if r + 1 < *rows {
+                        let mut bars = String::from("  ");
+                        for c in 0..*cols {
+                            bars.push_str("  |  ");
+                            if c + 1 < *cols {
+                                bars.push(' ');
+                            }
+                        }
+                        let _ = writeln!(out, "{bars}");
+                    }
+                }
+            }
+            Interconnect::Ring {
+                hop_cycles,
+                stops_per_socket,
+                cross_link_cycles,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "interconnect: ring ({stops_per_socket} stops/socket, {hop_cycles} cy/hop) + cross link ({cross_link_cycles} cy)"
+                );
+                for s in &self.sockets {
+                    let mut line = format!("  socket {}: (", s.id.0);
+                    let mut stops: Vec<_> = s
+                        .tiles
+                        .iter()
+                        .map(|&t| (self.tiles[t.0].ring_stop.unwrap_or(0), t))
+                        .collect();
+                    stops.sort_unstable();
+                    for (i, (_, t)) in stops.iter().enumerate() {
+                        if i > 0 {
+                            line.push('-');
+                        }
+                        let _ = write!(line, "T{:02}", t.0);
+                    }
+                    line.push_str(")⟲");
+                    let _ = writeln!(out, "{line}");
+                }
+            }
+            Interconnect::Uniform { latency_cycles } => {
+                let _ = writeln!(
+                    out,
+                    "interconnect: uniform, {latency_cycles} cy point-to-point"
+                );
+            }
+        }
+        for c in &self.caches {
+            let _ = writeln!(
+                out,
+                "  {}: {} KiB, {}-way, {} B lines, {} cy hit, {:?}",
+                c.name,
+                c.size_bytes / 1024,
+                c.assoc,
+                c.line_bytes,
+                c.hit_cycles,
+                c.sharing
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn mesh_render_contains_grid() {
+        let s = presets::xeon_phi_7290().render_ascii();
+        assert!(s.contains("6x6 mesh"));
+        assert!(s.contains("[T00]"));
+        assert!(s.contains("[T35]"));
+        assert!(s.contains("288 hw threads"));
+        // Six grid rows.
+        assert_eq!(s.matches("[T").count(), 36);
+    }
+
+    #[test]
+    fn ring_render_lists_sockets() {
+        let s = presets::xeon_e5_2695_v4().render_ascii();
+        assert!(s.contains("socket 0"));
+        assert!(s.contains("socket 1"));
+        assert!(s.contains("cross link"));
+        assert!(s.contains("L3"));
+    }
+
+    #[test]
+    fn uniform_render() {
+        let s = crate::host::flat_fallback(2).render_ascii();
+        assert!(s.contains("uniform"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Link-level route enumeration: which interconnect links a message
+//! from tile A to tile B traverses.
+//!
+//! The transaction-level simulator charges wire *latency* from hop
+//! counts; when link bandwidth is modelled, it additionally needs the
+//! identity of each traversed link so that messages contend on shared
+//! segments. Links are directed `(from_tile, to_tile)` pairs between
+//! adjacent interconnect stops; the cross-socket link of a ring machine
+//! appears as a pair of virtual endpoint tiles (the stop-0 tiles of the
+//! two sockets).
+
+use crate::machine::{Interconnect, MachineTopology, MeshPos, TileId};
+
+/// A directed interconnect link between two adjacent tiles.
+pub type Link = (TileId, TileId);
+
+impl MachineTopology {
+    /// The directed links a message traverses from `a`'s tile to `b`'s
+    /// tile. Empty when the tiles coincide.
+    ///
+    /// * Mesh: dimension-ordered (X then Y) routing over adjacent grid
+    ///   tiles.
+    /// * Ring: the shorter arc within each socket, plus the cross link
+    ///   (represented as stop-0 tile of socket A → stop-0 tile of
+    ///   socket B) for cross-socket routes.
+    /// * Uniform: one direct link.
+    pub fn route_tiles(&self, a: TileId, b: TileId) -> Vec<Link> {
+        if a == b {
+            return Vec::new();
+        }
+        match &self.interconnect {
+            Interconnect::Mesh { cols, rows, .. } => self.route_mesh(a, b, *cols, *rows),
+            Interconnect::Ring {
+                stops_per_socket, ..
+            } => self.route_ring(a, b, *stops_per_socket),
+            Interconnect::Uniform { .. } => vec![(a, b)],
+        }
+    }
+
+    fn tile_at_mesh(&self, pos: MeshPos) -> Option<TileId> {
+        self.tiles
+            .iter()
+            .find(|t| t.mesh_pos == Some(pos))
+            .map(|t| t.id)
+    }
+
+    fn route_mesh(&self, a: TileId, b: TileId, _cols: u16, _rows: u16) -> Vec<Link> {
+        let (Some(pa), Some(pb)) = (self.tiles[a.0].mesh_pos, self.tiles[b.0].mesh_pos) else {
+            return vec![(a, b)];
+        };
+        let mut links = Vec::new();
+        let mut cur = pa;
+        let mut cur_tile = a;
+        // X first.
+        while cur.col != pb.col {
+            let next = MeshPos {
+                col: if pb.col > cur.col {
+                    cur.col + 1
+                } else {
+                    cur.col - 1
+                },
+                row: cur.row,
+            };
+            let Some(next_tile) = self.tile_at_mesh(next) else {
+                // Hole in the mesh (disabled tile); fall back to a
+                // direct virtual link for the remainder.
+                links.push((cur_tile, b));
+                return links;
+            };
+            links.push((cur_tile, next_tile));
+            cur = next;
+            cur_tile = next_tile;
+        }
+        // Then Y.
+        while cur.row != pb.row {
+            let next = MeshPos {
+                col: cur.col,
+                row: if pb.row > cur.row {
+                    cur.row + 1
+                } else {
+                    cur.row - 1
+                },
+            };
+            let Some(next_tile) = self.tile_at_mesh(next) else {
+                links.push((cur_tile, b));
+                return links;
+            };
+            links.push((cur_tile, next_tile));
+            cur = next;
+            cur_tile = next_tile;
+        }
+        links
+    }
+
+    fn tile_at_ring(&self, socket: usize, stop: u16) -> Option<TileId> {
+        self.sockets
+            .get(socket)?
+            .tiles
+            .iter()
+            .copied()
+            .find(|&t| self.tiles[t.0].ring_stop == Some(stop))
+    }
+
+    fn route_ring(&self, a: TileId, b: TileId, stops: u16) -> Vec<Link> {
+        let sa = self.tiles[a.0].socket.0;
+        let sb = self.tiles[b.0].socket.0;
+        let stop_a = self.tiles[a.0].ring_stop.unwrap_or(0);
+        let stop_b = self.tiles[b.0].ring_stop.unwrap_or(0);
+        let mut links = Vec::new();
+        if sa == sb {
+            self.ring_arc(sa, stop_a, stop_b, stops, &mut links);
+            return links;
+        }
+        // To the local stop 0, across, then onward.
+        self.ring_arc(sa, stop_a, 0, stops, &mut links);
+        let exit = self.tile_at_ring(sa, 0).unwrap_or(a);
+        let entry = self.tile_at_ring(sb, 0).unwrap_or(b);
+        links.push((exit, entry)); // the cross-socket link
+        self.ring_arc(sb, 0, stop_b, stops, &mut links);
+        links
+    }
+
+    /// Append the links of the shorter arc from `from` to `to` on one
+    /// socket's ring.
+    fn ring_arc(&self, socket: usize, from: u16, to: u16, stops: u16, out: &mut Vec<Link>) {
+        if from == to || stops == 0 {
+            return;
+        }
+        let n = stops as i32;
+        let fwd = ((to as i32 - from as i32).rem_euclid(n)) as u16;
+        let step_fwd = fwd <= stops / 2;
+        let mut cur = from;
+        while cur != to {
+            let next = if step_fwd {
+                (cur + 1) % stops
+            } else {
+                (cur + stops - 1) % stops
+            };
+            let (Some(t1), Some(t2)) = (
+                self.tile_at_ring(socket, cur),
+                self.tile_at_ring(socket, next),
+            ) else {
+                return;
+            };
+            out.push((t1, t2));
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn mesh_route_length_equals_hop_count() {
+        let m = presets::xeon_phi_7290();
+        for (a, b) in [(0usize, 35usize), (3, 20), (7, 7), (0, 5), (0, 30)] {
+            let route = m.route_tiles(TileId(a), TileId(b));
+            let rep_a = m.cores[m.tiles[a].cores[0].0].threads[0];
+            let rep_b = m.cores[m.tiles[b].cores[0].0].threads[0];
+            assert_eq!(
+                route.len() as u32,
+                m.hop_count(rep_a, rep_b),
+                "route {a}->{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_route_is_connected() {
+        let m = presets::xeon_phi_7290();
+        let route = m.route_tiles(TileId(0), TileId(35));
+        assert_eq!(route.first().unwrap().0, TileId(0));
+        assert_eq!(route.last().unwrap().1, TileId(35));
+        for w in route.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "links chain");
+        }
+        // XY routing: all X moves before all Y moves.
+        let positions: Vec<_> = route
+            .iter()
+            .map(|(f, t)| {
+                (
+                    m.tiles[f.0].mesh_pos.unwrap(),
+                    m.tiles[t.0].mesh_pos.unwrap(),
+                )
+            })
+            .collect();
+        let mut seen_y = false;
+        for (pf, pt) in positions {
+            if pf.row != pt.row {
+                seen_y = true;
+            } else {
+                assert!(!seen_y, "X move after Y move breaks XY routing");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_route_same_socket_short_arc() {
+        let m = presets::xeon_e5_2695_v4();
+        // Stops 0 -> 2 on socket 0: two links.
+        let route = m.route_tiles(TileId(0), TileId(2));
+        assert_eq!(route.len(), 2);
+        // Stops 0 -> 17: shorter to go backwards (1 link on an 18-stop
+        // ring).
+        let route = m.route_tiles(TileId(0), TileId(17));
+        assert_eq!(route.len(), 1);
+    }
+
+    #[test]
+    fn ring_route_cross_socket_contains_cross_link() {
+        let m = presets::xeon_e5_2695_v4();
+        // Tile 2 (socket 0, stop 2) -> tile 21 (socket 1, stop 3).
+        let route = m.route_tiles(TileId(2), TileId(21));
+        // Arc to stop 0 (2 links) + cross (1) + arc to stop 3 (3 links).
+        assert_eq!(route.len(), 2 + 1 + 3);
+        // The cross link connects the two sockets' stop-0 tiles.
+        let cross = route[2];
+        assert_eq!(m.tiles[cross.0 .0].socket.0, 0);
+        assert_eq!(m.tiles[cross.1 .0].socket.0, 1);
+    }
+
+    #[test]
+    fn same_tile_route_empty() {
+        let m = presets::tiny_test_machine();
+        assert!(m.route_tiles(TileId(1), TileId(1)).is_empty());
+    }
+
+    #[test]
+    fn uniform_route_single_link() {
+        let m = crate::host::flat_fallback(4);
+        let r = m.route_tiles(TileId(0), TileId(0));
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! The workload specifications and their compilation to simulator
+//! programs.
+
+use crate::addr::AddressMap;
+use bounce_atomics::Primitive;
+use bounce_sim::program::{builders, Operand, Program, Step};
+use serde::{Deserialize, Serialize};
+
+/// Lock algorithm used by [`Workload::LockHandoff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockShape {
+    /// Spin on TAS — every spin is an RMW on the lock line.
+    Tas,
+    /// Test-and-test-and-set — local spinning, RMW only when free.
+    Ttas,
+    /// Ticket lock — one FAA per acquisition, FIFO fair.
+    Ticket,
+    /// MCS queue lock — spin on a private node; one transfer per handoff.
+    Mcs,
+}
+
+impl LockShape {
+    /// All shapes.
+    pub const ALL: [LockShape; 4] = [
+        LockShape::Tas,
+        LockShape::Ttas,
+        LockShape::Ticket,
+        LockShape::Mcs,
+    ];
+
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LockShape::Tas => "tas",
+            LockShape::Ttas => "ttas",
+            LockShape::Ticket => "ticket",
+            LockShape::Mcs => "mcs",
+        }
+    }
+}
+
+/// A complete workload description — what each of `n` threads does.
+///
+/// ```
+/// use bounce_workloads::Workload;
+/// use bounce_atomics::Primitive;
+///
+/// let w = Workload::HighContention { prim: Primitive::Cas };
+/// assert!(w.is_high_contention());
+/// // A workload compiles itself into one simulator program per thread.
+/// let programs = w.sim_programs(4);
+/// assert_eq!(programs.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// All threads apply `prim` to the one shared line, back to back.
+    HighContention {
+        /// Primitive under test.
+        prim: Primitive,
+    },
+    /// Each thread applies `prim` to its own private line, back to back.
+    LowContention {
+        /// Primitive under test.
+        prim: Primitive,
+        /// Local work between ops, cycles.
+        work: u64,
+    },
+    /// All threads share one line, with `work` cycles of local compute
+    /// between ops — sweeps the HC → LC transition (experiment E11).
+    Diluted {
+        /// Primitive under test.
+        prim: Primitive,
+        /// Local work between ops, cycles.
+        work: u64,
+    },
+    /// Read the shared word, compute for `window` cycles, CAS(old,
+    /// old+1); retry on failure. The canonical lock-free-update shape.
+    CasRetryLoop {
+        /// Cycles between the read and the CAS.
+        window: u64,
+        /// Local work after a successful update, cycles.
+        work: u64,
+    },
+    /// The first `writers` threads RMW the shared line; the rest only
+    /// load it. Probes the read-mostly regime where MESIF's Forward
+    /// state matters.
+    MixedReadWrite {
+        /// Number of writer threads (the rest read).
+        writers: usize,
+        /// Writers' primitive.
+        prim: Primitive,
+    },
+    /// Lock / critical-section handoff with the given lock algorithm.
+    LockHandoff {
+        /// Lock algorithm.
+        shape: LockShape,
+        /// Critical-section length, cycles.
+        cs: u64,
+        /// Non-critical-section length, cycles.
+        noncs: u64,
+    },
+    /// Each thread updates its own *word*, but all words share one
+    /// cache line — false sharing. Logically private data behaves like
+    /// the high-contention setting; the padded antidote is
+    /// [`Workload::LowContention`].
+    FalseSharing {
+        /// Primitive under test.
+        prim: Primitive,
+    },
+    /// CAS retry loop with a bounded-exponential backoff ladder applied
+    /// after consecutive failures (the backoff ablation).
+    CasRetryLoopBackoff {
+        /// Cycles between the read and the CAS.
+        window: u64,
+        /// Spin windows after the 1st, 2nd, 3rd+ consecutive failure.
+        backoff: [u64; 3],
+    },
+    /// Contention spreading: thread `i` hammers shared line `i % lines`
+    /// — the line-striped counter. `lines = 1` degenerates to
+    /// [`Workload::HighContention`]; `lines = n` to
+    /// [`Workload::LowContention`].
+    MultiLine {
+        /// Primitive under test.
+        prim: Primitive,
+        /// Number of distinct (padded) contended lines.
+        lines: usize,
+    },
+    /// Zipf-skewed contention: each thread's ops target `lines` padded
+    /// lines with Zipf(θ) popularity — the realistic interpolation
+    /// between striped (θ = 0) and single-line (θ large) contention.
+    Zipf {
+        /// Primitive under test.
+        prim: Primitive,
+        /// Number of distinct lines.
+        lines: usize,
+        /// Skew exponent (θ ≥ 0; 0 = uniform).
+        theta: f64,
+        /// RNG seed for the per-thread op sequences.
+        seed: u64,
+    },
+}
+
+impl Workload {
+    /// Short label for tables and bench ids.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::HighContention { prim } => format!("hc-{prim}"),
+            Workload::LowContention { prim, work } => format!("lc-{prim}-w{work}"),
+            Workload::Diluted { prim, work } => format!("diluted-{prim}-w{work}"),
+            Workload::CasRetryLoop { window, work } => {
+                format!("casloop-win{window}-w{work}")
+            }
+            Workload::MixedReadWrite { writers, prim } => {
+                format!("mixed-{prim}-{writers}w")
+            }
+            Workload::LockHandoff { shape, cs, noncs } => {
+                format!("lock-{}-cs{cs}-n{noncs}", shape.label())
+            }
+            Workload::FalseSharing { prim } => format!("false-sharing-{prim}"),
+            Workload::CasRetryLoopBackoff { window, backoff } => {
+                format!(
+                    "casloop-win{window}-bo{}-{}-{}",
+                    backoff[0], backoff[1], backoff[2]
+                )
+            }
+            Workload::MultiLine { prim, lines } => format!("multiline-{prim}-l{lines}"),
+            Workload::Zipf {
+                prim,
+                lines,
+                theta,
+                seed,
+            } => format!("zipf-{prim}-l{lines}-t{theta:.2}-s{seed}"),
+        }
+    }
+
+    /// Whether every thread hammers the same line (the high-contention
+    /// family).
+    pub fn is_high_contention(&self) -> bool {
+        !matches!(self, Workload::LowContention { .. })
+    }
+
+    /// Compile to one simulator program per thread index `0..n`.
+    pub fn sim_programs(&self, n: usize) -> Vec<Program> {
+        let map = AddressMap;
+        (0..n)
+            .map(|i| match *self {
+                Workload::HighContention { prim } => builders::op_loop(prim, map.shared(), 0),
+                Workload::LowContention { prim, work } => {
+                    builders::op_loop(prim, map.private(i), work)
+                }
+                Workload::Diluted { prim, work } => builders::op_loop(prim, map.shared(), work),
+                Workload::CasRetryLoop { window, work } => {
+                    builders::cas_increment_loop(map.shared(), window, work)
+                }
+                Workload::MixedReadWrite { writers, prim } => {
+                    if i < writers {
+                        builders::op_loop(prim, map.shared(), 0)
+                    } else {
+                        reader_loop(map)
+                    }
+                }
+                Workload::LockHandoff { shape, cs, noncs } => match shape {
+                    LockShape::Tas => builders::tas_lock_loop(map.lock(), cs, noncs),
+                    LockShape::Ttas => builders::ttas_lock_loop(map.lock(), cs, noncs),
+                    LockShape::Ticket => {
+                        builders::ticket_lock_loop(map.lock(), map.lock_serving(), cs, noncs)
+                    }
+                    LockShape::Mcs => builders::mcs_lock_loop(
+                        i,
+                        map.lock(),
+                        map.mcs_flag_base(),
+                        map.mcs_next_base(),
+                        cs,
+                        noncs,
+                    ),
+                },
+                Workload::FalseSharing { prim } => {
+                    let addr = bounce_sim::cache::WordAddr {
+                        line: map.shared().line,
+                        word: (i % 8) as u8,
+                    };
+                    builders::op_loop(prim, addr, 0)
+                }
+                Workload::CasRetryLoopBackoff { window, backoff } => {
+                    builders::cas_increment_loop_backoff(map.shared(), window, backoff)
+                }
+                Workload::MultiLine { prim, lines } => {
+                    assert!(lines >= 1, "MultiLine needs at least one line");
+                    builders::op_loop(prim, map.shared_aux((i % lines) as u64), 0)
+                }
+                Workload::Zipf {
+                    prim,
+                    lines,
+                    theta,
+                    seed,
+                } => crate::zipf::zipf_program(prim, map.shared_aux(0), lines, theta, seed, i, 128),
+            })
+            .collect()
+    }
+
+    /// The standard workload battery every experiment sweep draws from.
+    pub fn standard_battery() -> Vec<Workload> {
+        let mut v: Vec<Workload> = Primitive::ALL
+            .iter()
+            .map(|&prim| Workload::HighContention { prim })
+            .collect();
+        v.extend(
+            Primitive::RMW
+                .iter()
+                .map(|&prim| Workload::LowContention { prim, work: 0 }),
+        );
+        v.push(Workload::CasRetryLoop {
+            window: 30,
+            work: 0,
+        });
+        v.extend(LockShape::ALL.iter().map(|&shape| Workload::LockHandoff {
+            shape,
+            cs: 100,
+            noncs: 100,
+        }));
+        v
+    }
+}
+
+/// A pure-reader loop over the shared word with a tiny pause so that a
+/// reader never floods the event queue when the line is quiescent.
+fn reader_loop(map: AddressMap) -> Program {
+    Program::new(vec![
+        Step::Op {
+            prim: Primitive::Load,
+            addr: map.shared(),
+            operand: Operand::Const(0),
+            expected: Operand::Const(0),
+        },
+        Step::Work(8),
+        Step::Goto(0),
+    ])
+    .expect("reader loop is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_per_thread_count() {
+        for w in Workload::standard_battery() {
+            let progs = w.sim_programs(5);
+            assert_eq!(progs.len(), 5, "{}", w.label());
+        }
+    }
+
+    #[test]
+    fn low_contention_uses_distinct_lines() {
+        let w = Workload::LowContention {
+            prim: Primitive::Faa,
+            work: 0,
+        };
+        let progs = w.sim_programs(3);
+        let mut lines = std::collections::HashSet::new();
+        for p in &progs {
+            for s in p.steps() {
+                if let Step::Op { addr, .. } = s {
+                    lines.insert(addr.line);
+                }
+            }
+        }
+        assert_eq!(lines.len(), 3, "one private line per thread");
+    }
+
+    #[test]
+    fn high_contention_uses_one_line() {
+        let w = Workload::HighContention {
+            prim: Primitive::Cas,
+        };
+        let progs = w.sim_programs(4);
+        let mut lines = std::collections::HashSet::new();
+        for p in &progs {
+            for s in p.steps() {
+                if let Step::Op { addr, .. } = s {
+                    lines.insert(addr.line);
+                }
+            }
+        }
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn mixed_split_readers_writers() {
+        let w = Workload::MixedReadWrite {
+            writers: 2,
+            prim: Primitive::Faa,
+        };
+        let progs = w.sim_programs(6);
+        let is_writer = |p: &Program| {
+            p.steps()
+                .iter()
+                .any(|s| matches!(s, Step::Op { prim, .. } if prim.is_rmw()))
+        };
+        assert_eq!(progs.iter().filter(|p| is_writer(p)).count(), 2);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let battery = Workload::standard_battery();
+        let labels: std::collections::HashSet<_> = battery.iter().map(|w| w.label()).collect();
+        assert_eq!(labels.len(), battery.len());
+    }
+
+    #[test]
+    fn contention_classification() {
+        assert!(Workload::HighContention {
+            prim: Primitive::Faa
+        }
+        .is_high_contention());
+        assert!(!Workload::LowContention {
+            prim: Primitive::Faa,
+            work: 0
+        }
+        .is_high_contention());
+    }
+
+    #[test]
+    fn false_sharing_targets_distinct_words_of_one_line() {
+        let w = Workload::FalseSharing {
+            prim: Primitive::Faa,
+        };
+        let progs = w.sim_programs(8);
+        let mut lines = std::collections::HashSet::new();
+        let mut words = std::collections::HashSet::new();
+        for p in &progs {
+            for s in p.steps() {
+                if let Step::Op { addr, .. } = s {
+                    lines.insert(addr.line);
+                    words.insert(addr.word);
+                }
+            }
+        }
+        assert_eq!(lines.len(), 1, "one physical line");
+        assert_eq!(words.len(), 8, "eight logical words");
+    }
+
+    #[test]
+    fn backoff_loop_compiles_per_thread() {
+        let w = Workload::CasRetryLoopBackoff {
+            window: 20,
+            backoff: [32, 128, 512],
+        };
+        let progs = w.sim_programs(3);
+        assert_eq!(progs.len(), 3);
+        assert!(w.label().contains("bo32"));
+        assert!(w.is_high_contention());
+    }
+
+    #[test]
+    fn multiline_distributes_threads_over_lines() {
+        let w = Workload::MultiLine {
+            prim: Primitive::Faa,
+            lines: 3,
+        };
+        let progs = w.sim_programs(9);
+        let mut lines = std::collections::HashMap::new();
+        for p in &progs {
+            for s in p.steps() {
+                if let Step::Op { addr, .. } = s {
+                    *lines.entry(addr.line).or_insert(0u32) += 1;
+                }
+            }
+        }
+        assert_eq!(lines.len(), 3, "three distinct lines");
+        assert!(
+            lines.values().all(|&c| c == 3),
+            "3 threads per line: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn clone_eq() {
+        for w in Workload::standard_battery() {
+            let w2 = w.clone();
+            assert_eq!(w, w2);
+        }
+    }
+
+    #[test]
+    fn standard_battery_covers_both_regimes() {
+        let battery = Workload::standard_battery();
+        assert!(battery.iter().any(|w| w.is_high_contention()));
+        assert!(battery.iter().any(|w| !w.is_high_contention()));
+        assert!(battery
+            .iter()
+            .any(|w| matches!(w, Workload::LockHandoff { .. })));
+    }
+}

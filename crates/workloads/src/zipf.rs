@@ -1,0 +1,160 @@
+//! Zipf-skewed multi-line workloads: the realistic middle ground
+//! between the paper's two poles.
+//!
+//! Real applications rarely hammer exactly one line (pure HC) or give
+//! every thread a private line (pure LC); they touch a *population* of
+//! lines with skewed popularity. This module samples per-thread op
+//! sequences from a Zipf(θ) distribution over `L` lines (deterministic
+//! per seed), so the simulator sees a contention profile that
+//! interpolates between the striped (θ = 0, uniform) and single-line
+//! (θ → ∞) regimes.
+
+use bounce_sim::cache::WordAddr;
+use bounce_sim::program::{Operand, Program, Step};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bounce_atomics::Primitive;
+
+/// Zipf sampler over ranks `0..n` with exponent `theta ≥ 0`
+/// (`theta = 0` is uniform), via the inverse CDF on a precomputed
+/// cumulative table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be >= 0");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cumulative }
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let hi = self.cumulative[k];
+        let lo = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        hi - lo
+    }
+
+    /// Sample a rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// Build one simulator program for thread `i`: an unrolled loop of
+/// `ops_per_loop` ops whose target lines are Zipf(θ)-distributed over
+/// `lines` padded lines starting at `base`. Deterministic in
+/// `(seed, i)`.
+pub fn zipf_program(
+    prim: Primitive,
+    base: WordAddr,
+    lines: usize,
+    theta: f64,
+    seed: u64,
+    thread: usize,
+    ops_per_loop: usize,
+) -> Program {
+    assert!(ops_per_loop >= 1);
+    let zipf = Zipf::new(lines, theta);
+    let mut rng = StdRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9));
+    let mut steps = Vec::with_capacity(ops_per_loop + 1);
+    for _ in 0..ops_per_loop {
+        let line = zipf.sample(&mut rng) as u64;
+        steps.push(Step::Op {
+            prim,
+            addr: WordAddr {
+                line: bounce_sim::cache::LineId(base.line.0 + 128 * line),
+                word: base.word,
+            },
+            operand: Operand::Const(1),
+            expected: Operand::Const(0),
+        });
+    }
+    steps.push(Step::Goto(0));
+    Program::new(steps).expect("zipf program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_rank_zero() {
+        let z = Zipf::new(16, 1.2);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(15));
+        assert!(z.pmf(0) > 0.3, "head heavy: {}", z.pmf(0));
+        let total: f64 = (0..16).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(8, 0.9);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 8];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expect = z.pmf(k) * n as f64;
+            let rel = (c as f64 - expect).abs() / expect;
+            assert!(rel < 0.05, "rank {k}: {c} vs {expect:.0}");
+        }
+    }
+
+    #[test]
+    fn program_is_deterministic_per_seed_and_thread() {
+        let base = WordAddr::of_line(0x8000);
+        let a = zipf_program(Primitive::Faa, base, 8, 1.0, 42, 3, 64);
+        let b = zipf_program(Primitive::Faa, base, 8, 1.0, 42, 3, 64);
+        assert_eq!(a.steps(), b.steps());
+        let c = zipf_program(Primitive::Faa, base, 8, 1.0, 42, 4, 64);
+        assert_ne!(a.steps(), c.steps(), "different thread, different walk");
+    }
+
+    #[test]
+    fn program_targets_stay_in_range() {
+        let base = WordAddr::of_line(0x8000);
+        let p = zipf_program(Primitive::Swap, base, 4, 0.8, 1, 0, 128);
+        for s in p.steps() {
+            if let Step::Op { addr, .. } = s {
+                let off = addr.line.0 - 0x8000;
+                assert_eq!(off % 128, 0);
+                assert!(off / 128 < 4, "line index out of range");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_lines() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

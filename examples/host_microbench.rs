@@ -1,0 +1,77 @@
+//! Host microbenchmark: Table 2 measured *natively* on whatever machine
+//! this runs on — real atomic instructions, `rdtsc` timing, thread
+//! pinning when the host allows it. The one part of the study that is
+//! meaningful even on a single-CPU container (uncontended costs), and
+//! the full paper methodology on a real multicore.
+//!
+//! ```text
+//! cargo run --release --example host_microbench [threads]
+//! ```
+
+use bounce::harness::native::{native_measure, NativeConfig};
+use bounce::topo::host;
+use bounce::workloads::Workload;
+use bounce_atomics::Primitive;
+use std::time::Duration;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let topo = host::detect();
+    let cpus = host::available_cpus();
+    println!("host: {} ({} online cpus)\n", topo.name, cpus);
+    if n > cpus {
+        println!("note: {n} threads on {cpus} cpus — timeslicing, numbers are not contention measurements\n");
+    }
+    let cfg = NativeConfig {
+        duration: Duration::from_millis(300),
+        warmup: Duration::from_millis(50),
+        pin: n <= cpus,
+        latency_sample_shift: 6,
+    };
+
+    println!("uncontended-per-thread native cost, {n} thread(s):");
+    println!(
+        "{:>7} {:>14} {:>16} {:>16} {:>16}",
+        "prim", "Mops/s", "mean rdtsc cyc", "p50 cyc", "p99 cyc"
+    );
+    for prim in Primitive::ALL {
+        let w = if n == 1 {
+            Workload::HighContention { prim }
+        } else {
+            Workload::LowContention { prim, work: 0 }
+        };
+        let m = native_measure(&topo, &w, n, &cfg);
+        println!(
+            "{:>7} {:>14.2} {:>16.1} {:>16.1} {:>16.1}",
+            prim.label(),
+            m.throughput_ops_per_sec / 1e6,
+            m.mean_latency_cycles,
+            m.p50_latency_cycles,
+            m.p99_latency_cycles,
+        );
+    }
+
+    println!("\nCAS retry loop (window 0), {n} thread(s):");
+    let m = native_measure(
+        &topo,
+        &Workload::CasRetryLoop { window: 0, work: 0 },
+        n,
+        &cfg,
+    );
+    println!(
+        "  attempts {:.2} Mops/s, goodput {:.2} Mops/s, failure rate {:.3}",
+        m.cond_attempts_per_sec / 1e6,
+        m.goodput_ops_per_sec / 1e6,
+        m.failure_rate
+    );
+    match m.energy_per_op_nj {
+        Some(nj) => println!("  RAPL energy: {nj:.1} nJ/op"),
+        None => println!("  RAPL energy: not available on this host"),
+    }
+    println!("\nnote: the mean rdtsc column includes the timing overhead of the");
+    println!("rdtsc pair itself (~20-40 reference cycles), so treat it as an");
+    println!("upper bound on the instruction cost.");
+}

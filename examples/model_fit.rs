@@ -1,0 +1,93 @@
+//! Model fitting end-to-end: measure a high-contention sweep on the
+//! simulated KNL, recover the transfer costs by Nelder–Mead, and report
+//! prediction error on the full sweep (the Fig 7 / E9 workflow).
+//!
+//! ```text
+//! cargo run --release --example model_fit
+//! ```
+
+use bounce::harness::simrun::{sim_measure, SimRunConfig};
+use bounce::model::fit::{fit_transfer_costs, SweepObservation};
+use bounce::model::validate::{mape, ValidationRow};
+use bounce::model::{Model, ModelParams};
+use bounce::sim::ArbitrationPolicy;
+use bounce::topo::{presets, Placement};
+use bounce::workloads::Workload;
+use bounce_atomics::Primitive;
+
+fn main() {
+    let topo = presets::xeon_phi_7290();
+    let mut cfg = SimRunConfig::for_machine(&topo);
+    cfg.params.arbitration = ArbitrationPolicy::Fifo;
+    let order = Placement::Packed.full_order(&topo);
+
+    // 1. Measure the sweep.
+    println!("measuring HC FAA sweep on simulated {} ...", topo.name);
+    let ns = [2usize, 4, 8, 16, 32, 64, 144, 288];
+    let measured: Vec<(usize, f64)> = ns
+        .iter()
+        .map(|&n| {
+            let m = sim_measure(
+                &topo,
+                &Workload::HighContention {
+                    prim: Primitive::Faa,
+                },
+                n,
+                &cfg,
+            );
+            (n, m.throughput_ops_per_sec)
+        })
+        .collect();
+
+    // 2. Fit the four transfer costs on the even points.
+    let train: Vec<SweepObservation> = measured
+        .iter()
+        .step_by(2)
+        .map(|(n, x)| SweepObservation {
+            threads: order[..*n].to_vec(),
+            prim: Primitive::Faa,
+            throughput_ops_per_sec: *x,
+        })
+        .collect();
+    let fit = fit_transfer_costs(&topo, &train, &ModelParams::knl_default());
+    println!(
+        "\nfitted transfer costs (cycles): smt={:.1} tile={:.1} socket={:.1} cross={:.1}",
+        fit.params.transfer.smt,
+        fit.params.transfer.tile,
+        fit.params.transfer.socket,
+        fit.params.transfer.cross
+    );
+    println!(
+        "training residual (rms relative error): {:.2}% over {} points, {} simplex iters",
+        fit.rms_rel_error * 100.0,
+        train.len(),
+        fit.iterations
+    );
+
+    // 3. Validate on the whole sweep (including held-out points).
+    let model = Model::new(topo.clone(), fit.params.clone());
+    let mut rows = Vec::new();
+    println!(
+        "\n{:>5} {:>14} {:>14} {:>8}",
+        "n", "measured Mops", "predicted Mops", "err %"
+    );
+    for (n, x) in &measured {
+        let pred = model
+            .predict_hc(&order[..*n], Primitive::Faa)
+            .throughput_ops_per_sec;
+        let row = ValidationRow {
+            n: *n,
+            predicted: pred,
+            measured: *x,
+        };
+        println!(
+            "{:>5} {:>14.2} {:>14.2} {:>7.1}%",
+            n,
+            x / 1e6,
+            pred / 1e6,
+            row.ape_pct()
+        );
+        rows.push(row);
+    }
+    println!("\nMAPE over the sweep: {:.2}%", mape(&rows));
+}

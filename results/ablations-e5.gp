@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'ablations-e5.png'
+set title "Ablations (A1-A5) at n=16 — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'ablation'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'ablations-e5.tsv' using 1:3 skip 1 with linespoints title 'goodput_mops' noenhanced, \
+     'ablations-e5.tsv' using 1:4 skip 1 with linespoints title 'fail_rate' noenhanced, \
+     'ablations-e5.tsv' using 1:5 skip 1 with linespoints title 'jain' noenhanced

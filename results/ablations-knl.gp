@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'ablations-knl.png'
+set title "Ablations (A1-A5) at n=16 — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'ablation'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'ablations-knl.tsv' using 1:3 skip 1 with linespoints title 'goodput_mops' noenhanced, \
+     'ablations-knl.tsv' using 1:4 skip 1 with linespoints title 'fail_rate' noenhanced, \
+     'ablations-knl.tsv' using 1:5 skip 1 with linespoints title 'jain' noenhanced

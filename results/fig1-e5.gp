@@ -1,0 +1,13 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig1-e5.png'
+set title "Fig 1 (E3): HC throughput vs threads (Mops/s) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig1-e5.tsv' using 1:2 skip 1 with linespoints title 'load' noenhanced, \
+     'fig1-e5.tsv' using 1:3 skip 1 with linespoints title 'store' noenhanced, \
+     'fig1-e5.tsv' using 1:4 skip 1 with linespoints title 'swap' noenhanced, \
+     'fig1-e5.tsv' using 1:5 skip 1 with linespoints title 'tas' noenhanced, \
+     'fig1-e5.tsv' using 1:6 skip 1 with linespoints title 'faa' noenhanced, \
+     'fig1-e5.tsv' using 1:7 skip 1 with linespoints title 'cas' noenhanced

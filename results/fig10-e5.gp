@@ -1,0 +1,14 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig10-e5.png'
+set title "Fig 10 (E12): lock handoffs/s vs threads (cs=100cy, noncs=100cy) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig10-e5.tsv' using 1:2 skip 1 with linespoints title 'tas_mops' noenhanced, \
+     'fig10-e5.tsv' using 1:3 skip 1 with linespoints title 'ttas_mops' noenhanced, \
+     'fig10-e5.tsv' using 1:4 skip 1 with linespoints title 'ticket_mops' noenhanced, \
+     'fig10-e5.tsv' using 1:5 skip 1 with linespoints title 'mcs_mops' noenhanced, \
+     'fig10-e5.tsv' using 1:6 skip 1 with linespoints title 'model_tas' noenhanced, \
+     'fig10-e5.tsv' using 1:7 skip 1 with linespoints title 'model_mcs' noenhanced, \
+     'fig10-e5.tsv' using 1:8 skip 1 with linespoints title 'ticket_jain' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig11-e5.png'
+set title "Fig 11 (E13): false sharing vs padded (FAA, Mops/s) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig11-e5.tsv' using 1:2 skip 1 with linespoints title 'false_sharing' noenhanced, \
+     'fig11-e5.tsv' using 1:3 skip 1 with linespoints title 'padded' noenhanced, \
+     'fig11-e5.tsv' using 1:4 skip 1 with linespoints title 'slowdown' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig11-knl.png'
+set title "Fig 11 (E13): false sharing vs padded (FAA, Mops/s) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig11-knl.tsv' using 1:2 skip 1 with linespoints title 'false_sharing' noenhanced, \
+     'fig11-knl.tsv' using 1:3 skip 1 with linespoints title 'padded' noenhanced, \
+     'fig11-knl.tsv' using 1:4 skip 1 with linespoints title 'slowdown' noenhanced

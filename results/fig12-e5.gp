@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig12-e5.png'
+set title "Fig 12 (E14): 1 writer + readers, MESIF vs MESI (total Mops/s) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'readers'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig12-e5.tsv' using 1:2 skip 1 with linespoints title 'mesif' noenhanced, \
+     'fig12-e5.tsv' using 1:3 skip 1 with linespoints title 'mesi' noenhanced, \
+     'fig12-e5.tsv' using 1:4 skip 1 with linespoints title 'mesif_gain' noenhanced, \
+     'fig12-e5.tsv' using 1:5 skip 1 with linespoints title 'model' noenhanced

@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig12-knl.png'
+set title "Fig 12 (E14): 1 writer + readers, MESIF vs MESI (total Mops/s) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'readers'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig12-knl.tsv' using 1:2 skip 1 with linespoints title 'mesif' noenhanced, \
+     'fig12-knl.tsv' using 1:3 skip 1 with linespoints title 'mesi' noenhanced, \
+     'fig12-knl.tsv' using 1:4 skip 1 with linespoints title 'mesif_gain' noenhanced, \
+     'fig12-knl.tsv' using 1:5 skip 1 with linespoints title 'model' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig13-knl.png'
+set title "Fig 13 (E15): contention spreading, n=16 (FAA, Mops/s) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'lines'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig13-knl.tsv' using 1:2 skip 1 with linespoints title 'throughput_mops' noenhanced, \
+     'fig13-knl.tsv' using 1:3 skip 1 with linespoints title 'model_mops' noenhanced, \
+     'fig13-knl.tsv' using 1:4 skip 1 with linespoints title 'speedup_vs_1' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig14-e5.png'
+set title "Fig 14 (E16): Zipf contention, n=16, 8 lines (FAA, Mops/s) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'theta'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig14-e5.tsv' using 1:2 skip 1 with linespoints title 'throughput_mops' noenhanced, \
+     'fig14-e5.tsv' using 1:3 skip 1 with linespoints title 'hot_line_share' noenhanced, \
+     'fig14-e5.tsv' using 1:4 skip 1 with linespoints title 'model_bound_mops' noenhanced

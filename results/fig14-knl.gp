@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig14-knl.png'
+set title "Fig 14 (E16): Zipf contention, n=16, 8 lines (FAA, Mops/s) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'theta'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig14-knl.tsv' using 1:2 skip 1 with linespoints title 'throughput_mops' noenhanced, \
+     'fig14-knl.tsv' using 1:3 skip 1 with linespoints title 'hot_line_share' noenhanced, \
+     'fig14-knl.tsv' using 1:4 skip 1 with linespoints title 'model_bound_mops' noenhanced

@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig2-knl.png'
+set title "Fig 2 (E4): HC latency vs threads (cycles) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig2-knl.tsv' using 1:2 skip 1 with linespoints title 'swap' noenhanced, \
+     'fig2-knl.tsv' using 1:3 skip 1 with linespoints title 'tas' noenhanced, \
+     'fig2-knl.tsv' using 1:4 skip 1 with linespoints title 'faa' noenhanced, \
+     'fig2-knl.tsv' using 1:5 skip 1 with linespoints title 'cas' noenhanced, \
+     'fig2-knl.tsv' using 1:6 skip 1 with linespoints title 'cas_p99' noenhanced

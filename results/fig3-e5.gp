@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig3-e5.png'
+set title "Fig 3 (E5): CAS retry loop (window=30cy) vs threads — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig3-e5.tsv' using 1:2 skip 1 with linespoints title 'attempts_mops' noenhanced, \
+     'fig3-e5.tsv' using 1:3 skip 1 with linespoints title 'goodput_mops' noenhanced, \
+     'fig3-e5.tsv' using 1:4 skip 1 with linespoints title 'fail_rate' noenhanced, \
+     'fig3-e5.tsv' using 1:5 skip 1 with linespoints title 'model_fail_rate' noenhanced

@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig3-knl.png'
+set title "Fig 3 (E5): CAS retry loop (window=30cy) vs threads — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig3-knl.tsv' using 1:2 skip 1 with linespoints title 'attempts_mops' noenhanced, \
+     'fig3-knl.tsv' using 1:3 skip 1 with linespoints title 'goodput_mops' noenhanced, \
+     'fig3-knl.tsv' using 1:4 skip 1 with linespoints title 'fail_rate' noenhanced, \
+     'fig3-knl.tsv' using 1:5 skip 1 with linespoints title 'model_fail_rate' noenhanced

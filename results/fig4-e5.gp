@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig4-e5.png'
+set title "Fig 4 (E6): fairness vs threads (FAA, scattered) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig4-e5.tsv' using 1:2 skip 1 with linespoints title 'fifo' noenhanced, \
+     'fig4-e5.tsv' using 1:3 skip 1 with linespoints title 'random' noenhanced, \
+     'fig4-e5.tsv' using 1:4 skip 1 with linespoints title 'nearest' noenhanced, \
+     'fig4-e5.tsv' using 1:5 skip 1 with linespoints title 'model_nearest' noenhanced

@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig4-knl.png'
+set title "Fig 4 (E6): fairness vs threads (FAA, scattered) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig4-knl.tsv' using 1:2 skip 1 with linespoints title 'fifo' noenhanced, \
+     'fig4-knl.tsv' using 1:3 skip 1 with linespoints title 'random' noenhanced, \
+     'fig4-knl.tsv' using 1:4 skip 1 with linespoints title 'nearest' noenhanced, \
+     'fig4-knl.tsv' using 1:5 skip 1 with linespoints title 'model_nearest' noenhanced

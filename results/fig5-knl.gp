@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig5-knl.png'
+set title "Fig 5 (E7): energy per op vs threads (HC) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig5-knl.tsv' using 1:2 skip 1 with linespoints title 'faa_nj' noenhanced, \
+     'fig5-knl.tsv' using 1:3 skip 1 with linespoints title 'cas_nj' noenhanced, \
+     'fig5-knl.tsv' using 1:4 skip 1 with linespoints title 'model_faa_nj' noenhanced, \
+     'fig5-knl.tsv' using 1:5 skip 1 with linespoints title 'lc_faa_nj' noenhanced

@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig6-e5.png'
+set title "Fig 6 (E8): LC throughput vs threads (Mops/s) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig6-e5.tsv' using 1:2 skip 1 with linespoints title 'swap' noenhanced, \
+     'fig6-e5.tsv' using 1:3 skip 1 with linespoints title 'tas' noenhanced, \
+     'fig6-e5.tsv' using 1:4 skip 1 with linespoints title 'faa' noenhanced, \
+     'fig6-e5.tsv' using 1:5 skip 1 with linespoints title 'cas' noenhanced, \
+     'fig6-e5.tsv' using 1:6 skip 1 with linespoints title 'ideal_faa' noenhanced

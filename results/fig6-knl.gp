@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig6-knl.png'
+set title "Fig 6 (E8): LC throughput vs threads (Mops/s) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig6-knl.tsv' using 1:2 skip 1 with linespoints title 'swap' noenhanced, \
+     'fig6-knl.tsv' using 1:3 skip 1 with linespoints title 'tas' noenhanced, \
+     'fig6-knl.tsv' using 1:4 skip 1 with linespoints title 'faa' noenhanced, \
+     'fig6-knl.tsv' using 1:5 skip 1 with linespoints title 'cas' noenhanced, \
+     'fig6-knl.tsv' using 1:6 skip 1 with linespoints title 'ideal_faa' noenhanced

@@ -1,0 +1,13 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig7-e5.png'
+set title "Fig 7 (E9): model validation, HC FAA — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP) (fitted smt=22.998 tile=35.193 socket=41.854 cross=166.7)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig7-e5.tsv' using 1:2 skip 1 with linespoints title 'measured_mops' noenhanced, \
+     'fig7-e5.tsv' using 1:3 skip 1 with linespoints title 'predicted_mops' noenhanced, \
+     'fig7-e5.tsv' using 1:4 skip 1 with linespoints title 'err_pct' noenhanced, \
+     'fig7-e5.tsv' using 1:5 skip 1 with linespoints title 'measured_lat_cy' noenhanced, \
+     'fig7-e5.tsv' using 1:6 skip 1 with linespoints title 'predicted_lat_cy' noenhanced, \
+     'fig7-e5.tsv' using 1:7 skip 1 with linespoints title 'lat_err_pct' noenhanced

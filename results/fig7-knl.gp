@@ -1,0 +1,13 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig7-knl.png'
+set title "Fig 7 (E9): model validation, HC FAA — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing) (fitted smt=49.970 tile=49.970 socket=64.033 cross=158.2)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig7-knl.tsv' using 1:2 skip 1 with linespoints title 'measured_mops' noenhanced, \
+     'fig7-knl.tsv' using 1:3 skip 1 with linespoints title 'predicted_mops' noenhanced, \
+     'fig7-knl.tsv' using 1:4 skip 1 with linespoints title 'err_pct' noenhanced, \
+     'fig7-knl.tsv' using 1:5 skip 1 with linespoints title 'measured_lat_cy' noenhanced, \
+     'fig7-knl.tsv' using 1:6 skip 1 with linespoints title 'predicted_lat_cy' noenhanced, \
+     'fig7-knl.tsv' using 1:7 skip 1 with linespoints title 'lat_err_pct' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig8-e5.png'
+set title "Fig 8 (E10): placement effect at n=24 (HC FAA) — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'placement'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig8-e5.tsv' using 1:2 skip 1 with linespoints title 'throughput_mops' noenhanced, \
+     'fig8-e5.tsv' using 1:3 skip 1 with linespoints title 'model_mops' noenhanced, \
+     'fig8-e5.tsv' using 1:4 skip 1 with linespoints title 'cross_socket_share' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig8-knl.png'
+set title "Fig 8 (E10): placement effect at n=32 (HC FAA) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'placement'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig8-knl.tsv' using 1:2 skip 1 with linespoints title 'throughput_mops' noenhanced, \
+     'fig8-knl.tsv' using 1:3 skip 1 with linespoints title 'model_mops' noenhanced, \
+     'fig8-knl.tsv' using 1:4 skip 1 with linespoints title 'cross_socket_share' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'fig9-knl.png'
+set title "Fig 9 (E11): throughput vs local work between ops, n=16 (FAA) — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'work_cycles'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'fig9-knl.tsv' using 1:2 skip 1 with linespoints title 'throughput_mops' noenhanced, \
+     'fig9-knl.tsv' using 1:3 skip 1 with linespoints title 'model_mops' noenhanced, \
+     'fig9-knl.tsv' using 1:4 skip 1 with linespoints title 'latency_cycles' noenhanced

@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'latency-hist-e5.png'
+set title "Latency distribution (D1): HC FAA log2 buckets, random arbitration — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'n'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'latency-hist-e5.tsv' using 1:2 skip 1 with linespoints title 'bucket_lo_cycles' noenhanced, \
+     'latency-hist-e5.tsv' using 1:3 skip 1 with linespoints title 'bucket_hi_cycles' noenhanced, \
+     'latency-hist-e5.tsv' using 1:4 skip 1 with linespoints title 'count' noenhanced, \
+     'latency-hist-e5.tsv' using 1:5 skip 1 with linespoints title 'share' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'sensitivity-e5.png'
+set title "Sensitivity (S1): HC elasticities, FAA — Intel Xeon E5-2695 v4 (2S x 18C x 2T, Broadwell-EP)" noenhanced
+set xlabel 'config'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'sensitivity-e5.tsv' using 1:3 skip 1 with linespoints title 'd_throughput' noenhanced, \
+     'sensitivity-e5.tsv' using 1:4 skip 1 with linespoints title 'd_latency' noenhanced, \
+     'sensitivity-e5.tsv' using 1:5 skip 1 with linespoints title 'd_energy' noenhanced

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'sensitivity-knl.png'
+set title "Sensitivity (S1): HC elasticities, FAA — Intel Xeon Phi 7290 (36 tiles x 2C x 4T, Knights Landing)" noenhanced
+set xlabel 'config'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'sensitivity-knl.tsv' using 1:3 skip 1 with linespoints title 'd_throughput' noenhanced, \
+     'sensitivity-knl.tsv' using 1:4 skip 1 with linespoints title 'd_latency' noenhanced, \
+     'sensitivity-knl.tsv' using 1:5 skip 1 with linespoints title 'd_energy' noenhanced

@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'table1.png'
+set title "Table 1 (E1): machine configurations" noenhanced
+set xlabel 'machine'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'table1.tsv' using 1:2 skip 1 with linespoints title 'sockets' noenhanced, \
+     'table1.tsv' using 1:3 skip 1 with linespoints title 'cores' noenhanced, \
+     'table1.tsv' using 1:4 skip 1 with linespoints title 'hw_threads' noenhanced, \
+     'table1.tsv' using 1:5 skip 1 with linespoints title 'smt' noenhanced, \
+     'table1.tsv' using 1:6 skip 1 with linespoints title 'freq_ghz' noenhanced

@@ -1,0 +1,9 @@
+set terminal pngcairo size 900,540 enhanced
+set output 'table2.png'
+set title "Table 2 (E2): uncontended latency of atomic primitives (cycles)" noenhanced
+set xlabel 'machine'
+set key outside right
+set grid
+set datafile commentschars '#'
+plot 'table2.tsv' using 1:3 skip 1 with linespoints title 'latency_cycles' noenhanced, \
+     'table2.tsv' using 1:4 skip 1 with linespoints title 'throughput_mops' noenhanced

@@ -1,0 +1,29 @@
+//! `bounce` — facade crate for the ICPP'19 reproduction
+//! *Modeling the Performance of Atomic Primitives on Modern Architectures*.
+//!
+//! Re-exports every subsystem under one roof:
+//!
+//! * [`topo`] — machine topologies (Xeon E5, Xeon Phi KNL presets, host
+//!   detection, placement policies);
+//! * [`atomics`] — the atomic-primitive layer and the lock / lock-free
+//!   structures built on it;
+//! * [`sim`] — the discrete-event cache-coherence simulator (the
+//!   stand-in for the paper's physical testbeds);
+//! * [`model`] — the paper's contribution: the cache-line-bouncing
+//!   performance model (latency, throughput, fairness, energy) with
+//!   parameter fitting and validation;
+//! * [`workloads`] — high-/low-contention workload generators and the
+//!   application contexts;
+//! * [`harness`] — the experiment harness tying everything together,
+//!   including the E1..E12 experiment registry reproducing the paper's
+//!   tables and figures.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and per-experiment index.
+
+pub use bounce_atomics as atomics;
+pub use bounce_core as model;
+pub use bounce_harness as harness;
+pub use bounce_sim as sim;
+pub use bounce_topo as topo;
+pub use bounce_workloads as workloads;
