@@ -10,12 +10,14 @@ lint:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # Regenerate every table and figure into results/ (with gnuplot scripts).
-repro:
-    cargo run --release -p bounce-bench --bin repro -- all --out results/ --plots
+# jobs=0 means one worker per host core; jobs=1 is the serial baseline.
+# Output is byte-identical at every job count.
+repro jobs="0":
+    cargo run --release -p bounce-bench --bin repro -- all --jobs {{jobs}} --timings --out results/ --plots
 
 # Quick repro (CI-speed sweeps).
-repro-quick:
-    cargo run --release -p bounce-bench --bin repro -- all --quick --out results-quick/
+repro-quick jobs="0":
+    cargo run --release -p bounce-bench --bin repro -- all --quick --jobs {{jobs}} --timings --out results-quick/
 
 # All criterion benches.
 bench:

@@ -87,6 +87,16 @@ impl Primitive {
         Primitive::Cas,
     ];
 
+    /// Position of this primitive in [`Primitive::ALL`], in O(1).
+    ///
+    /// `ALL` lists the variants in declaration order, so the discriminant
+    /// *is* the index (checked by a unit test). Hot paths use this
+    /// instead of scanning `ALL` per operation.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short lowercase label for tables and CLI arguments.
     pub fn label(&self) -> &'static str {
         match self {
@@ -254,6 +264,13 @@ impl std::fmt::Display for Primitive {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, p) in Primitive::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i, "{p}");
+        }
+    }
 
     #[test]
     fn labels_roundtrip() {

@@ -4,10 +4,18 @@
 //! ```text
 //! repro list                      # show experiment ids
 //! repro all [--quick] [--out D]  # run everything, write TSVs + stdout
+//! repro all --jobs 4 --timings   # parallel run with per-experiment times
 //! repro fig1 --machine knl       # one experiment, one machine
 //! repro table2 --markdown        # markdown instead of TSV on stdout
 //! repro predict --machine e5 --threads 24 --prim faa [--placement packed]
 //! ```
+//!
+//! `--jobs N` fans independent simulation points across `N` host
+//! threads (default: all cores; `--jobs 1` is the serial baseline).
+//! Results are collected in sweep order, so the output is byte-identical
+//! at every job count. `repro all --timings` also writes
+//! `BENCH_repro.json` with the wall-clock, total simulated events and
+//! events/sec for the run.
 
 use bounce_bench::{to_markdown_doc, write_tsv, write_tsv_with_plot};
 use bounce_harness::experiments::{self, ExpCtx, Machine};
@@ -21,6 +29,8 @@ struct Args {
     quick: bool,
     markdown: bool,
     plots: bool,
+    timings: bool,
+    jobs: usize,
     out: Option<PathBuf>,
     threads: usize,
     prim: bounce_atomics::Primitive,
@@ -34,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         markdown: false,
         plots: false,
+        timings: false,
+        jobs: 0,
         out: None,
         threads: 8,
         prim: bounce_atomics::Primitive::Faa,
@@ -46,6 +58,11 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => args.quick = true,
             "--markdown" => args.markdown = true,
             "--plots" => args.plots = true,
+            "--timings" => args.timings = true,
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a number (0 = all cores)")?;
+                args.jobs = v.parse().map_err(|_| format!("bad job count '{v}'"))?;
+            }
             "--machine" => {
                 let m = it.next().ok_or("--machine needs a value (e5|knl)")?;
                 args.machine = Some(match m.as_str() {
@@ -151,10 +168,11 @@ fn main() -> ExitCode {
     } else {
         ExpCtx::full()
     };
+    bounce_harness::set_jobs(args.jobs);
     match args.command.as_str() {
         "help" => {
             eprintln!(
-                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--quick] [--markdown] [--plots] [--out DIR]",
+                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR]",
                 EXPERIMENT_IDS.join("|")
             );
             ExitCode::SUCCESS
@@ -294,7 +312,47 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "all" => {
-            let tables = experiments::all_experiments(ctx);
+            bounce_sim::counters::reset_events();
+            let t0 = std::time::Instant::now();
+            let timed = experiments::all_experiments_timed(ctx);
+            let wall = t0.elapsed();
+            let events = bounce_sim::counters::total_events();
+            let tables: Vec<(String, Table)> =
+                timed.iter().map(|(id, t, _)| (id.clone(), t.clone())).collect();
+            if args.timings {
+                eprintln!("--- timings ({} jobs) ---", bounce_harness::jobs());
+                for (id, _, d) in &timed {
+                    eprintln!("{id:<20} {:>8.2}s", d.as_secs_f64());
+                }
+                eprintln!(
+                    "total: {:.2}s wall, {} simulated events, {:.1} M events/s",
+                    wall.as_secs_f64(),
+                    events,
+                    events as f64 / wall.as_secs_f64() / 1e6
+                );
+                let bench_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+                if let Err(e) = std::fs::create_dir_all(&bench_dir) {
+                    eprintln!("error creating {}: {e}", bench_dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let bench_path = bench_dir.join("BENCH_repro.json");
+                let json = format!(
+                    "{{\n  \"command\": \"repro all{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.3},\n  \"simulated_events\": {},\n  \"events_per_sec\": {:.0},\n  \"experiments\": {}\n}}\n",
+                    if args.quick { " --quick" } else { "" },
+                    bounce_harness::jobs(),
+                    wall.as_secs_f64(),
+                    events,
+                    events as f64 / wall.as_secs_f64(),
+                    timed.len()
+                );
+                match std::fs::write(&bench_path, json) {
+                    Ok(()) => eprintln!("wrote {}", bench_path.display()),
+                    Err(e) => {
+                        eprintln!("error writing {}: {e}", bench_path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             if let Some(dir) = &args.out {
                 for (id, t) in &tables {
                     let res = if args.plots {

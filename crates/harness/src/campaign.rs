@@ -57,10 +57,9 @@ pub fn fit_and_validate(
     split: TrainSplit,
 ) -> Campaign {
     let order = cfg.placement.full_order(topo);
-    let measurements: Vec<Measurement> = ns
-        .iter()
-        .map(|&n| sim_measure(topo, &Workload::HighContention { prim }, n, cfg))
-        .collect();
+    let measurements: Vec<Measurement> = crate::parallel::par_map(ns, |&n| {
+        sim_measure(topo, &Workload::HighContention { prim }, n, cfg)
+    });
     let multi: Vec<&Measurement> = measurements.iter().filter(|m| m.n >= 2).collect();
     let train: Vec<SweepObservation> = multi
         .iter()

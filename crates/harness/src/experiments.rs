@@ -1067,31 +1067,57 @@ pub fn sensitivity(ctx: ExpCtx, machine: Machine) -> Table {
 }
 
 /// Every experiment, in presentation order, with stable ids.
+///
+/// Experiments run on the parallel executor (see [`crate::parallel`]):
+/// each (id, table) pair is produced by an independent task, and results
+/// are collected in registry order, so the output — and every table in
+/// it — is identical to a serial run.
 pub fn all_experiments(ctx: ExpCtx) -> Vec<(String, Table)> {
-    let mut out = vec![
-        ("table1".to_string(), table1()),
-        ("table2".to_string(), table2(ctx)),
+    all_experiments_timed(ctx)
+        .into_iter()
+        .map(|(id, t, _)| (id, t))
+        .collect()
+}
+
+/// Like [`all_experiments`], with each experiment's own wall-clock
+/// elapsed time (as seen by the task, so times of concurrently-running
+/// experiments overlap).
+pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, Table, std::time::Duration)> {
+    type Thunk = Box<dyn Fn() -> Table + Send + Sync>;
+    let mut specs: Vec<(String, Thunk)> = vec![
+        ("table1".to_string(), Box::new(table1)),
+        ("table2".to_string(), Box::new(move || table2(ctx))),
     ];
     for m in Machine::ALL {
-        out.push((format!("fig1-{}", m.label()), fig1(ctx, m)));
-        out.push((format!("fig2-{}", m.label()), fig2(ctx, m)));
-        out.push((format!("fig3-{}", m.label()), fig3(ctx, m)));
-        out.push((format!("fig4-{}", m.label()), fig4(ctx, m)));
-        out.push((format!("fig5-{}", m.label()), fig5(ctx, m)));
-        out.push((format!("fig6-{}", m.label()), fig6(ctx, m)));
-        out.push((format!("fig7-{}", m.label()), fig7(ctx, m)));
-        out.push((format!("fig8-{}", m.label()), fig8(ctx, m)));
-        out.push((format!("fig9-{}", m.label()), fig9(ctx, m)));
-        out.push((format!("fig10-{}", m.label()), fig10(ctx, m)));
-        out.push((format!("fig11-{}", m.label()), fig11(ctx, m)));
-        out.push((format!("fig12-{}", m.label()), fig12(ctx, m)));
-        out.push((format!("fig13-{}", m.label()), fig13(ctx, m)));
-        out.push((format!("fig14-{}", m.label()), fig14(ctx, m)));
-        out.push((format!("ablations-{}", m.label()), ablations(ctx, m)));
-        out.push((format!("sensitivity-{}", m.label()), sensitivity(ctx, m)));
-        out.push((format!("latency-hist-{}", m.label()), latency_hist(ctx, m)));
+        let figs: [(&str, Thunk); 17] = [
+            ("fig1", Box::new(move || fig1(ctx, m))),
+            ("fig2", Box::new(move || fig2(ctx, m))),
+            ("fig3", Box::new(move || fig3(ctx, m))),
+            ("fig4", Box::new(move || fig4(ctx, m))),
+            ("fig5", Box::new(move || fig5(ctx, m))),
+            ("fig6", Box::new(move || fig6(ctx, m))),
+            ("fig7", Box::new(move || fig7(ctx, m))),
+            ("fig8", Box::new(move || fig8(ctx, m))),
+            ("fig9", Box::new(move || fig9(ctx, m))),
+            ("fig10", Box::new(move || fig10(ctx, m))),
+            ("fig11", Box::new(move || fig11(ctx, m))),
+            ("fig12", Box::new(move || fig12(ctx, m))),
+            ("fig13", Box::new(move || fig13(ctx, m))),
+            ("fig14", Box::new(move || fig14(ctx, m))),
+            ("ablations", Box::new(move || ablations(ctx, m))),
+            ("sensitivity", Box::new(move || sensitivity(ctx, m))),
+            ("latency-hist", Box::new(move || latency_hist(ctx, m))),
+        ];
+        for (name, thunk) in figs {
+            specs.push((format!("{name}-{}", m.label()), thunk));
+        }
     }
-    out
+    crate::parallel::par_run(specs.len(), |i| {
+        let (id, thunk) = &specs[i];
+        let t0 = std::time::Instant::now();
+        let table = thunk();
+        (id.clone(), table, t0.elapsed())
+    })
 }
 
 #[cfg(test)]

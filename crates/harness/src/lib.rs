@@ -25,11 +25,13 @@ pub mod campaign;
 pub mod experiments;
 pub mod measurement;
 pub mod native;
+pub mod parallel;
 pub mod rapl;
 pub mod report;
 pub mod simrun;
 pub mod sweeps;
 
 pub use measurement::{Backend, Measurement};
+pub use parallel::{jobs, par_map, par_run, set_jobs};
 pub use report::Table;
 pub use simrun::{sim_measure, sim_measure_seeds, SeededSummary, SimRunConfig};

@@ -1,0 +1,156 @@
+//! Parallel campaign executor: fan independent simulation points across
+//! host cores with *deterministic, sweep-ordered* results.
+//!
+//! Every sweep in this crate is embarrassingly parallel — each point
+//! builds its own [`Engine`](bounce_sim::Engine) from its own config, so
+//! points share no mutable state. The executor exploits that: a scoped
+//! worker pool pulls point indices from an atomic counter, and results
+//! are collected **by index**, so the output vector is identical to the
+//! serial one regardless of which worker finished first. Parallel output
+//! is byte-identical to `--jobs 1` output.
+//!
+//! Nesting is flattened rather than multiplied: when a task running
+//! inside the pool starts its own sweep (e.g. a campaign point that
+//! itself sweeps seeds), the inner sweep runs serially on that worker.
+//! This keeps the thread count bounded by the configured job count.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Requested job count: 0 = auto (host parallelism), n>=1 = exactly n.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while executing inside a pool worker; nested sweeps then run
+    /// serially instead of spawning a second level of threads.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the job count for subsequent sweeps. `0` restores the default
+/// (one job per available host core).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The resolved job count (always >= 1).
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Run `f(0..n)` and return the results in index order.
+///
+/// With `jobs() == 1`, inside an existing pool worker, or for a single
+/// point, this is a plain serial loop on the calling thread — exactly
+/// today's behaviour. Otherwise up to `jobs()` scoped workers claim
+/// indices from a shared counter; each worker keeps its results tagged
+/// with their index and the caller reassembles them in order, so the
+/// returned vector never depends on thread scheduling.
+pub fn par_run<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = jobs().min(n);
+    if workers <= 1 || IN_POOL.with(|p| p.get()) {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_POOL.with(|p| p.set(true));
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Map `f` over a slice in parallel, preserving order ([`par_run`] over
+/// the indices).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_run(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        set_jobs(4);
+        let out = par_run(64, |i| {
+            // Stagger completion so later indices often finish first.
+            std::thread::sleep(std::time::Duration::from_micros(((64 - i) % 7) as u64));
+            i * 3
+        });
+        set_jobs(0);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        set_jobs(1);
+        let serial = par_run(20, |i| i * i + 1);
+        set_jobs(4);
+        let parallel = par_run(20, |i| i * i + 1);
+        set_jobs(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nested_sweeps_run_serially() {
+        set_jobs(4);
+        let out = par_run(8, |i| {
+            // The inner sweep must detect it is on a pool worker and not
+            // spawn another level of threads.
+            assert!(IN_POOL.with(|p| p.get()));
+            par_run(4, move |j| i * 10 + j)
+        });
+        set_jobs(0);
+        assert_eq!(out[2], vec![20, 21, 22, 23]);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<usize> = par_run(0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(par_run(1, |i| i + 9), vec![9]);
+        assert_eq!(par_map(&[5u64, 6], |x| x * 2), vec![10, 12]);
+    }
+
+    #[test]
+    fn jobs_resolution() {
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

@@ -122,14 +122,11 @@ pub fn sim_measure_seeds(
     seeds: &[u64],
 ) -> SeededSummary {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let runs: Vec<Measurement> = seeds
-        .iter()
-        .map(|&seed| {
-            let mut c = cfg.clone();
-            c.params.seed = seed;
-            sim_measure(topo, workload, n, &c)
-        })
-        .collect();
+    let runs: Vec<Measurement> = crate::parallel::par_map(seeds, |&seed| {
+        let mut c = cfg.clone();
+        c.params.seed = seed;
+        sim_measure(topo, workload, n, &c)
+    });
     let xs: Vec<f64> = runs.iter().map(|m| m.throughput_ops_per_sec).collect();
     let js: Vec<f64> = runs.iter().map(|m| m.jain).collect();
     SeededSummary {

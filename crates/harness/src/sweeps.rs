@@ -3,35 +3,32 @@
 //! registry specialises these; downstream users get them directly.
 
 use crate::measurement::Measurement;
+use crate::parallel::par_map;
 use crate::report::{fmt_f64, Table};
 use crate::simrun::{sim_measure, SimRunConfig};
 use bounce_topo::MachineTopology;
 use bounce_workloads::Workload;
 
 /// Run `workload` for every thread count in `ns` on the simulated
-/// machine.
+/// machine. Points run on the parallel executor; results come back in
+/// sweep order (see [`crate::parallel`]).
 pub fn sweep_threads(
     topo: &MachineTopology,
     workload: &Workload,
     ns: &[usize],
     cfg: &SimRunConfig,
 ) -> Vec<Measurement> {
-    ns.iter()
-        .map(|&n| sim_measure(topo, workload, n, cfg))
-        .collect()
+    par_map(ns, |&n| sim_measure(topo, workload, n, cfg))
 }
 
-/// Run every workload variant at a fixed thread count.
+/// Run every workload variant at a fixed thread count, in parallel.
 pub fn sweep_workloads(
     topo: &MachineTopology,
     workloads: &[Workload],
     n: usize,
     cfg: &SimRunConfig,
 ) -> Vec<Measurement> {
-    workloads
-        .iter()
-        .map(|w| sim_measure(topo, w, n, cfg))
-        .collect()
+    par_map(workloads, |w| sim_measure(topo, w, n, cfg))
 }
 
 /// Tabulate measurements with the full standard metric set.

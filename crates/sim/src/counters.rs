@@ -1,0 +1,45 @@
+//! Process-wide simulation counters.
+//!
+//! The parallel campaign executor runs many [`Engine`](crate::Engine)s
+//! concurrently; each engine folds its per-run event count into this
+//! global tally when `run()` returns. The repro driver reads it to
+//! report aggregate events/sec in `--timings` output and
+//! `BENCH_repro.json`.
+//!
+//! Relaxed ordering is sufficient: the counter is monotonic bookkeeping,
+//! never used for synchronisation, and reads happen after the worker
+//! threads have been joined.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Fold `n` processed events into the global tally.
+pub fn add_events(n: u64) {
+    EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total events processed by every engine in this process so far.
+pub fn total_events() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}
+
+/// Reset the tally (start of a timed section).
+pub fn reset_events() {
+    EVENTS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        // Other tests run engines concurrently, so only check monotonic
+        // growth by our own contribution.
+        let before = total_events();
+        add_events(5);
+        add_events(7);
+        assert!(total_events() >= before + 12);
+    }
+}

@@ -90,9 +90,27 @@ impl LineDir {
 }
 
 /// Maps lines to their home tile and owns all per-line entries.
+///
+/// Entries live in a **dense, interned table**: the first touch of a line
+/// assigns it a small `u32` index ([`Directory::intern`]) and precomputes
+/// its home tile; every later access is a plain vector index. The engine
+/// interns every address its programs name at load time and stores the
+/// index in its events, so the per-event hot path never hashes a
+/// `LineId`. Lines first touched mid-run (computed addresses) fall back
+/// to the same intern path and get an index on demand.
+///
+/// The `LineId`-keyed methods (`entry`, `get`, `home_tile`, ...) remain
+/// as the compatibility surface; they resolve through the intern map.
 #[derive(Debug)]
 pub struct Directory {
-    entries: HashMap<LineId, LineDir>,
+    /// LineId -> dense index, populated on first touch.
+    index: HashMap<LineId, u32>,
+    /// Dense index -> LineId (inverse of `index`).
+    lines: Vec<LineId>,
+    /// Dense index -> per-line coherence state.
+    entries: Vec<LineDir>,
+    /// Dense index -> precomputed home tile.
+    homes: Vec<TileId>,
     /// Candidate home tiles (all tiles for a mesh's distributed tag
     /// directory; all tiles likewise for ring LLC slices — one slice per
     /// ring stop).
@@ -106,14 +124,17 @@ impl Directory {
     pub fn new(topo: &MachineTopology, policy: HomePolicy, salt: u64) -> Self {
         let home_tiles = topo.tiles.iter().map(|t| t.id).collect();
         Directory {
-            entries: HashMap::new(),
+            index: HashMap::new(),
+            lines: Vec::new(),
+            entries: Vec::new(),
+            homes: Vec::new(),
             home_tiles,
             policy,
             salt,
         }
     }
 
-    /// The home tile of a line.
+    /// The home tile of a line (pure; does not intern).
     pub fn home_tile(&self, line: LineId) -> TileId {
         match self.policy {
             HomePolicy::Fixed(i) => self.home_tiles[i % self.home_tiles.len()],
@@ -124,24 +145,71 @@ impl Directory {
         }
     }
 
+    /// Dense index for a line, assigned (with a fresh entry and a
+    /// precomputed home tile) on first touch.
+    #[inline]
+    pub fn intern(&mut self, line: LineId) -> u32 {
+        if let Some(&i) = self.index.get(&line) {
+            return i;
+        }
+        let i = self.lines.len() as u32;
+        let home = self.home_tile(line);
+        self.index.insert(line, i);
+        self.lines.push(line);
+        self.entries.push(LineDir::default());
+        self.homes.push(home);
+        i
+    }
+
+    /// Dense index of a line, if it has been touched.
+    #[inline]
+    pub fn lookup(&self, line: LineId) -> Option<u32> {
+        self.index.get(&line).copied()
+    }
+
+    /// The `LineId` behind a dense index.
+    #[inline]
+    pub fn line_at(&self, idx: u32) -> LineId {
+        self.lines[idx as usize]
+    }
+
+    /// Precomputed home tile for an interned line.
+    #[inline]
+    pub fn home_of(&self, idx: u32) -> TileId {
+        self.homes[idx as usize]
+    }
+
+    /// Mutable entry access by dense index.
+    #[inline]
+    pub fn entry_at(&mut self, idx: u32) -> &mut LineDir {
+        &mut self.entries[idx as usize]
+    }
+
+    /// Read-only entry access by dense index.
+    #[inline]
+    pub fn get_at(&self, idx: u32) -> &LineDir {
+        &self.entries[idx as usize]
+    }
+
     /// The entry for a line, created on first touch.
     pub fn entry(&mut self, line: LineId) -> &mut LineDir {
-        self.entries.entry(line).or_default()
+        let i = self.intern(line);
+        &mut self.entries[i as usize]
     }
 
     /// Read-only lookup.
     pub fn get(&self, line: LineId) -> Option<&LineDir> {
-        self.entries.get(&line)
+        self.lookup(line).map(|i| &self.entries[i as usize])
     }
 
     /// Number of lines tracked.
     pub fn tracked_lines(&self) -> usize {
-        self.entries.len()
+        self.lines.len()
     }
 
     /// Check every entry's invariants (tests / debug).
     pub fn check_all_invariants(&self) -> Result<(), String> {
-        for (line, e) in &self.entries {
+        for (line, e) in self.lines.iter().zip(&self.entries) {
             e.check_invariants()
                 .map_err(|m| format!("line {:#x}: {m}", line.0))?;
         }
@@ -151,7 +219,8 @@ impl Directory {
     /// Drop the owner record of a line (e.g. after a silent eviction /
     /// writeback). No-op if the core is not the owner.
     pub fn evict_owner(&mut self, line: LineId, core: usize) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(i) = self.lookup(line) {
+            let e = &mut self.entries[i as usize];
             if e.owner == Some(core) {
                 e.owner = None;
             }
@@ -160,7 +229,8 @@ impl Directory {
 
     /// Drop a sharer record of a line (silent S-state eviction).
     pub fn evict_sharer(&mut self, line: LineId, core: usize) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(i) = self.lookup(line) {
+            let e = &mut self.entries[i as usize];
             e.sharers.remove(&core);
             if e.forward == Some(core) {
                 e.forward = None;
@@ -256,6 +326,33 @@ mod tests {
         dir.evict_sharer(LineId(64), 1);
         let e = dir.get(LineId(64)).unwrap();
         assert!(e.sharers.is_empty() && e.forward.is_none());
+    }
+
+    #[test]
+    fn intern_is_stable_and_dense() {
+        let topo = presets::xeon_phi_7290();
+        let mut dir = Directory::new(&topo, HomePolicy::Hash, 42);
+        let a = dir.intern(LineId(0x40));
+        let b = dir.intern(LineId(0x80));
+        assert_eq!(dir.intern(LineId(0x40)), a, "intern is idempotent");
+        assert_eq!((a, b), (0, 1), "indices are dense in touch order");
+        assert_eq!(dir.line_at(a), LineId(0x40));
+        // The precomputed home agrees with the pure computation.
+        assert_eq!(dir.home_of(a), dir.home_tile(LineId(0x40)));
+        assert_eq!(dir.home_of(b), dir.home_tile(LineId(0x80)));
+        assert_eq!(dir.tracked_lines(), 2);
+    }
+
+    #[test]
+    fn dense_and_legacy_access_alias_same_entry() {
+        let topo = presets::tiny_test_machine();
+        let mut dir = Directory::new(&topo, HomePolicy::Hash, 0);
+        let i = dir.intern(LineId(64));
+        dir.entry_at(i).owner = Some(3);
+        // The LineId-keyed view sees the same entry.
+        assert_eq!(dir.get(LineId(64)).unwrap().owner, Some(3));
+        dir.entry(LineId(64)).sharers.insert(1);
+        assert!(dir.get_at(i).sharers.contains(&1));
     }
 
     #[test]

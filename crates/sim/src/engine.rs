@@ -32,24 +32,67 @@ use crate::program::{resolve, Program, SpinPred, Step, NUM_REGS};
 use crate::report::{EnergyBreakdown, SimReport, ThreadReport};
 use crate::trace::{Trace, TraceEvent};
 use bounce_atomics::{OpOutcome, Primitive};
-use bounce_topo::{Domain, HwThreadId, MachineTopology, TileId};
+use bounce_topo::{HwThreadId, MachineTopology, TileId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 const MAX_STEPS_PER_RESUME: u32 = 128;
 
-#[derive(Debug)]
+/// Words per cache line tracked by the value table (64-byte lines of
+/// 8-byte words, matching [`WordAddr`]'s contract).
+const WORDS_PER_LINE: usize = 8;
+
+/// An event payload. `Copy`, so events live **inline in the heap**
+/// entries — no payload side-table, no free-list, no per-event
+/// allocation. Line events carry the line's dense intern index (see
+/// [`Directory::intern`]), not the `LineId`, so handlers index straight
+/// into the per-line tables.
+#[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Run the thread's interpreter.
     Resume(usize),
-    /// A request reaches the home directory.
-    DirArrival(LineId, Request),
-    /// The in-service transaction on a line completes.
-    ServiceDone(LineId, Request),
+    /// A request reaches the home directory (interned line index).
+    DirArrival(u32, Request),
+    /// The in-service transaction on a line completes (interned index).
+    ServiceDone(u32, Request),
     /// An op finishes at the requester (accounting + continue).
     OpComplete(usize),
+}
+
+/// A scheduled event. Ordering is by `(time, seq)` **reversed**, so the
+/// std max-heap pops the earliest event first; `seq` makes the order a
+/// deterministic FIFO among same-cycle events (identical to the old
+/// payload-slot engine's `(time, seq, slot)` key, which never compared
+/// slots because seq is unique).
+#[derive(Debug, Clone, Copy)]
+struct EventEntry {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for EventEntry {}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +107,9 @@ enum Status {
 struct CurOp {
     prim: Primitive,
     addr: WordAddr,
+    /// Dense intern index of `addr.line` (avoids re-hashing on the
+    /// linearisation and spin-recheck paths).
+    line_idx: u32,
     operand: u64,
     expected: u64,
     issued_at: u64,
@@ -112,28 +158,36 @@ pub struct Engine {
     cfg: SimConfig,
     now: u64,
     seq: u64,
-    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    payloads: Vec<Option<Ev>>,
-    free_slots: Vec<usize>,
+    n_cores: usize,
+    n_tiles: usize,
+    /// Event queue with payloads stored inline in the heap entries.
+    events: BinaryHeap<EventEntry>,
     threads: Vec<ThreadSt>,
     caches: Vec<SetAssocCache>,
     dir: Directory,
-    values: HashMap<(u64, u8), u64>,
-    line_busy: HashMap<(usize, LineId), u64>,
+    /// Per-interned-line word values (`[idx][word]`), kept in lockstep
+    /// with the directory's intern table by [`Engine::line_idx`].
+    values: Vec<[u64; WORDS_PER_LINE]>,
+    /// Per-(line, core) completion horizon for exclusive hits, flat
+    /// `idx * n_cores + core`.
+    line_busy: Vec<u64>,
     /// Home-agent port availability per tile (bandwidth model; only
     /// consulted when `home_port_occupancy > 0`).
     port_busy: Vec<u64>,
     /// Interconnect link availability (bandwidth model; only consulted
-    /// when `link_occupancy_cycles > 0`). Keyed by directed tile pair.
-    link_busy: HashMap<(usize, usize), u64>,
-    /// Precomputed tile-to-tile routes as directed tile-index pairs.
-    tile_routes: Vec<Vec<Vec<(usize, usize)>>>,
-    waiters: HashMap<LineId, Vec<usize>>,
+    /// when `link_occupancy_cycles > 0`). Flat, indexed by directed link
+    /// id `from_tile * n_tiles + to_tile`.
+    link_busy: Vec<u64>,
+    /// Precomputed tile-to-tile routes as directed link ids, flat
+    /// `src * n_tiles + dst`. Empty unless the link-bandwidth model is on.
+    tile_routes: Vec<Vec<u32>>,
+    /// Per-interned-line spin-waiter lists.
+    waiters: Vec<Vec<usize>>,
     rng: StdRng,
-    /// Wire-latency matrix between tiles.
-    tile_wire: Vec<Vec<u32>>,
-    /// Hop-count matrix between tiles.
-    tile_hops: Vec<Vec<u32>>,
+    /// Wire-latency matrix between tiles, flat `a * n_tiles + b`.
+    tile_wire: Vec<u32>,
+    /// Hop-count matrix between tiles, flat `a * n_tiles + b`.
+    tile_hops: Vec<u32>,
     // --- statistics ---
     transfers_by_domain: [u64; 5],
     invalidations: u64,
@@ -163,27 +217,26 @@ impl Engine {
             .map(|t| topo.cores[t.cores[0].0].threads[0])
             .collect();
         let nt = tile_rep.len();
-        let mut tile_wire = vec![vec![0u32; nt]; nt];
-        let mut tile_hops = vec![vec![0u32; nt]; nt];
+        let mut tile_wire = vec![0u32; nt * nt];
+        let mut tile_hops = vec![0u32; nt * nt];
         for a in 0..nt {
             for b in 0..nt {
-                tile_wire[a][b] = topo.wire_cycles(tile_rep[a], tile_rep[b]);
-                tile_hops[a][b] = topo.hop_count(tile_rep[a], tile_rep[b]);
+                tile_wire[a * nt + b] = topo.wire_cycles(tile_rep[a], tile_rep[b]);
+                tile_hops[a * nt + b] = topo.hop_count(tile_rep[a], tile_rep[b]);
             }
         }
         let rng = StdRng::seed_from_u64(cfg.params.seed);
         // Routes only matter under the link-bandwidth model; compute
-        // them lazily-cheaply here (O(tiles² · diameter), tiny).
-        let tile_routes: Vec<Vec<Vec<(usize, usize)>>> = if cfg.params.link_occupancy_cycles > 0 {
-            (0..nt)
-                .map(|a| {
-                    (0..nt)
-                        .map(|b| {
-                            topo.route_tiles(bounce_topo::TileId(a), bounce_topo::TileId(b))
-                                .into_iter()
-                                .map(|(f, t)| (f.0, t.0))
-                                .collect()
-                        })
+        // them lazily-cheaply here (O(tiles² · diameter), tiny). Each
+        // route is a list of directed link ids `from * nt + to`.
+        let link_model = cfg.params.link_occupancy_cycles > 0;
+        let tile_routes: Vec<Vec<u32>> = if link_model {
+            (0..nt * nt)
+                .map(|ab| {
+                    let (a, b) = (ab / nt, ab % nt);
+                    topo.route_tiles(bounce_topo::TileId(a), bounce_topo::TileId(b))
+                        .into_iter()
+                        .map(|(f, t)| (f.0 * nt + t.0) as u32)
                         .collect()
                 })
                 .collect()
@@ -194,18 +247,18 @@ impl Engine {
             topo: topo.clone(),
             now: 0,
             seq: 0,
+            n_cores,
+            n_tiles: nt,
             events: BinaryHeap::new(),
-            payloads: Vec::new(),
-            free_slots: Vec::new(),
             threads: Vec::new(),
             caches,
             dir,
-            values: HashMap::new(),
-            line_busy: HashMap::new(),
+            values: Vec::new(),
+            line_busy: Vec::new(),
             port_busy: vec![0; nt],
-            link_busy: HashMap::new(),
+            link_busy: if link_model { vec![0; nt * nt] } else { Vec::new() },
             tile_routes,
-            waiters: HashMap::new(),
+            waiters: Vec::new(),
             rng,
             tile_wire,
             tile_hops,
@@ -250,6 +303,22 @@ impl Engine {
             "hardware thread {hw:?} already occupied"
         );
         let core = self.topo.threads[hw.0].core.0;
+        // Intern every line the program names up front so the event loop
+        // runs on dense indices from the first cycle. Lines computed at
+        // run time (`OpIndexed`) intern lazily on first touch.
+        let mut i = 0;
+        while let Some(step) = program.step(i) {
+            match *step {
+                Step::Op { addr, .. } | Step::SpinWhile { addr, .. } => {
+                    self.line_idx(addr.line);
+                }
+                Step::OpIndexed { base, .. } => {
+                    self.line_idx(base.line);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
         let report = ThreadReport {
             hw_thread: hw.0,
             ..ThreadReport::default()
@@ -269,12 +338,31 @@ impl Engine {
 
     /// Preset the value of a word (before `run`). Words default to 0.
     pub fn set_word(&mut self, addr: WordAddr, value: u64) {
-        self.values.insert((addr.line.0, addr.word), value);
+        let idx = self.line_idx(addr.line);
+        self.values[idx as usize][addr.word as usize] = value;
     }
 
     /// Current value of a word (for tests and post-run inspection).
     pub fn word(&self, addr: WordAddr) -> u64 {
-        *self.values.get(&(addr.line.0, addr.word)).unwrap_or(&0)
+        self.dir
+            .lookup(addr.line)
+            .map(|i| self.values[i as usize][addr.word as usize])
+            .unwrap_or(0)
+    }
+
+    /// Dense index for a line: interns it in the directory and keeps the
+    /// engine's per-line tables (values, waiters, line-busy horizon)
+    /// sized in lockstep.
+    #[inline]
+    fn line_idx(&mut self, line: LineId) -> u32 {
+        let idx = self.dir.intern(line);
+        let n = self.dir.tracked_lines();
+        if self.values.len() < n {
+            self.values.resize(n, [0u64; WORDS_PER_LINE]);
+            self.waiters.resize_with(n, Vec::new);
+            self.line_busy.resize(n * self.n_cores, 0);
+        }
+        idx
     }
 
     /// The MESI(F) state of a line in one core's L1 (post-run
@@ -296,31 +384,29 @@ impl Engine {
             .unwrap_or_default()
     }
 
+    #[inline]
     fn schedule(&mut self, time: u64, ev: Ev) {
-        let slot = match self.free_slots.pop() {
-            Some(s) => {
-                self.payloads[s] = Some(ev);
-                s
-            }
-            None => {
-                self.payloads.push(Some(ev));
-                self.payloads.len() - 1
-            }
-        };
         self.seq += 1;
-        self.events.push(Reverse((time, self.seq, slot)));
+        self.events.push(EventEntry {
+            time,
+            seq: self.seq,
+            ev,
+        });
     }
 
+    #[inline]
     fn tile_of_core(&self, core: usize) -> TileId {
         self.topo.cores[core].tile
     }
 
+    #[inline]
     fn wire(&self, a: TileId, b: TileId) -> u32 {
-        self.tile_wire[a.0][b.0]
+        self.tile_wire[a.0 * self.n_tiles + b.0]
     }
 
+    #[inline]
     fn hops(&self, a: TileId, b: TileId) -> u32 {
-        self.tile_hops[a.0][b.0]
+        self.tile_hops[a.0 * self.n_tiles + b.0]
     }
 
     /// Wire latency of one leg, charging hop energy and — under the
@@ -332,24 +418,18 @@ impl Engine {
         let mut lat = self.wire(a, b);
         let occ = self.cfg.params.link_occupancy_cycles as u64;
         if occ > 0 && a != b {
-            let route = &self.tile_routes[a.0][b.0];
+            let route = &self.tile_routes[a.0 * self.n_tiles + b.0];
             // Bottleneck model: wait out the busiest link on the route,
             // then occupy every link for `occ`.
             let now = self.now;
             let wait = route
                 .iter()
-                .map(|l| {
-                    self.link_busy
-                        .get(l)
-                        .copied()
-                        .unwrap_or(0)
-                        .saturating_sub(now)
-                })
+                .map(|&l| self.link_busy[l as usize].saturating_sub(now))
                 .max()
                 .unwrap_or(0);
             let depart = now + wait;
-            for l in route {
-                self.link_busy.insert(*l, depart + occ);
+            for &l in route {
+                self.link_busy[l as usize] = depart + occ;
             }
             lat += (wait + occ.saturating_sub(1)) as u32;
         }
@@ -366,13 +446,12 @@ impl Engine {
             self.schedule(0, Ev::Resume(tid));
         }
         let duration = self.cfg.duration_cycles;
-        while let Some(Reverse((time, _, slot))) = self.events.pop() {
+        let counted_before = self.events_processed;
+        while let Some(EventEntry { time, ev, .. }) = self.events.pop() {
             if time > duration {
                 break;
             }
             self.now = time;
-            let ev = self.payloads[slot].take().expect("event payload present");
-            self.free_slots.push(slot);
             self.events_processed += 1;
             match ev {
                 Ev::Resume(tid) => self.run_thread(tid),
@@ -381,6 +460,7 @@ impl Engine {
                 Ev::OpComplete(tid) => self.op_complete(tid),
             }
         }
+        crate::counters::add_events(self.events_processed - counted_before);
         self.finish()
     }
 
@@ -519,6 +599,7 @@ impl Engine {
     ) {
         let core = self.threads[tid].core;
         let line = addr.line;
+        let idx = self.line_idx(line);
         let state = self.caches[core].state(line);
         let satisfied = if prim.needs_exclusive() {
             state.writable()
@@ -528,6 +609,7 @@ impl Engine {
         let mut op = CurOp {
             prim,
             addr,
+            line_idx: idx,
             operand,
             expected,
             issued_at: self.now,
@@ -556,16 +638,12 @@ impl Engine {
             // this line in this core (SMT contention).
             let outcome = self.apply_value_op(&mut op);
             self.threads[tid].last_success = outcome.success;
-            let start = self
-                .line_busy
-                .get(&(core, line))
-                .copied()
-                .unwrap_or(0)
-                .max(self.now);
+            let busy_at = idx as usize * self.n_cores + core;
+            let start = self.line_busy[busy_at].max(self.now);
             let done =
                 start + self.cfg.params.l1_hit as u64 + self.cfg.params.exec_cost(prim) as u64;
             if prim.needs_exclusive() {
-                self.line_busy.insert((core, line), done);
+                self.line_busy[busy_at] = done;
             }
             self.threads[tid].cur_op = Some(op);
             self.threads[tid].status = Status::Waiting;
@@ -586,7 +664,7 @@ impl Engine {
             }
             self.threads[tid].cur_op = Some(op);
             self.threads[tid].status = Status::Waiting;
-            let home = self.dir.home_tile(line);
+            let home = self.dir.home_of(idx);
             let from = self.tile_of_core(core);
             let wire = self.charge_hops(from, home) as u64;
             let arrive = self.now + self.cfg.params.req_overhead as u64 + wire;
@@ -596,7 +674,7 @@ impl Engine {
                 excl: prim.needs_exclusive(),
                 issued_at: self.now,
             };
-            self.schedule(arrive, Ev::DirArrival(line, req));
+            self.schedule(arrive, Ev::DirArrival(idx, req));
         }
     }
 
@@ -621,24 +699,24 @@ impl Engine {
     /// Apply the op's value semantics at its linearisation point; wake
     /// spin-waiters if the word's value changed.
     fn apply_value_op(&mut self, op: &mut CurOp) -> OpOutcome {
-        let key = (op.addr.line.0, op.addr.word);
-        let current = *self.values.get(&key).unwrap_or(&0);
+        let idx = op.line_idx as usize;
+        let word = op.addr.word as usize;
+        let current = self.values[idx][word];
         let (new, outcome) = op.prim.apply_value(current, op.operand, op.expected);
         if new != current {
-            self.values.insert(key, new);
-            self.wake_waiters(op.addr.line);
+            self.values[idx][word] = new;
+            self.wake_waiters(op.line_idx);
         }
         op.outcome = Some(outcome);
         outcome
     }
 
-    fn wake_waiters(&mut self, line: LineId) {
-        if let Some(list) = self.waiters.remove(&line) {
-            for tid in list {
-                // Small propagation delay before the spinner re-checks.
-                let t = self.now + 1;
-                self.schedule(t, Ev::Resume(tid));
-            }
+    fn wake_waiters(&mut self, idx: u32) {
+        let list = std::mem::take(&mut self.waiters[idx as usize]);
+        for tid in list {
+            // Small propagation delay before the spinner re-checks.
+            let t = self.now + 1;
+            self.schedule(t, Ev::Resume(tid));
         }
     }
 
@@ -646,10 +724,10 @@ impl Engine {
     // Directory
     // ------------------------------------------------------------------
 
-    fn dir_arrival(&mut self, line: LineId, req: Request) {
+    fn dir_arrival(&mut self, idx: u32, req: Request) {
         self.energy.directory_j += self.cfg.params.energy.dir_nj * 1e-9;
-        self.dir.entry(line).queue.push_back(req);
-        self.pump(line);
+        self.dir.entry_at(idx).queue.push_back(req);
+        self.pump(idx);
     }
 
     /// Start every queued transaction the service discipline allows:
@@ -657,10 +735,10 @@ impl Engine {
     /// bouncing — while read (GetS) requests are serviced concurrently,
     /// as real home agents do. A waiting GetM has writer priority: once
     /// one is queued, no further GetS starts until it has been served.
-    fn pump(&mut self, line: LineId) {
+    fn pump(&mut self, idx: u32) {
         loop {
             let shared_only = {
-                let e = self.dir.entry(line);
+                let e = self.dir.entry_at(idx);
                 if e.queue.is_empty() || e.busy_excl() {
                     return;
                 }
@@ -674,11 +752,11 @@ impl Engine {
                     false
                 }
             };
-            let Some(pick) = self.pick_request(line, shared_only) else {
+            let Some(pick) = self.pick_request(idx, shared_only) else {
                 return;
             };
             let (req, queue_len) = {
-                let entry = self.dir.entry(line);
+                let entry = self.dir.entry_at(idx);
                 let queue_len = entry.queue.len();
                 let req = entry.queue.remove(pick).expect("picked request exists");
                 if req.excl {
@@ -688,6 +766,7 @@ impl Engine {
                 }
                 (req, queue_len)
             };
+            let line = self.dir.line_at(idx);
             self.trace(|at| TraceEvent::ServiceStart {
                 at,
                 thread: req.thread,
@@ -697,14 +776,14 @@ impl Engine {
             if self.now >= self.cfg.warmup_cycles {
                 self.queue_depth.record(queue_len as u64);
             }
-            let mut latency = self.service_latency(line, &req);
+            let mut latency = self.service_latency(idx, &req);
             self.dir_transactions += 1;
             // Home-agent bandwidth: the transaction occupies its home
             // tile's port, so transactions on *different* lines homed
             // at the same tile queue behind each other.
             let occ = self.cfg.params.home_port_occupancy as u64;
             if occ > 0 {
-                let home = self.dir.home_tile(line);
+                let home = self.dir.home_of(idx);
                 let start = self.port_busy[home.0].max(self.now);
                 self.port_busy[home.0] = start + occ;
                 latency += (start - self.now) + occ;
@@ -716,9 +795,9 @@ impl Engine {
             // free-riding hits for the whole transfer and makes
             // saturated contended throughput ≈ 1 op per ownership
             // transfer, as the paper's model assumes.)
-            self.depart_line(line, &req);
+            self.depart_line(idx, &req);
             let t = self.now + latency;
-            self.schedule(t, Ev::ServiceDone(line, req));
+            self.schedule(t, Ev::ServiceDone(idx, req));
             if req.excl {
                 // Nothing overlaps an exclusive transaction.
                 return;
@@ -729,9 +808,9 @@ impl Engine {
 
     /// Arbitration: the queue index to serve next, restricted to GetS
     /// requests when `shared_only`.
-    fn pick_request(&mut self, line: LineId, shared_only: bool) -> Option<usize> {
-        let home = self.dir.home_tile(line);
-        let entry = self.dir.get(line).expect("entry exists");
+    fn pick_request(&mut self, idx: u32, shared_only: bool) -> Option<usize> {
+        let home = self.dir.home_of(idx);
+        let entry = self.dir.get_at(idx);
         let eligible: Vec<usize> = entry
             .queue
             .iter()
@@ -750,7 +829,7 @@ impl Engine {
                 Some(eligible[k])
             }
             ArbitrationPolicy::NearestFirst => {
-                let entry = self.dir.get(line).expect("entry exists");
+                let entry = self.dir.get_at(idx);
                 eligible
                     .into_iter()
                     .min_by_key(|&i| self.hops(anchor, self.tile_of_core(entry.queue[i].core)))
@@ -760,10 +839,11 @@ impl Engine {
 
     /// Remove the line from the caches that lose it to `req`, recording
     /// bounce and invalidation statistics.
-    fn depart_line(&mut self, line: LineId, req: &Request) {
+    fn depart_line(&mut self, idx: u32, req: &Request) {
         let tid = req.thread;
+        let line = self.dir.line_at(idx);
         let (owner, sharers): (Option<usize>, Vec<usize>) = {
-            let e = self.dir.entry(line);
+            let e = self.dir.get_at(idx);
             (e.owner, e.sharers.iter().copied().collect())
         };
         if req.excl {
@@ -773,8 +853,7 @@ impl Engine {
                     let d = self
                         .topo
                         .comm_domain(self.threads[tid].hw, self.topo.cores[o].threads[0]);
-                    let idx = Domain::ALL.iter().position(|x| *x == d).unwrap();
-                    self.transfers_by_domain[idx] += 1;
+                    self.transfers_by_domain[d.index()] += 1;
                     self.trace(|at| TraceEvent::Bounce {
                         at,
                         from_core: o,
@@ -792,7 +871,7 @@ impl Engine {
                     self.invalidations += 1;
                 }
             }
-            let e = self.dir.entry(line);
+            let e = self.dir.entry_at(idx);
             e.owner = None;
             e.sharers.clear();
             e.forward = None;
@@ -802,7 +881,7 @@ impl Engine {
                 if o != req.core {
                     self.caches[o].set_state(line, LineState::Shared);
                 }
-                let e = self.dir.entry(line);
+                let e = self.dir.entry_at(idx);
                 if let Some(o) = e.owner.take() {
                     e.sharers.insert(o);
                 }
@@ -812,17 +891,17 @@ impl Engine {
 
     /// Assemble the service latency of a request from the current line
     /// state and the machine's distances.
-    fn service_latency(&mut self, line: LineId, req: &Request) -> u64 {
+    fn service_latency(&mut self, idx: u32, req: &Request) -> u64 {
         let dir_lookup = self.cfg.params.dir_lookup as u64;
         let peer_lookup = self.cfg.params.peer_lookup as u64;
         let mem_latency = self.cfg.params.mem_latency as u64;
         let mesif = self.cfg.params.mesif;
         let inv_nj = self.cfg.params.energy.inv_nj;
         let mem_nj = self.cfg.params.energy.mem_nj;
-        let home = self.dir.home_tile(line);
+        let home = self.dir.home_of(idx);
         let req_tile = self.tile_of_core(req.core);
         let (owner, sharers, forward): (Option<usize>, Vec<usize>, Option<usize>) = {
-            let e = self.dir.entry(line);
+            let e = self.dir.get_at(idx);
             (e.owner, e.sharers.iter().copied().collect(), e.forward)
         };
         let mut lat = dir_lookup;
@@ -905,9 +984,10 @@ impl Engine {
 
     /// Data has arrived at the requester: move the line, linearise the
     /// op, complete it, and start the next queued request(s).
-    fn service_done(&mut self, line: LineId, req: Request) {
+    fn service_done(&mut self, idx: u32, req: Request) {
+        let line = self.dir.line_at(idx);
         {
-            let entry = self.dir.entry(line);
+            let entry = self.dir.entry_at(idx);
             if req.excl {
                 let inflight = entry.excl_in_flight.take();
                 debug_assert!(inflight.is_some(), "exclusive service was marked");
@@ -920,7 +1000,7 @@ impl Engine {
         // --- arrival transitions (departures already ran at service
         //     start, see `depart_line`) ---
         if req.excl {
-            let e = self.dir.entry(line);
+            let e = self.dir.entry_at(idx);
             e.owner = Some(req.core);
             e.sharers.clear();
             e.forward = None;
@@ -928,7 +1008,7 @@ impl Engine {
         } else {
             let mesif = self.cfg.params.mesif;
             let old_forward = {
-                let e = self.dir.entry(line);
+                let e = self.dir.entry_at(idx);
                 let old = if mesif {
                     e.forward.replace(req.core)
                 } else {
@@ -962,7 +1042,7 @@ impl Engine {
             + self.cfg.params.exec_cost(op.prim) as u64;
         self.schedule(done, Ev::OpComplete(tid));
         // --- next transaction(s) on this line ---
-        self.pump(line);
+        self.pump(idx);
     }
 
     /// Install a line into a core's L1, handling the eviction.
@@ -1004,7 +1084,7 @@ impl Engine {
                 // this instant* — a writer may have changed it between our
                 // load's linearisation and now; if so, retry immediately
                 // instead of sleeping forever.
-                let current = self.word(op.addr);
+                let current = self.values[op.line_idx as usize][op.addr.word as usize];
                 let still = match pred {
                     SpinPred::WhileBitSet => current & 1 == 1,
                     SpinPred::WhileNe(o) => current != resolve(o, &regs),
@@ -1012,7 +1092,7 @@ impl Engine {
                 };
                 if still {
                     self.threads[tid].status = Status::Spinning;
-                    self.waiters.entry(op.addr.line).or_default().push(tid);
+                    self.waiters[op.line_idx as usize].push(tid);
                     return;
                 }
                 // Value changed already: re-run the SpinWhile step now.
@@ -1040,11 +1120,7 @@ impl Engine {
                     rep.cond_successes += 1;
                 }
             }
-            let prim_idx = Primitive::ALL
-                .iter()
-                .position(|p| *p == op.prim)
-                .expect("known primitive");
-            rep.ops_by_prim[prim_idx] += 1;
+            rep.ops_by_prim[op.prim.index()] += 1;
             if self.cfg.collect_latency {
                 rep.latency.record(lat);
             }

@@ -36,6 +36,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod counters;
 pub mod directory;
 pub mod engine;
 pub mod program;

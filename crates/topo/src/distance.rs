@@ -36,6 +36,16 @@ impl Domain {
         Domain::CrossSocket,
     ];
 
+    /// Position of this domain in [`Domain::ALL`], in O(1).
+    ///
+    /// `ALL` lists the variants in declaration order, so the discriminant
+    /// *is* the index (checked by a unit test). Hot paths use this
+    /// instead of scanning `ALL` per transfer.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short label for tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -154,6 +164,13 @@ impl MachineTopology {
 mod tests {
     use super::*;
     use crate::machine::{CacheLevel, CacheSharing, Interconnect, MachineTopology, MeshPos};
+
+    #[test]
+    fn domain_index_matches_all_order() {
+        for (i, d) in Domain::ALL.into_iter().enumerate() {
+            assert_eq!(d.index(), i, "{d:?}");
+        }
+    }
 
     fn cache() -> Vec<CacheLevel> {
         vec![CacheLevel {

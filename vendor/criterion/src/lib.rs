@@ -1,0 +1,205 @@
+//! Offline shim for the subset of `criterion` this workspace uses:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! warm_up_time, measurement_time, bench_function, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Behaviour: with `--test` on the command line (as CI's
+//! `cargo bench -- --test` passes) every benchmark body runs exactly once
+//! with no timing — a compile-and-smoke check. Otherwise each benchmark
+//! warms up then measures wall-clock for the configured measurement time
+//! and prints `group/id ... ns/iter` lines. No statistics, plots, or
+//! baselines — enough to compare hot paths locally.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Wall-clock measurement marker (the only one supported).
+    pub struct WallTime;
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct GroupConfig {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            cfg: GroupConfig::default(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    cfg: GroupConfig,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accepted for API compatibility; this shim sizes by time, not
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measure = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            cfg: self.cfg,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+        } else if b.iters > 0 {
+            let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!(
+                "{}/{}: {} iters in {:.3?} ({:.1} ns/iter)",
+                self.name, id, b.iters, b.elapsed, ns
+            );
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    cfg: GroupConfig,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let warm = Instant::now();
+        while warm.elapsed() < self.cfg.warm_up {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(routine());
+            n += 1;
+            // Check the clock in small batches to keep overhead down.
+            if n % 32 == 0 && start.elapsed() >= self.cfg.measure {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm = Instant::now();
+        while warm.elapsed() < self.cfg.warm_up {
+            black_box(routine(setup()));
+        }
+        // Setup runs untimed between batches of one, like SmallInput.
+        let mut n = 0u64;
+        let mut busy = Duration::ZERO;
+        while busy < self.cfg.measure {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            busy += t.elapsed();
+            n += 1;
+        }
+        self.iters = n;
+        self.elapsed = busy;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,258 @@
+//! Offline shim for the `crossbeam::epoch` surface used by the lock-free
+//! stack and queue: `Atomic`/`Owned`/`Shared` tagged-free pointers plus
+//! `pin`/`unprotected` guards.
+//!
+//! The one semantic difference from upstream: `Guard::defer_destroy` is a
+//! deliberate **leak** (there is no epoch garbage collector here, and
+//! freeing immediately would be a use-after-free for concurrent readers).
+//! In-repo usage retires a bounded number of nodes in tests and benches,
+//! so the leak is acceptable; see vendor/README.md.
+
+pub mod epoch {
+    use std::marker::PhantomData;
+    use std::sync::atomic::{AtomicPtr, Ordering};
+
+    /// Epoch guard. This shim's guard carries no state: pinning is free
+    /// because retired nodes are leaked rather than reclaimed.
+    pub struct Guard {
+        _priv: (),
+    }
+
+    static UNPROTECTED: Guard = Guard { _priv: () };
+
+    /// Pin the current thread (no-op here).
+    pub fn pin() -> Guard {
+        Guard { _priv: () }
+    }
+
+    /// A guard for use when the data structure is not shared.
+    ///
+    /// # Safety
+    /// Caller must guarantee exclusive access, as upstream requires.
+    pub unsafe fn unprotected() -> &'static Guard {
+        &UNPROTECTED
+    }
+
+    impl Guard {
+        /// Retire a node. **Leaks** in this shim (see module docs).
+        ///
+        /// # Safety
+        /// Same contract as upstream: the pointer must be unlinked and not
+        /// retired twice.
+        pub unsafe fn defer_destroy<T>(&self, _shared: Shared<'_, T>) {}
+
+        /// Flush deferred work (no-op here).
+        pub fn flush(&self) {}
+    }
+
+    /// Pointer types that can be installed into an [`Atomic`].
+    pub trait Pointer<T> {
+        fn into_ptr(self) -> *mut T;
+        /// # Safety
+        /// `ptr` must have come from `into_ptr` of the same impl.
+        unsafe fn from_ptr(ptr: *mut T) -> Self;
+    }
+
+    /// An owned heap allocation, analogous to `Box<T>`.
+    pub struct Owned<T> {
+        ptr: *mut T,
+    }
+
+    impl<T> Owned<T> {
+        pub fn new(value: T) -> Self {
+            Owned {
+                ptr: Box::into_raw(Box::new(value)),
+            }
+        }
+
+        /// Convert into a [`Shared`], transferring ownership into the
+        /// data structure.
+        pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+            let ptr = self.into_ptr();
+            Shared {
+                ptr,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Pointer<T> for Owned<T> {
+        fn into_ptr(self) -> *mut T {
+            let p = self.ptr;
+            std::mem::forget(self);
+            p
+        }
+        unsafe fn from_ptr(ptr: *mut T) -> Self {
+            Owned { ptr }
+        }
+    }
+
+    impl<T> std::ops::Deref for Owned<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.ptr }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for Owned<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.ptr }
+        }
+    }
+
+    impl<T> Drop for Owned<T> {
+        fn drop(&mut self) {
+            unsafe {
+                drop(Box::from_raw(self.ptr));
+            }
+        }
+    }
+
+    /// A shared pointer valid for the guard's lifetime.
+    pub struct Shared<'g, T> {
+        ptr: *mut T,
+        _marker: PhantomData<&'g T>,
+    }
+
+    impl<T> Clone for Shared<'_, T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Shared<'_, T> {}
+
+    impl<T> PartialEq for Shared<'_, T> {
+        fn eq(&self, other: &Self) -> bool {
+            self.ptr == other.ptr
+        }
+    }
+    impl<T> Eq for Shared<'_, T> {}
+
+    impl<'g, T> Shared<'g, T> {
+        pub fn null() -> Self {
+            Shared {
+                ptr: std::ptr::null_mut(),
+                _marker: PhantomData,
+            }
+        }
+
+        pub fn is_null(&self) -> bool {
+            self.ptr.is_null()
+        }
+
+        /// # Safety
+        /// The pointer must be non-null and valid.
+        pub unsafe fn deref(&self) -> &'g T {
+            &*self.ptr
+        }
+
+        /// # Safety
+        /// The pointer must be valid (may be null).
+        pub unsafe fn as_ref(&self) -> Option<&'g T> {
+            self.ptr.as_ref()
+        }
+
+        /// Reclaim ownership.
+        ///
+        /// # Safety
+        /// Caller must have exclusive access to the pointee.
+        pub unsafe fn into_owned(self) -> Owned<T> {
+            Owned { ptr: self.ptr }
+        }
+    }
+
+    impl<T> Pointer<T> for Shared<'_, T> {
+        fn into_ptr(self) -> *mut T {
+            self.ptr
+        }
+        unsafe fn from_ptr(ptr: *mut T) -> Self {
+            Shared {
+                ptr,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Error returned by a failed [`Atomic::compare_exchange`], giving the
+    /// observed value back along with the not-installed new pointer.
+    pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+        pub current: Shared<'g, T>,
+        pub new: P,
+    }
+
+    /// An atomic pointer into a lock-free structure.
+    pub struct Atomic<T> {
+        inner: AtomicPtr<T>,
+    }
+
+    impl<T> Atomic<T> {
+        pub fn null() -> Self {
+            Atomic {
+                inner: AtomicPtr::new(std::ptr::null_mut()),
+            }
+        }
+
+        pub fn new(value: T) -> Self {
+            Atomic {
+                inner: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            }
+        }
+
+        pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                ptr: self.inner.load(ord),
+                _marker: PhantomData,
+            }
+        }
+
+        pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+            self.inner.store(new.into_ptr(), ord);
+        }
+
+        pub fn compare_exchange<'g, P: Pointer<T>>(
+            &self,
+            current: Shared<'_, T>,
+            new: P,
+            success: Ordering,
+            failure: Ordering,
+            _guard: &'g Guard,
+        ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+            let new_ptr = new.into_ptr();
+            match self
+                .inner
+                .compare_exchange(current.ptr, new_ptr, success, failure)
+            {
+                Ok(_) => Ok(Shared {
+                    ptr: new_ptr,
+                    _marker: PhantomData,
+                }),
+                Err(observed) => Err(CompareExchangeError {
+                    current: Shared {
+                        ptr: observed,
+                        _marker: PhantomData,
+                    },
+                    // SAFETY: new_ptr came from `new.into_ptr()` above and
+                    // was not installed, so ownership returns to the caller.
+                    new: unsafe { P::from_ptr(new_ptr) },
+                }),
+            }
+        }
+    }
+
+    impl<T> From<Shared<'_, T>> for Atomic<T> {
+        fn from(shared: Shared<'_, T>) -> Self {
+            Atomic {
+                inner: AtomicPtr::new(shared.ptr),
+            }
+        }
+    }
+
+    // SAFETY: same contracts as upstream crossbeam-epoch — the pointers
+    // are only dereferenced under the usual epoch/exclusivity rules, which
+    // callers uphold via the unsafe accessor methods.
+    unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+    unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+    unsafe impl<T: Send> Send for Owned<T> {}
+    unsafe impl<T: Send + Sync> Send for Shared<'_, T> {}
+    unsafe impl<T: Send + Sync> Sync for Shared<'_, T> {}
+}

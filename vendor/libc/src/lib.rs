@@ -1,0 +1,53 @@
+//! Offline shim for the tiny slice of `libc` this workspace uses:
+//! CPU affinity types and `sched_setaffinity` for thread pinning.
+
+#![allow(non_camel_case_types)]
+
+pub type pid_t = i32;
+pub type c_int = i32;
+pub type size_t = usize;
+
+/// Matches glibc (and the real `libc` crate, where this is a `c_int`).
+pub const CPU_SETSIZE: c_int = 1024;
+
+const MASK_WORDS: usize = (CPU_SETSIZE as usize) / 64;
+
+/// Mirrors glibc's `cpu_set_t`: a 1024-bit mask stored as 16 × u64.
+#[repr(C)]
+#[derive(Copy, Clone)]
+pub struct cpu_set_t {
+    bits: [u64; MASK_WORDS],
+}
+
+#[allow(non_snake_case)]
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; MASK_WORDS];
+}
+
+#[allow(non_snake_case)]
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+#[allow(non_snake_case)]
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+}
+
+#[cfg(not(target_os = "linux"))]
+pub unsafe fn sched_setaffinity(_: pid_t, _: size_t, _: *const cpu_set_t) -> c_int {
+    0
+}
+
+#[cfg(not(target_os = "linux"))]
+pub unsafe fn sched_getaffinity(_: pid_t, _: size_t, _: *mut cpu_set_t) -> c_int {
+    0
+}

@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: the workspace derives `Serialize` and
+//! `Deserialize` on plain-data types but never actually serialises
+//! anything (tables are written as TSV/markdown by hand), so marker
+//! traits with no methods are a faithful stand-in. The derive macros in
+//! the companion `serde_derive` shim emit empty impls.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

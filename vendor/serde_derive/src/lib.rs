@@ -1,0 +1,43 @@
+//! Offline shim for `serde_derive`: emits empty `Serialize`/`Deserialize`
+//! impls for the derived type. The serde traits in the companion shim have
+//! no methods, so nothing more is required. Written against the bare
+//! `proc_macro` API (no syn/quote available offline).
+//!
+//! Limitations (checked against the workspace): derive targets must be
+//! non-generic `struct`/`enum` items without `#[serde(...)]` attributes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name from a `struct`/`enum` item token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                for next in iter.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find struct/enum name in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
