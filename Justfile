@@ -6,6 +6,7 @@ test:
 
 # Lint + docs, as CI runs them.
 lint:
+    cargo fmt --all -- --check
     cargo clippy --workspace --all-targets -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 

@@ -259,10 +259,13 @@ fn bench_fig11(c: &mut Criterion) {
 
 fn bench_fig12(c: &mut Criterion) {
     let mut g = group(c, "fig12_mixed_rw");
-    for mesif in [true, false] {
+    for protocol in [
+        bounce_sim::CoherenceKind::Mesif,
+        bounce_sim::CoherenceKind::Mesi,
+    ] {
         let (topo, mut cfg) = quick_cfg(Machine::E5);
-        cfg.params.mesif = mesif;
-        g.bench_function(if mesif { "mesif" } else { "mesi" }, |b| {
+        cfg.params.protocol = protocol;
+        g.bench_function(protocol.label(), |b| {
             b.iter(|| {
                 sim_measure(
                     &topo,

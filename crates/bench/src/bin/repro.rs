@@ -8,6 +8,8 @@
 //! repro fig1 --machine knl       # one experiment, one machine
 //! repro table2 --markdown        # markdown instead of TSV on stdout
 //! repro predict --machine e5 --threads 24 --prim faa [--placement packed]
+//! repro --experiment e13 --machine e5   # protocol ablation (MESIF/MOESI/MESI)
+//! repro fig1 --protocol mesi      # any experiment under a non-native protocol
 //! ```
 //!
 //! `--jobs N` fans independent simulation points across `N` host
@@ -35,6 +37,16 @@ struct Args {
     threads: usize,
     prim: bounce_atomics::Primitive,
     placement: bounce_topo::Placement,
+    protocol: Option<bounce_sim::CoherenceKind>,
+}
+
+/// Comma-joined protocol labels for help/error text.
+fn protocol_names() -> String {
+    bounce_sim::CoherenceKind::ALL
+        .iter()
+        .map(|k| k.label())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 8,
         prim: bounce_atomics::Primitive::Faa,
         placement: bounce_topo::Placement::Packed,
+        protocol: None,
     };
     let mut it = std::env::args().skip(1);
     let mut saw_command = false;
@@ -68,8 +81,28 @@ fn parse_args() -> Result<Args, String> {
                 args.machine = Some(match m.as_str() {
                     "e5" => Machine::E5,
                     "knl" => Machine::Knl,
-                    other => return Err(format!("unknown machine '{other}' (e5|knl)")),
+                    other => {
+                        return Err(format!(
+                            "unknown machine '{other}'; known presets: {} \
+                             (repro models e5 and knl)",
+                            bounce_topo::presets::PRESET_NAMES.join(", ")
+                        ))
+                    }
                 });
+            }
+            "--protocol" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--protocol needs a value ({})", protocol_names()))?;
+                args.protocol =
+                    Some(bounce_sim::CoherenceKind::from_label(&v).ok_or_else(|| {
+                        format!("unknown protocol '{v}'; known: {}", protocol_names())
+                    })?);
+            }
+            "--experiment" | "-e" => {
+                let v = it.next().ok_or("--experiment needs an experiment id")?;
+                args.command = v;
+                saw_command = true;
             }
             "--out" => {
                 let d = it.next().ok_or("--out needs a directory")?;
@@ -108,7 +141,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const EXPERIMENT_IDS: [&str; 19] = [
+const EXPERIMENT_IDS: [&str; 20] = [
     "table1",
     "table2",
     "fig1",
@@ -125,6 +158,7 @@ const EXPERIMENT_IDS: [&str; 19] = [
     "fig12",
     "fig13",
     "fig14",
+    "e13",
     "ablations",
     "sensitivity",
     "latency-hist",
@@ -148,6 +182,7 @@ fn run_one(id: &str, ctx: ExpCtx, machine: Machine) -> Option<Table> {
         "fig12" => experiments::fig12(ctx, machine),
         "fig13" => experiments::fig13(ctx, machine),
         "fig14" => experiments::fig14(ctx, machine),
+        "e13" => experiments::protocol_ablation(ctx, machine),
         "ablations" => experiments::ablations(ctx, machine),
         "sensitivity" => experiments::sensitivity(ctx, machine),
         "latency-hist" => experiments::latency_hist(ctx, machine),
@@ -163,17 +198,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let ctx = if args.quick {
+    let mut ctx = if args.quick {
         ExpCtx::quick()
     } else {
         ExpCtx::full()
     };
+    if let Some(p) = args.protocol {
+        ctx = ctx.with_protocol(p);
+    }
     bounce_harness::set_jobs(args.jobs);
     match args.command.as_str() {
         "help" => {
             eprintln!(
-                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR]",
-                EXPERIMENT_IDS.join("|")
+                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR]",
+                EXPERIMENT_IDS.join("|"),
+                protocol_names().replace(", ", "|")
             );
             ExitCode::SUCCESS
         }
@@ -317,8 +356,10 @@ fn main() -> ExitCode {
             let timed = experiments::all_experiments_timed(ctx);
             let wall = t0.elapsed();
             let events = bounce_sim::counters::total_events();
-            let tables: Vec<(String, Table)> =
-                timed.iter().map(|(id, t, _)| (id.clone(), t.clone())).collect();
+            let tables: Vec<(String, Table)> = timed
+                .iter()
+                .map(|(id, t, _)| (id.clone(), t.clone()))
+                .collect();
             if args.timings {
                 eprintln!("--- timings ({} jobs) ---", bounce_harness::jobs());
                 for (id, _, d) in &timed {

@@ -1,0 +1,12 @@
+//! Scratch probe: print the E13 protocol-ablation table at both scales.
+use bounce_harness::experiments::{protocol_ablation, ExpCtx, Machine};
+
+fn main() {
+    for (label, ctx) in [
+        ("quick n=8", ExpCtx::quick()),
+        ("full n=16", ExpCtx::full()),
+    ] {
+        let t = protocol_ablation(ctx, Machine::E5);
+        println!("== {label} ==\n{}", t.to_markdown());
+    }
+}

@@ -11,7 +11,7 @@ use crate::simrun::{sim_measure, sim_measure_pinned, SimRunConfig};
 use bounce_atomics::Primitive;
 use bounce_core::fairness::{predict_jain, ArbitrationKind};
 use bounce_core::{Model, ModelParams};
-use bounce_sim::{ArbitrationPolicy, SimParams};
+use bounce_sim::{ArbitrationPolicy, CoherenceKind, SimParams};
 use bounce_topo::{presets, Interconnect, MachineTopology, Placement};
 use bounce_workloads::{LockShape, Workload};
 
@@ -72,22 +72,39 @@ impl Machine {
     }
 }
 
-/// Experiment context: sweep/duration scaling.
+/// Experiment context: sweep/duration scaling and optional protocol
+/// override.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpCtx {
     /// Short sweeps and windows (tests).
     pub quick: bool,
+    /// Run every experiment under this coherence protocol instead of
+    /// each machine's native one (`None` = native; this is what
+    /// `repro --protocol` sets).
+    pub protocol: Option<CoherenceKind>,
 }
 
 impl ExpCtx {
     /// Full-scale context.
     pub fn full() -> Self {
-        ExpCtx { quick: false }
+        ExpCtx {
+            quick: false,
+            protocol: None,
+        }
     }
 
     /// Quick context for tests.
     pub fn quick() -> Self {
-        ExpCtx { quick: true }
+        ExpCtx {
+            quick: true,
+            protocol: None,
+        }
+    }
+
+    /// Override the coherence protocol for every run in this context.
+    pub fn with_protocol(mut self, protocol: CoherenceKind) -> Self {
+        self.protocol = Some(protocol);
+        self
     }
 
     fn run_cfg(&self, machine: Machine, _topo: &MachineTopology) -> SimRunConfig {
@@ -101,6 +118,9 @@ impl ExpCtx {
         // a pinned home slice (the paper's NUMA-node-0 allocation).
         cfg.params.arbitration = ArbitrationPolicy::Fifo;
         cfg.params.home_policy = bounce_sim::HomePolicy::Fixed(0);
+        if let Some(p) = self.protocol {
+            cfg.params.protocol = p;
+        }
         cfg
     }
 }
@@ -688,9 +708,9 @@ pub fn fig12(ctx: ExpCtx, machine: Machine) -> Table {
         if n > topo.num_threads() {
             continue;
         }
-        let run = |mesif: bool| {
+        let run = |protocol: CoherenceKind| {
             let mut cfg = ctx.run_cfg(machine, &topo);
-            cfg.params.mesif = mesif;
+            cfg.params.protocol = protocol;
             sim_measure(
                 &topo,
                 &Workload::MixedReadWrite {
@@ -702,8 +722,8 @@ pub fn fig12(ctx: ExpCtx, machine: Machine) -> Table {
             )
             .throughput_ops_per_sec
         };
-        let with = run(true);
-        let without = run(false);
+        let with = run(CoherenceKind::Mesif);
+        let without = run(CoherenceKind::Mesi);
         // The reader loop in the workload inserts 8 cycles of local
         // work per read (see `bounce_workloads::spec::reader_loop`).
         let pred = model.predict_mixed_rw(order[0], &order[1..n], 8.0);
@@ -759,6 +779,80 @@ pub fn fig13(ctx: ExpCtx, machine: Machine) -> Table {
             mops(meas.throughput_ops_per_sec),
             mops(pred.throughput_ops_per_sec),
             fmt_f64(meas.throughput_ops_per_sec / base.max(1.0)),
+        ]);
+    }
+    t
+}
+
+/// Protocol ablation (E13): the same machine run under each coherence
+/// protocol in the pluggable layer — MESIF (native on E5), MOESI
+/// (AMD-style Owned state) and plain MESI.
+///
+/// Two regimes separate the three:
+///
+/// * **Pure RMW streams** (the `faa_hc` / `cas_hc` columns) are
+///   protocol-blind: every transaction is an ownership transfer, and the
+///   owner-to-owner forwarding path is identical in all three protocols
+///   — the columns must agree exactly. This is the sanity row.
+/// * **Read-heavy sharing** (`readheavy`: 1 FAA writer, the rest
+///   readers) is where they diverge. MESIF's Forward copy answers racing
+///   readers from the banked home path in parallel; MOESI's Owned copy
+///   answers them cache-to-cache but one at a time (its cache port
+///   serialises); MESI sends every clean-shared read to memory.
+///   Expected ordering: MESIF ≥ MOESI > MESI.
+pub fn protocol_ablation(ctx: ExpCtx, machine: Machine) -> Table {
+    let topo = machine.topo();
+    let n = if ctx.quick { 8 } else { 16 };
+    let mut t = Table::new(
+        format!("Protocol ablation (E13) at n={n} — {}", topo.name),
+        &[
+            "protocol",
+            "faa_hc_mops",
+            "cas_hc_mops",
+            "faa_lat_cycles",
+            "readheavy_mops",
+        ],
+    );
+    for kind in CoherenceKind::ALL {
+        let mut cfg = ctx.run_cfg(machine, &topo);
+        cfg.params.protocol = kind;
+        let faa = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            n,
+            &cfg,
+        );
+        let cas = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Cas,
+            },
+            n,
+            &cfg,
+        );
+        // The read-heavy separator runs with a direct-mapped L1 so the
+        // scanners' filler line evicts their shared copy every
+        // iteration (see `Workload::ReadScan`); the protocols then
+        // differ in which data path answers the resulting read misses.
+        let mut scan_cfg = cfg.clone();
+        scan_cfg.params.l1_ways = 1;
+        let readheavy = sim_measure(
+            &topo,
+            &Workload::ReadScan {
+                writers: 1,
+                writer_work: 2000,
+            },
+            n,
+            &scan_cfg,
+        );
+        t.push(vec![
+            kind.label().to_string(),
+            mops(faa.throughput_ops_per_sec),
+            mops(cas.throughput_ops_per_sec),
+            fmt_f64(faa.mean_latency_cycles),
+            mops(readheavy.throughput_ops_per_sec),
         ]);
     }
     t
@@ -1089,7 +1183,7 @@ pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, Table, std::time::Dura
         ("table2".to_string(), Box::new(move || table2(ctx))),
     ];
     for m in Machine::ALL {
-        let figs: [(&str, Thunk); 17] = [
+        let figs: [(&str, Thunk); 18] = [
             ("fig1", Box::new(move || fig1(ctx, m))),
             ("fig2", Box::new(move || fig2(ctx, m))),
             ("fig3", Box::new(move || fig3(ctx, m))),
@@ -1104,6 +1198,7 @@ pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, Table, std::time::Dura
             ("fig12", Box::new(move || fig12(ctx, m))),
             ("fig13", Box::new(move || fig13(ctx, m))),
             ("fig14", Box::new(move || fig14(ctx, m))),
+            ("e13", Box::new(move || protocol_ablation(ctx, m))),
             ("ablations", Box::new(move || ablations(ctx, m))),
             ("sensitivity", Box::new(move || sensitivity(ctx, m))),
             ("latency-hist", Box::new(move || latency_hist(ctx, m))),
@@ -1200,7 +1295,7 @@ mod tests {
     #[test]
     fn all_experiments_quick_runs() {
         let all = all_experiments(ExpCtx::quick());
-        assert_eq!(all.len(), 2 + 2 * 17);
+        assert_eq!(all.len(), 2 + 2 * 18);
         for (id, t) in &all {
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
@@ -1215,6 +1310,33 @@ mod tests {
             *slow.last().unwrap() > 3.0,
             "false sharing should be >3x slower: {slow:?}"
         );
+    }
+
+    #[test]
+    fn e13_protocol_ordering() {
+        let t = protocol_ablation(ExpCtx::quick(), Machine::E5);
+        let proto = t.column("protocol").unwrap();
+        let row = |p: &str| -> &Vec<String> { t.rows.iter().find(|r| r[proto] == p).unwrap() };
+        let read_col = t
+            .headers
+            .iter()
+            .position(|h| h == "readheavy_mops")
+            .unwrap();
+        let get = |p: &str| -> f64 { row(p)[read_col].parse().unwrap() };
+        let (mesif, moesi, mesi) = (get("mesif"), get("moesi"), get("mesi"));
+        assert!(
+            mesif >= 0.999 * moesi,
+            "read-heavy: MESIF {mesif} must not lose to MOESI {moesi}"
+        );
+        assert!(
+            moesi > mesi,
+            "read-heavy: MOESI {moesi} (c2c dirty sharing) must beat MESI {mesi} (memory)"
+        );
+        // Pure GetM streams are protocol-blind: the FAA high-contention
+        // column must agree *exactly* across all three protocols.
+        let faa_col = t.headers.iter().position(|h| h == "faa_hc_mops").unwrap();
+        assert_eq!(row("mesif")[faa_col], row("moesi")[faa_col]);
+        assert_eq!(row("mesif")[faa_col], row("mesi")[faa_col]);
     }
 
     #[test]

@@ -145,7 +145,7 @@ fn workload_is_conditional(w: &Workload) -> bool {
         | Workload::Zipf { prim, .. }
         | Workload::LowContention { prim, .. } => prim.is_conditional(),
         Workload::MixedReadWrite { prim, .. } => prim.is_conditional(),
-        Workload::LockHandoff { .. } => false,
+        Workload::ReadScan { .. } | Workload::LockHandoff { .. } => false,
     }
 }
 
@@ -332,6 +332,33 @@ fn thread_body(w: &Workload, tid: usize, shared: &Shared, sample_mask: u64) {
                     Primitive::Load.execute_native(cell, 0, 0)
                 };
                 record(ctr, out.success, None);
+            }
+        }
+        Workload::ReadScan {
+            writers,
+            writer_work,
+        } => {
+            // Native analog of the scan-reader shape: the host L1 can't
+            // be forced to evict on cue, so scanners alternate the
+            // shared load with a private-cell load — the contended-read
+            // rate is what the row compares across backends.
+            let cell = &*shared.cells[0];
+            if tid < writers {
+                while !shared.stop.load(Ordering::Relaxed) {
+                    if writer_work > 0 {
+                        burn(writer_work);
+                    }
+                    let out = Primitive::Faa.execute_native(cell, 1, 0);
+                    record(ctr, out.success, None);
+                }
+            } else {
+                let mine = &*shared.cells[tid];
+                while !shared.stop.load(Ordering::Relaxed) {
+                    let out = Primitive::Load.execute_native(cell, 0, 0);
+                    record(ctr, out.success, None);
+                    let out = Primitive::Load.execute_native(mine, 0, 0);
+                    record(ctr, out.success, None);
+                }
             }
         }
         Workload::LockHandoff { cs, noncs, .. } => {

@@ -40,6 +40,13 @@ impl SimRunConfig {
         self.duration_cycles = 300_000;
         self
     }
+
+    /// Override the coherence protocol (the ablation experiments sweep
+    /// this; everything else keeps the machine's native protocol).
+    pub fn with_protocol(mut self, protocol: bounce_sim::CoherenceKind) -> Self {
+        self.params.protocol = protocol;
+        self
+    }
 }
 
 /// Run `workload` with `n` threads on the simulated `topo` and reduce to

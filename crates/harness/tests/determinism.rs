@@ -35,7 +35,11 @@ fn assert_meas_eq(a: &Measurement, b: &Measurement, what: &str) {
         bits(b.cond_attempts_per_sec),
         "{what}: cond_attempts"
     );
-    assert_eq!(bits(a.failure_rate), bits(b.failure_rate), "{what}: failure_rate");
+    assert_eq!(
+        bits(a.failure_rate),
+        bits(b.failure_rate),
+        "{what}: failure_rate"
+    );
     assert_eq!(
         bits(a.mean_latency_cycles),
         bits(b.mean_latency_cycles),

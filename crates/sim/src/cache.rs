@@ -1,5 +1,5 @@
-//! Cache-line addressing, MESI/MESIF line states, and a set-associative
-//! L1 model with LRU replacement.
+//! Cache-line addressing, MESI/MESIF/MOESI line states, and a
+//! set-associative L1 model with LRU replacement.
 
 use serde::{Deserialize, Serialize};
 
@@ -26,11 +26,14 @@ impl WordAddr {
     }
 }
 
-/// MESI(F) line state in a private cache.
+/// MESI(F)/MOESI line state in a private cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LineState {
     /// Modified: sole copy, dirty.
     Modified,
+    /// Owned (MOESI only): dirty, but read-shared — this copy supplies
+    /// readers and owes memory a writeback on eviction.
+    Owned,
     /// Exclusive: sole copy, clean.
     Exclusive,
     /// Shared: one of several read-only copies.
@@ -51,6 +54,11 @@ impl LineState {
     /// Can a store/RMW be performed locally (no coherence action)?
     pub fn writable(&self) -> bool {
         matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+
+    /// Does this copy owe memory a writeback when it leaves the cache?
+    pub fn dirty(&self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
     }
 }
 
@@ -187,7 +195,10 @@ mod tests {
         assert!(LineState::Exclusive.writable());
         assert!(!LineState::Shared.writable() && LineState::Shared.readable());
         assert!(LineState::Forward.readable() && !LineState::Forward.writable());
+        assert!(LineState::Owned.readable() && !LineState::Owned.writable());
         assert!(!LineState::Invalid.readable());
+        assert!(LineState::Modified.dirty() && LineState::Owned.dirty());
+        assert!(!LineState::Exclusive.dirty() && !LineState::Forward.dirty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! arbitration and home-mapping policies, and per-machine presets.
 
 use bounce_atomics::Primitive;
-use bounce_topo::MachineTopology;
+use bounce_topo::{CoherenceKind, MachineTopology};
 use serde::{Deserialize, Serialize};
 
 /// Order in which requests queued at a directory entry are served.
@@ -134,8 +134,9 @@ pub struct SimParams {
     pub l1_sets: usize,
     /// L1 ways.
     pub l1_ways: usize,
-    /// Use the MESIF Forward state (Intel) instead of plain MESI.
-    pub mesif: bool,
+    /// Coherence protocol governing line-state transitions (MESIF's
+    /// Forward state, plain MESI, or MOESI's Owned state).
+    pub protocol: CoherenceKind,
     /// Interconnect link occupancy per line-carrying message, cycles.
     /// When non-zero, every wire leg marks each link on its route busy
     /// for this long and queues behind earlier messages at the
@@ -174,7 +175,7 @@ impl SimParams {
             store_exec: 1,
             l1_sets: 64,
             l1_ways: 8,
-            mesif: true,
+            protocol: CoherenceKind::Mesif,
             link_occupancy_cycles: 0,
             home_port_occupancy: 0,
             arbitration: ArbitrationPolicy::NearestFirst,
@@ -201,7 +202,7 @@ impl SimParams {
             store_exec: 2,
             l1_sets: 64,
             l1_ways: 8,
-            mesif: false,
+            protocol: CoherenceKind::Mesi,
             link_occupancy_cycles: 0,
             home_port_occupancy: 0,
             arbitration: ArbitrationPolicy::NearestFirst,
@@ -212,12 +213,15 @@ impl SimParams {
     }
 
     /// Pick default parameters for a topology by name heuristics (E5-like
-    /// for multi-socket ring machines, KNL-like for meshes).
+    /// for multi-socket ring machines, KNL-like for meshes), then adopt
+    /// the topology's native coherence protocol.
     pub fn for_machine(topo: &MachineTopology) -> Self {
-        match topo.interconnect {
+        let mut p = match topo.interconnect {
             bounce_topo::Interconnect::Mesh { .. } => SimParams::knl(),
             _ => SimParams::e5(),
-        }
+        };
+        p.protocol = topo.protocol;
+        p
     }
 
     /// Instruction execution cost of a primitive (no coherence).
@@ -298,10 +302,21 @@ mod tests {
     #[test]
     fn for_machine_picks_by_interconnect() {
         let e5 = SimParams::for_machine(&presets::xeon_e5_2695_v4());
-        assert!(e5.mesif);
+        assert_eq!(e5.protocol, CoherenceKind::Mesif);
         let knl = SimParams::for_machine(&presets::xeon_phi_7290());
-        assert!(!knl.mesif);
+        assert_eq!(knl.protocol, CoherenceKind::Mesi);
         assert!(knl.rmw_exec > e5.rmw_exec, "KNL cores are slower");
+    }
+
+    #[test]
+    fn for_machine_honours_native_protocol() {
+        // A ring machine flagged MOESI keeps E5-class latencies but the
+        // topology's own protocol.
+        let mut topo = presets::dual_socket_small();
+        topo.protocol = CoherenceKind::Moesi;
+        let p = SimParams::for_machine(&topo);
+        assert_eq!(p.protocol, CoherenceKind::Moesi);
+        assert_eq!(p.mem_latency, SimParams::e5().mem_latency);
     }
 
     #[test]

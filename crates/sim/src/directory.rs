@@ -10,7 +10,7 @@
 
 use crate::cache::LineId;
 use crate::config::HomePolicy;
-use bounce_topo::{MachineTopology, TileId};
+use bounce_topo::{CoherenceKind, MachineTopology, TileId};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// A coherence request waiting at (or being serviced by) the directory.
@@ -59,12 +59,21 @@ impl LineDir {
         self.busy_excl() || self.shared_in_flight > 0
     }
 
-    /// Directory invariant: an owned line has no sharers and no Forward
-    /// copy; the Forward holder, when present, is also listed as
-    /// sharer; exclusive and shared service never overlap.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Directory invariants, parameterised by protocol.
+    ///
+    /// Common to all protocols: the Forward holder, when present, is also
+    /// listed as sharer; exclusive and shared service never overlap.
+    /// Under MESI(F) an owned line additionally has no sharers and no
+    /// Forward copy; under MOESI a (dirty) owner legitimately coexists
+    /// with sharers — but is never itself listed as one — and the Forward
+    /// state does not exist. Plain MESI also forbids Forward copies.
+    pub fn check_invariants(&self, kind: CoherenceKind) -> Result<(), String> {
         if let Some(o) = self.owner {
-            if !self.sharers.is_empty() {
+            if kind == CoherenceKind::Moesi {
+                if self.sharers.contains(&o) {
+                    return Err(format!("owner {o} also listed as sharer"));
+                }
+            } else if !self.sharers.is_empty() {
                 return Err(format!(
                     "owner {o} coexists with sharers {:?}",
                     self.sharers
@@ -75,6 +84,11 @@ impl LineDir {
             }
         }
         if let Some(f) = self.forward {
+            if kind != CoherenceKind::Mesif {
+                return Err(format!(
+                    "forward holder {f} under non-MESIF protocol {kind}"
+                ));
+            }
             if !self.sharers.contains(&f) {
                 return Err(format!("forward holder {f} not in sharer set"));
             }
@@ -208,9 +222,9 @@ impl Directory {
     }
 
     /// Check every entry's invariants (tests / debug).
-    pub fn check_all_invariants(&self) -> Result<(), String> {
+    pub fn check_all_invariants(&self, kind: CoherenceKind) -> Result<(), String> {
         for (line, e) in self.lines.iter().zip(&self.entries) {
-            e.check_invariants()
+            e.check_invariants(kind)
                 .map_err(|m| format!("line {:#x}: {m}", line.0))?;
         }
         Ok(())
@@ -291,7 +305,13 @@ mod tests {
             ..LineDir::default()
         };
         e.sharers.insert(1);
-        assert!(e.check_invariants().is_err());
+        assert!(e.check_invariants(CoherenceKind::Mesif).is_err());
+        assert!(e.check_invariants(CoherenceKind::Mesi).is_err());
+        // MOESI: a dirty owner sharing with readers is the whole point.
+        assert!(e.check_invariants(CoherenceKind::Moesi).is_ok());
+        // ... but the owner must not double as a sharer.
+        e.sharers.insert(0);
+        assert!(e.check_invariants(CoherenceKind::Moesi).is_err());
     }
 
     #[test]
@@ -300,9 +320,12 @@ mod tests {
             forward: Some(2),
             ..LineDir::default()
         };
-        assert!(e.check_invariants().is_err());
+        assert!(e.check_invariants(CoherenceKind::Mesif).is_err());
         e.sharers.insert(2);
-        assert!(e.check_invariants().is_ok());
+        assert!(e.check_invariants(CoherenceKind::Mesif).is_ok());
+        // Forward copies only exist under MESIF.
+        assert!(e.check_invariants(CoherenceKind::Mesi).is_err());
+        assert!(e.check_invariants(CoherenceKind::Moesi).is_err());
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! The discrete-event engine: thread interpreter, coherence transaction
+//! processing, arbitration, spin wakeups, statistics and energy.
+//!
+//! This module is the coordinator: it owns the [`Engine`] state, the
+//! event heap and the main loop, and delegates to focused submodules —
+//! `interp` (the per-thread program interpreter and op issue/complete
+//! paths), `service` (directory transaction service: departure/arrival
+//! line-state transitions and latency assembly), `arb` (arbitration
+//! among queued requests) and `stats` (end-of-run reporting). All
+//! line-state *policy* — who supplies data, how owners demote, what the
+//! requester installs — lives behind [`crate::protocol::CoherenceProtocol`],
+//! resolved once at construction; the engine only executes the decisions
+//! and charges their cost.
+//!
+//! # Timing model
+//!
+//! * An op whose line is present in the issuing core's L1 in a
+//!   sufficient state is a **hit**: it completes after
+//!   `l1_hit + exec_cost` cycles, serialised against other ops on the
+//!   same line in the same core (SMT siblings contend here).
+//! * A miss sends a request to the line's **home** directory slice
+//!   (arriving after the wire latency). The directory serialises requests
+//!   per line; the in-service request's latency is assembled from
+//!   directory occupancy, the forwarding path from the current owner
+//!   (home→owner→requester), invalidation of sharers, or a memory access
+//!   — each leg charged with distance-dependent wire cycles from the
+//!   machine topology.
+//! * When service completes, the line state moves (the "bounce"), the
+//!   op's value semantics apply (the linearisation point), and the next
+//!   queued request — chosen by the arbitration policy — begins service.
+//!
+//! # Value accuracy
+//!
+//! The engine keeps the current 64-bit value of every touched word and
+//! applies each primitive's semantics ([`bounce_atomics::Primitive::apply_value`])
+//! at its linearisation point, so conditional primitives genuinely
+//! succeed or fail against the interleaving the simulation produced.
+
+use crate::cache::{LineId, LineState, SetAssocCache, WordAddr};
+use crate::config::SimConfig;
+use crate::directory::{Directory, Request};
+use crate::program::{Program, SpinPred, Step, NUM_REGS};
+use crate::protocol::CoherenceKind;
+use crate::report::{EnergyBreakdown, SimReport, ThreadReport};
+use crate::trace::{Trace, TraceEvent};
+use bounce_atomics::{OpOutcome, Primitive};
+use bounce_topo::{HwThreadId, MachineTopology, TileId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+mod arb;
+mod interp;
+mod service;
+mod stats;
+
+#[cfg(test)]
+mod tests;
+
+const MAX_STEPS_PER_RESUME: u32 = 128;
+
+/// Words per cache line tracked by the value table (64-byte lines of
+/// 8-byte words, matching [`WordAddr`]'s contract).
+const WORDS_PER_LINE: usize = 8;
+
+/// An event payload. `Copy`, so events live **inline in the heap**
+/// entries — no payload side-table, no free-list, no per-event
+/// allocation. Line events carry the line's dense intern index (see
+/// [`Directory::intern`]), not the `LineId`, so handlers index straight
+/// into the per-line tables.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Run the thread's interpreter.
+    Resume(usize),
+    /// A request reaches the home directory (interned line index).
+    DirArrival(u32, Request),
+    /// The in-service transaction on a line completes (interned index).
+    ServiceDone(u32, Request),
+    /// An op finishes at the requester (accounting + continue).
+    OpComplete(usize),
+}
+
+/// A scheduled event. Ordering is by `(time, seq)` **reversed**, so the
+/// std max-heap pops the earliest event first; `seq` makes the order a
+/// deterministic FIFO among same-cycle events (identical to the old
+/// payload-slot engine's `(time, seq, slot)` key, which never compared
+/// slots because seq is unique).
+#[derive(Debug, Clone, Copy)]
+struct EventEntry {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for EventEntry {}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Waiting,
+    Spinning,
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CurOp {
+    prim: Primitive,
+    addr: WordAddr,
+    /// Dense intern index of `addr.line` (avoids re-hashing on the
+    /// linearisation and spin-recheck paths).
+    line_idx: u32,
+    operand: u64,
+    expected: u64,
+    issued_at: u64,
+    /// Some(pred) when this op is the load of a `SpinWhile` step.
+    spin: Option<SpinPred>,
+    /// Outcome, set at the linearisation point.
+    outcome: Option<OpOutcome>,
+}
+
+struct ThreadSt {
+    hw: HwThreadId,
+    core: usize,
+    program: Program,
+    pc: usize,
+    regs: [u64; NUM_REGS],
+    last_success: bool,
+    status: Status,
+    cur_op: Option<CurOp>,
+    report: ThreadReport,
+}
+
+/// The simulation engine. Construct with [`Engine::new`], add threads
+/// with [`Engine::add_thread`], then [`Engine::run`].
+///
+/// ```
+/// use bounce_sim::{Engine, SimConfig, SimParams};
+/// use bounce_sim::cache::WordAddr;
+/// use bounce_sim::program::builders;
+/// use bounce_topo::{presets, HwThreadId};
+/// use bounce_atomics::Primitive;
+///
+/// let topo = presets::tiny_test_machine();
+/// let mut eng = Engine::new(&topo, SimConfig::new(SimParams::e5(), 100_000));
+/// let line = WordAddr::of_line(0x4000);
+/// // Two threads on different cores hammer the same line with FAA.
+/// eng.add_thread(HwThreadId(0), builders::op_loop(Primitive::Faa, line, 0));
+/// eng.add_thread(HwThreadId(2), builders::op_loop(Primitive::Faa, line, 0));
+/// let report = eng.run();
+/// assert!(report.total_ops() > 0);
+/// assert!(report.total_transfers() > 0, "the line bounced");
+/// // Value accuracy: the word holds every applied increment.
+/// assert!(eng.word(line) >= report.total_ops());
+/// ```
+pub struct Engine {
+    topo: MachineTopology,
+    cfg: SimConfig,
+    now: u64,
+    seq: u64,
+    n_cores: usize,
+    n_tiles: usize,
+    /// Line-state transition policy tag (`cfg.params.protocol`).
+    /// Stateless, enum-dispatched to the concrete protocol via
+    /// [`crate::protocol::KindDispatch`] so the decisions inline;
+    /// consulted only on the miss path (the L1-hit fast path never
+    /// dispatches).
+    protocol: CoherenceKind,
+    /// Event queue with payloads stored inline in the heap entries.
+    events: BinaryHeap<EventEntry>,
+    threads: Vec<ThreadSt>,
+    caches: Vec<SetAssocCache>,
+    dir: Directory,
+    /// Per-interned-line word values (`[idx][word]`), kept in lockstep
+    /// with the directory's intern table by [`Engine::line_idx`].
+    values: Vec<[u64; WORDS_PER_LINE]>,
+    /// Per-(line, core) completion horizon for exclusive hits, flat
+    /// `idx * n_cores + core`.
+    line_busy: Vec<u64>,
+    /// Per-interned-line availability horizon of the single dirty-data
+    /// supplier's cache port (MOESI's Owned copy, see
+    /// [`crate::protocol::DataSource::OwnedPeer`]). Stays all-zero under
+    /// MESI(F).
+    fwd_busy: Vec<u64>,
+    /// Home-agent port availability per tile (bandwidth model; only
+    /// consulted when `home_port_occupancy > 0`).
+    port_busy: Vec<u64>,
+    /// Interconnect link availability (bandwidth model; only consulted
+    /// when `link_occupancy_cycles > 0`). Flat, indexed by directed link
+    /// id `from_tile * n_tiles + to_tile`.
+    link_busy: Vec<u64>,
+    /// Precomputed tile-to-tile routes as directed link ids, flat
+    /// `src * n_tiles + dst`. Empty unless the link-bandwidth model is on.
+    tile_routes: Vec<Vec<u32>>,
+    /// Per-interned-line spin-waiter lists.
+    waiters: Vec<Vec<usize>>,
+    rng: StdRng,
+    /// Wire-latency matrix between tiles, flat `a * n_tiles + b`.
+    tile_wire: Vec<u32>,
+    /// Hop-count matrix between tiles, flat `a * n_tiles + b`.
+    tile_hops: Vec<u32>,
+    // --- statistics ---
+    transfers_by_domain: [u64; 5],
+    invalidations: u64,
+    mem_accesses: u64,
+    dir_transactions: u64,
+    events_processed: u64,
+    energy: EnergyBreakdown,
+    queue_depth: crate::report::LatencyStats,
+    trace: Option<Trace>,
+}
+
+impl Engine {
+    /// Build an engine for a machine.
+    pub fn new(topo: &MachineTopology, cfg: SimConfig) -> Self {
+        cfg.params
+            .validate()
+            .expect("invalid simulation parameters");
+        topo.validate().expect("invalid topology");
+        let n_cores = topo.num_cores();
+        let caches = (0..n_cores)
+            .map(|_| SetAssocCache::new(cfg.params.l1_sets, cfg.params.l1_ways))
+            .collect();
+        let dir = Directory::new(topo, cfg.params.home_policy, cfg.params.seed);
+        let tile_rep: Vec<HwThreadId> = topo
+            .tiles
+            .iter()
+            .map(|t| topo.cores[t.cores[0].0].threads[0])
+            .collect();
+        let nt = tile_rep.len();
+        let mut tile_wire = vec![0u32; nt * nt];
+        let mut tile_hops = vec![0u32; nt * nt];
+        for a in 0..nt {
+            for b in 0..nt {
+                tile_wire[a * nt + b] = topo.wire_cycles(tile_rep[a], tile_rep[b]);
+                tile_hops[a * nt + b] = topo.hop_count(tile_rep[a], tile_rep[b]);
+            }
+        }
+        let rng = StdRng::seed_from_u64(cfg.params.seed);
+        // Routes only matter under the link-bandwidth model; compute
+        // them lazily-cheaply here (O(tiles² · diameter), tiny). Each
+        // route is a list of directed link ids `from * nt + to`.
+        let link_model = cfg.params.link_occupancy_cycles > 0;
+        let tile_routes: Vec<Vec<u32>> = if link_model {
+            (0..nt * nt)
+                .map(|ab| {
+                    let (a, b) = (ab / nt, ab % nt);
+                    topo.route_tiles(bounce_topo::TileId(a), bounce_topo::TileId(b))
+                        .into_iter()
+                        .map(|(f, t)| (f.0 * nt + t.0) as u32)
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Engine {
+            topo: topo.clone(),
+            now: 0,
+            seq: 0,
+            n_cores,
+            n_tiles: nt,
+            protocol: cfg.params.protocol,
+            events: BinaryHeap::new(),
+            threads: Vec::new(),
+            caches,
+            dir,
+            values: Vec::new(),
+            line_busy: Vec::new(),
+            fwd_busy: Vec::new(),
+            port_busy: vec![0; nt],
+            link_busy: if link_model {
+                vec![0; nt * nt]
+            } else {
+                Vec::new()
+            },
+            tile_routes,
+            waiters: Vec::new(),
+            rng,
+            tile_wire,
+            tile_hops,
+            transfers_by_domain: [0; 5],
+            invalidations: 0,
+            mem_accesses: 0,
+            dir_transactions: 0,
+            events_processed: 0,
+            energy: EnergyBreakdown::default(),
+            queue_depth: crate::report::LatencyStats::default(),
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Enable event tracing into a bounded ring buffer.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = Some(trace);
+    }
+
+    /// Take the trace out (typically after `run`).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    #[inline]
+    fn trace(&mut self, make: impl FnOnce(u64) -> TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            let ev = make(self.now);
+            t.record(ev);
+        }
+    }
+
+    /// Pin a simulated thread running `program` to hardware thread `hw`.
+    ///
+    /// # Panics
+    /// Panics if `hw` is out of range or already occupied.
+    pub fn add_thread(&mut self, hw: HwThreadId, program: Program) {
+        assert!(hw.0 < self.topo.num_threads(), "hw thread out of range");
+        assert!(
+            !self.threads.iter().any(|t| t.hw == hw),
+            "hardware thread {hw:?} already occupied"
+        );
+        let core = self.topo.threads[hw.0].core.0;
+        // Intern every line the program names up front so the event loop
+        // runs on dense indices from the first cycle. Lines computed at
+        // run time (`OpIndexed`) intern lazily on first touch.
+        let mut i = 0;
+        while let Some(step) = program.step(i) {
+            match *step {
+                Step::Op { addr, .. } | Step::SpinWhile { addr, .. } => {
+                    self.line_idx(addr.line);
+                }
+                Step::OpIndexed { base, .. } => {
+                    self.line_idx(base.line);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let report = ThreadReport {
+            hw_thread: hw.0,
+            ..ThreadReport::default()
+        };
+        self.threads.push(ThreadSt {
+            hw,
+            core,
+            program,
+            pc: 0,
+            regs: [0; NUM_REGS],
+            last_success: true,
+            status: Status::Ready,
+            cur_op: None,
+            report,
+        });
+    }
+
+    /// Preset the value of a word (before `run`). Words default to 0.
+    pub fn set_word(&mut self, addr: WordAddr, value: u64) {
+        let idx = self.line_idx(addr.line);
+        self.values[idx as usize][addr.word as usize] = value;
+    }
+
+    /// Current value of a word (for tests and post-run inspection).
+    pub fn word(&self, addr: WordAddr) -> u64 {
+        self.dir
+            .lookup(addr.line)
+            .map(|i| self.values[i as usize][addr.word as usize])
+            .unwrap_or(0)
+    }
+
+    /// Dense index for a line: interns it in the directory and keeps the
+    /// engine's per-line tables (values, waiters, busy horizons) sized
+    /// in lockstep.
+    #[inline]
+    fn line_idx(&mut self, line: LineId) -> u32 {
+        let idx = self.dir.intern(line);
+        let n = self.dir.tracked_lines();
+        if self.values.len() < n {
+            self.values.resize(n, [0u64; WORDS_PER_LINE]);
+            self.waiters.resize_with(n, Vec::new);
+            self.line_busy.resize(n * self.n_cores, 0);
+            self.fwd_busy.resize(n, 0);
+        }
+        idx
+    }
+
+    /// The coherence state of a line in one core's L1 (post-run
+    /// inspection / protocol tests).
+    pub fn cache_state(&self, core: usize, line: LineId) -> LineState {
+        self.caches[core].state(line)
+    }
+
+    /// The directory's recorded owner core for a line, if any.
+    pub fn dir_owner(&self, line: LineId) -> Option<usize> {
+        self.dir.get(line).and_then(|e| e.owner)
+    }
+
+    /// The directory's recorded sharer cores for a line.
+    pub fn dir_sharers(&self, line: LineId) -> Vec<usize> {
+        self.dir
+            .get(line)
+            .map(|e| e.sharers.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    #[inline]
+    fn schedule(&mut self, time: u64, ev: Ev) {
+        self.seq += 1;
+        self.events.push(EventEntry {
+            time,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    #[inline]
+    fn tile_of_core(&self, core: usize) -> TileId {
+        self.topo.cores[core].tile
+    }
+
+    #[inline]
+    fn wire(&self, a: TileId, b: TileId) -> u32 {
+        self.tile_wire[a.0 * self.n_tiles + b.0]
+    }
+
+    #[inline]
+    fn hops(&self, a: TileId, b: TileId) -> u32 {
+        self.tile_hops[a.0 * self.n_tiles + b.0]
+    }
+
+    /// Wire latency of one leg, charging hop energy and — under the
+    /// link-bandwidth model — queueing the message behind earlier
+    /// traffic at its route's bottleneck link.
+    fn charge_hops(&mut self, a: TileId, b: TileId) -> u32 {
+        let h = self.hops(a, b);
+        self.energy.network_j += h as f64 * self.cfg.params.energy.hop_nj * 1e-9;
+        let mut lat = self.wire(a, b);
+        let occ = self.cfg.params.link_occupancy_cycles as u64;
+        if occ > 0 && a != b {
+            let route = &self.tile_routes[a.0 * self.n_tiles + b.0];
+            // Bottleneck model: wait out the busiest link on the route,
+            // then occupy every link for `occ`.
+            let now = self.now;
+            let wait = route
+                .iter()
+                .map(|&l| self.link_busy[l as usize].saturating_sub(now))
+                .max()
+                .unwrap_or(0);
+            let depart = now + wait;
+            for &l in route {
+                self.link_busy[l as usize] = depart + occ;
+            }
+            lat += (wait + occ.saturating_sub(1)) as u32;
+        }
+        lat
+    }
+
+    /// Run to completion (no runnable events, or simulated time past the
+    /// configured duration) and report. The engine remains inspectable
+    /// afterwards ([`Engine::word`], for conservation checks); running a
+    /// finished engine again returns an empty report.
+    pub fn run(&mut self) -> SimReport {
+        // Kick off every thread at t=0.
+        for tid in 0..self.threads.len() {
+            self.schedule(0, Ev::Resume(tid));
+        }
+        let duration = self.cfg.duration_cycles;
+        let counted_before = self.events_processed;
+        while let Some(EventEntry { time, ev, .. }) = self.events.pop() {
+            if time > duration {
+                break;
+            }
+            self.now = time;
+            self.events_processed += 1;
+            match ev {
+                Ev::Resume(tid) => self.run_thread(tid),
+                Ev::DirArrival(line, req) => self.dir_arrival(line, req),
+                Ev::ServiceDone(line, req) => self.service_done(line, req),
+                Ev::OpComplete(tid) => self.op_complete(tid),
+            }
+        }
+        crate::counters::add_events(self.events_processed - counted_before);
+        self.finish()
+    }
+}
+
+/// Convenience: run `n` copies of the same program on the first `n`
+/// hardware threads of a placement order.
+pub fn run_uniform(
+    topo: &MachineTopology,
+    cfg: SimConfig,
+    hw_threads: &[HwThreadId],
+    program: &Program,
+) -> SimReport {
+    let mut eng = Engine::new(topo, cfg);
+    for &hw in hw_threads {
+        eng.add_thread(hw, program.clone());
+    }
+    eng.run()
+}

@@ -1,0 +1,333 @@
+//! Directory transaction service: arrival queueing, per-line pumping,
+//! departure/arrival line-state transitions and service-latency
+//! assembly.
+//!
+//! All *policy* — who supplies the data, how an owner demotes when a
+//! reader arrives, what state the requester installs — is delegated to
+//! the engine's [`crate::protocol::CoherenceProtocol`]. This module owns
+//! the *mechanics*: it executes the decisions, charges their wire and
+//! energy cost, and keeps the directory book-keeping (which is
+//! protocol-independent: invalidation fan-out on writes and the
+//! per-line service discipline are universal to the MESI family).
+
+use super::{Engine, Ev};
+use crate::cache::{LineId, LineState};
+use crate::directory::Request;
+use crate::protocol::{DataSource, KindDispatch};
+use crate::trace::TraceEvent;
+use bounce_topo::TileId;
+
+impl Engine {
+    pub(super) fn dir_arrival(&mut self, idx: u32, req: Request) {
+        self.energy.directory_j += self.cfg.params.energy.dir_nj * 1e-9;
+        self.dir.entry_at(idx).queue.push_back(req);
+        self.pump(idx);
+    }
+
+    /// Start every queued transaction the service discipline allows:
+    /// exclusive (GetM) requests serialise per line — *this* is the
+    /// bouncing — while read (GetS) requests are serviced concurrently,
+    /// as real home agents do. A waiting GetM has writer priority: once
+    /// one is queued, no further GetS starts until it has been served.
+    pub(super) fn pump(&mut self, idx: u32) {
+        loop {
+            let shared_only = {
+                let e = self.dir.entry_at(idx);
+                if e.queue.is_empty() || e.busy_excl() {
+                    return;
+                }
+                if e.shared_in_flight > 0 {
+                    if e.queue.iter().any(|r| r.excl) {
+                        // Writer priority: drain the shared batch first.
+                        return;
+                    }
+                    true
+                } else {
+                    false
+                }
+            };
+            let Some(pick) = self.pick_request(idx, shared_only) else {
+                return;
+            };
+            let (req, queue_len) = {
+                let entry = self.dir.entry_at(idx);
+                let queue_len = entry.queue.len();
+                let req = entry.queue.remove(pick).expect("picked request exists");
+                if req.excl {
+                    entry.excl_in_flight = Some(req);
+                } else {
+                    entry.shared_in_flight += 1;
+                }
+                (req, queue_len)
+            };
+            let line = self.dir.line_at(idx);
+            self.trace(|at| TraceEvent::ServiceStart {
+                at,
+                thread: req.thread,
+                line,
+                queue_len,
+            });
+            if self.now >= self.cfg.warmup_cycles {
+                self.queue_depth.record(queue_len as u64);
+            }
+            let mut latency = self.service_latency(idx, &req);
+            self.dir_transactions += 1;
+            // Home-agent bandwidth: the transaction occupies its home
+            // tile's port, so transactions on *different* lines homed
+            // at the same tile queue behind each other.
+            let occ = self.cfg.params.home_port_occupancy as u64;
+            if occ > 0 {
+                let home = self.dir.home_of(idx);
+                let start = self.port_busy[home.0].max(self.now);
+                self.port_busy[home.0] = start + occ;
+                latency += (start - self.now) + occ;
+            }
+            // Departure transitions happen now: the snoop/invalidation
+            // races ahead of the data transfer, so the previous holders
+            // lose the line when service *starts*, not when the
+            // requester receives the data. (This is what stops an owner
+            // free-riding hits for the whole transfer and makes
+            // saturated contended throughput ≈ 1 op per ownership
+            // transfer, as the paper's model assumes.)
+            self.depart_line(idx, &req);
+            let t = self.now + latency;
+            self.schedule(t, Ev::ServiceDone(idx, req));
+            if req.excl {
+                // Nothing overlaps an exclusive transaction.
+                return;
+            }
+            // Otherwise keep starting concurrent GetS.
+        }
+    }
+
+    /// Remove the line from the caches that lose it to `req`, recording
+    /// bounce and invalidation statistics. On a write, every other
+    /// holder is invalidated (universal to the MESI family); on a read,
+    /// the protocol decides how the current owner demotes and whether it
+    /// keeps directory ownership (MOESI's Owned state does, MESI(F)
+    /// dissolves it into the sharer set).
+    fn depart_line(&mut self, idx: u32, req: &Request) {
+        let tid = req.thread;
+        let line = self.dir.line_at(idx);
+        let (owner, sharers): (Option<usize>, Vec<usize>) = {
+            let e = self.dir.get_at(idx);
+            (e.owner, e.sharers.iter().copied().collect())
+        };
+        if req.excl {
+            if let Some(o) = owner {
+                if o != req.core {
+                    // Record the bounce (ownership transfer between cores).
+                    let d = self
+                        .topo
+                        .comm_domain(self.threads[tid].hw, self.topo.cores[o].threads[0]);
+                    self.transfers_by_domain[d.index()] += 1;
+                    self.trace(|at| TraceEvent::Bounce {
+                        at,
+                        from_core: o,
+                        to_thread: tid,
+                        line,
+                        domain: d,
+                    });
+                    self.caches[o].invalidate(line);
+                    self.invalidations += 1;
+                }
+            }
+            for s in sharers {
+                if s != req.core {
+                    self.caches[s].invalidate(line);
+                    self.invalidations += 1;
+                }
+            }
+            let e = self.dir.entry_at(idx);
+            e.owner = None;
+            e.sharers.clear();
+            e.forward = None;
+        } else {
+            // GetS: the previous owner demotes immediately; the protocol
+            // picks the demoted state and whether ownership is retained.
+            if let Some(o) = owner {
+                let demotion = self
+                    .protocol
+                    .demote_owner_on_read(self.caches[o].state(line));
+                if o != req.core {
+                    self.caches[o].set_state(line, demotion.to);
+                }
+                if !demotion.retains_ownership {
+                    let e = self.dir.entry_at(idx);
+                    if let Some(o) = e.owner.take() {
+                        e.sharers.insert(o);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assemble the service latency of a request from the current line
+    /// state and the machine's distances. The protocol decides *where*
+    /// the data comes from; this method charges the legs.
+    fn service_latency(&mut self, idx: u32, req: &Request) -> u64 {
+        let dir_lookup = self.cfg.params.dir_lookup as u64;
+        let inv_nj = self.cfg.params.energy.inv_nj;
+        let home = self.dir.home_of(idx);
+        let req_tile = self.tile_of_core(req.core);
+        let (owner, sharers, forward): (Option<usize>, Vec<usize>, Option<usize>) = {
+            let e = self.dir.get_at(idx);
+            (e.owner, e.sharers.iter().copied().collect(), e.forward)
+        };
+        let mut lat = dir_lookup;
+        if req.excl {
+            // Invalidate all sharers (parallel, pay the farthest leg).
+            // Under MESI(F) an owned line has no sharers, so this only
+            // runs for clean-shared lines; under MOESI it also runs
+            // alongside a retained Owned copy.
+            let inv_far = sharers
+                .iter()
+                .filter(|&&s| s != req.core)
+                .map(|&s| self.wire(home, self.tile_of_core(s)))
+                .max()
+                .unwrap_or(0) as u64;
+            for &s in sharers.iter().filter(|&&s| s != req.core) {
+                let st = self.tile_of_core(s);
+                let _ = self.charge_hops(home, st);
+                self.energy.invalidation_j += inv_nj * 1e-9;
+            }
+            let source = self.protocol.write_source(owner, forward, req.core);
+            let data = self.data_leg(idx, source, req_tile);
+            lat += inv_far.max(data);
+        } else {
+            let source = self.protocol.read_source(owner, forward, req.core);
+            lat += self.data_leg(idx, source, req_tile);
+        }
+        lat
+    }
+
+    /// Latency of the data leg answering a transaction, charging the
+    /// wire/energy/memory cost of the chosen source.
+    fn data_leg(&mut self, idx: u32, source: DataSource, req_tile: TileId) -> u64 {
+        let peer_lookup = self.cfg.params.peer_lookup as u64;
+        let mem_latency = self.cfg.params.mem_latency as u64;
+        let mem_nj = self.cfg.params.energy.mem_nj;
+        let home = self.dir.home_of(idx);
+        match source {
+            DataSource::Peer(p) => {
+                // Forward from a peer cache: home→peer probe, peer tag
+                // lookup, peer→requester data transfer.
+                let p_tile = self.tile_of_core(p);
+                self.charge_hops(home, p_tile) as u64
+                    + peer_lookup
+                    + self.charge_hops(p_tile, req_tile) as u64
+            }
+            DataSource::OwnedPeer(p) => {
+                let p_tile = self.tile_of_core(p);
+                let legs = self.charge_hops(home, p_tile) as u64
+                    + peer_lookup
+                    + self.charge_hops(p_tile, req_tile) as u64;
+                // The Owned copy is the *only* source of the dirty data,
+                // so concurrent read misses queue at its cache port for
+                // the lookup + transfer occupancy. (MESIF's racing
+                // readers spill to the banked home/memory path instead,
+                // which services them in parallel — this queue is what
+                // makes dirty read-sharing the expensive case for MOESI.)
+                let occ = peer_lookup + self.wire(p_tile, req_tile) as u64;
+                let start = self.fwd_busy[idx as usize].max(self.now);
+                self.fwd_busy[idx as usize] = start + occ;
+                (start - self.now) + legs
+            }
+            DataSource::Memory => {
+                self.mem_accesses += 1;
+                self.energy.memory_j += mem_nj * 1e-9;
+                mem_latency + self.charge_hops(home, req_tile) as u64
+            }
+            DataSource::Ack => self.charge_hops(home, req_tile) as u64,
+        }
+    }
+
+    /// Data has arrived at the requester: move the line, linearise the
+    /// op, complete it, and start the next queued request(s).
+    pub(super) fn service_done(&mut self, idx: u32, req: Request) {
+        let line = self.dir.line_at(idx);
+        {
+            let entry = self.dir.entry_at(idx);
+            if req.excl {
+                let inflight = entry.excl_in_flight.take();
+                debug_assert!(inflight.is_some(), "exclusive service was marked");
+            } else {
+                debug_assert!(entry.shared_in_flight > 0);
+                entry.shared_in_flight -= 1;
+            }
+        }
+        let tid = req.thread;
+        // --- arrival transitions (departures already ran at service
+        //     start, see `depart_line`) ---
+        if req.excl {
+            let e = self.dir.entry_at(idx);
+            e.owner = Some(req.core);
+            e.sharers.clear();
+            e.forward = None;
+            self.install(req.core, line, LineState::Modified);
+        } else {
+            let (state, take_forward) = self.protocol.read_install();
+            let old_forward = {
+                let e = self.dir.entry_at(idx);
+                let old = if take_forward {
+                    e.forward.replace(req.core)
+                } else {
+                    None
+                };
+                e.sharers.insert(req.core);
+                old
+            };
+            // The previous Forward holder demotes to plain S in its own
+            // cache (it stays a sharer).
+            if let Some(old_f) = old_forward {
+                if old_f != req.core {
+                    self.caches[old_f].set_state(line, LineState::Shared);
+                }
+            }
+            self.install(req.core, line, state);
+        }
+        // Each transaction must leave the directory entry in a state the
+        // protocol's invariants accept (owner/sharer/forward exclusivity
+        // rules differ per protocol). Debug builds check at every
+        // completion; release builds only at end of run.
+        #[cfg(debug_assertions)]
+        if let Err(msg) = self
+            .dir
+            .get_at(idx)
+            .check_invariants(self.cfg.params.protocol)
+        {
+            panic!("directory invariant broken after transaction on {line:?}: {msg}");
+        }
+        self.energy.cache_j += self.cfg.params.energy.l1_nj * 1e-9;
+        // --- linearise the op ---
+        let mut op = self.threads[tid].cur_op.take().expect("op in flight");
+        let outcome = self.apply_value_op(&mut op);
+        self.threads[tid].last_success = outcome.success;
+        self.threads[tid].cur_op = Some(op);
+        let done = self.now
+            + self.cfg.params.install_cost as u64
+            + self.cfg.params.exec_cost(op.prim) as u64;
+        self.schedule(done, Ev::OpComplete(tid));
+        // --- next transaction(s) on this line ---
+        self.pump(idx);
+    }
+
+    /// Install a line into a core's L1, handling the eviction.
+    fn install(&mut self, core: usize, line: LineId, state: LineState) {
+        if let Some((evicted, evicted_state)) = self.caches[core].install(line, state) {
+            match evicted_state {
+                LineState::Modified | LineState::Owned => {
+                    // Dirty writeback to memory (an Owned copy still owes
+                    // its line to memory — the deferred MOESI writeback
+                    // lands here).
+                    self.mem_accesses += 1;
+                    self.energy.memory_j += self.cfg.params.energy.mem_nj * 1e-9;
+                    self.dir.evict_owner(evicted, core);
+                }
+                LineState::Exclusive => self.dir.evict_owner(evicted, core),
+                LineState::Shared | LineState::Forward => self.dir.evict_sharer(evicted, core),
+                LineState::Invalid => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! End-of-run wrap-up: final invariant audit, static-energy accounting
+//! and report assembly.
+
+use super::Engine;
+use crate::report::{SimReport, ThreadReport};
+
+impl Engine {
+    pub(super) fn finish(&mut self) -> SimReport {
+        debug_assert!(
+            self.dir
+                .check_all_invariants(self.cfg.params.protocol)
+                .is_ok(),
+            "directory invariants broken at end of run"
+        );
+        let window = self
+            .cfg
+            .duration_cycles
+            .saturating_sub(self.cfg.warmup_cycles);
+        let window_secs = window as f64 / (self.topo.freq_ghz * 1e9);
+        // Static energy: active cores × window.
+        let active_cores: std::collections::HashSet<usize> =
+            self.threads.iter().map(|t| t.core).collect();
+        self.energy.static_j =
+            active_cores.len() as f64 * self.cfg.params.energy.static_w_per_core * window_secs;
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| t.report.clone())
+            .collect::<Vec<ThreadReport>>();
+        SimReport {
+            duration_cycles: self.cfg.duration_cycles,
+            window_cycles: window,
+            freq_ghz: self.topo.freq_ghz,
+            threads,
+            transfers_by_domain: self.transfers_by_domain,
+            invalidations: self.invalidations,
+            mem_accesses: self.mem_accesses,
+            dir_transactions: self.dir_transactions,
+            events: self.events_processed,
+            energy: self.energy.clone(),
+            queue_depth: self.queue_depth.clone(),
+        }
+    }
+}

@@ -7,7 +7,10 @@
 //! simulator reproduces exactly that mechanism, at coherence-transaction
 //! granularity:
 //!
-//! * each core has a set-associative L1 holding MESI/MESIF line states;
+//! * each core has a set-associative L1 holding coherence line states;
+//!   the line-state policy is pluggable ([protocol]): MESIF (Intel
+//!   servers, the default), plain MESI (KNL's tag directory) or MOESI
+//!   (AMD-style dirty sharing);
 //! * every miss becomes a request to the line's *home* directory slice
 //!   (the in-LLC directory of a socket on E5, a distributed tag directory
 //!   tile on KNL);
@@ -40,6 +43,7 @@ pub mod counters;
 pub mod directory;
 pub mod engine;
 pub mod program;
+pub mod protocol;
 pub mod report;
 pub mod trace;
 
@@ -47,5 +51,6 @@ pub use cache::{LineId, LineState, SetAssocCache, WordAddr};
 pub use config::{ArbitrationPolicy, EnergyParams, HomePolicy, SimConfig, SimParams};
 pub use engine::Engine;
 pub use program::{Operand, Program, SpinPred, Step};
+pub use protocol::{CoherenceKind, CoherenceProtocol, DataSource};
 pub use report::{EnergyBreakdown, SimReport, ThreadReport};
 pub use trace::{Trace, TraceEvent};

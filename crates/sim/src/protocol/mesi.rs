@@ -1,0 +1,52 @@
+//! Plain MESI: no Forward state. A dirty owner still supplies readers
+//! cache-to-cache (demoting to Shared), but once a line is clean-shared
+//! every further read miss is serviced by the home/memory.
+
+use super::{CoherenceKind, CoherenceProtocol, DataSource, OwnerDemotion};
+use crate::cache::LineState;
+
+/// The plain-MESI policy (KNL's distributed tag directory).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mesi;
+
+impl CoherenceProtocol for Mesi {
+    fn kind(&self) -> CoherenceKind {
+        CoherenceKind::Mesi
+    }
+
+    fn demote_owner_on_read(&self, _owner_state: LineState) -> OwnerDemotion {
+        OwnerDemotion {
+            to: LineState::Shared,
+            retains_ownership: false,
+        }
+    }
+
+    fn read_source(
+        &self,
+        owner: Option<usize>,
+        _forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        match owner {
+            Some(o) if o != req_core => DataSource::Peer(o),
+            _ => DataSource::Memory,
+        }
+    }
+
+    fn write_source(
+        &self,
+        owner: Option<usize>,
+        _forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        match owner {
+            Some(o) if o != req_core => DataSource::Peer(o),
+            Some(_) => DataSource::Ack,
+            None => DataSource::Memory,
+        }
+    }
+
+    fn read_install(&self) -> (LineState, bool) {
+        (LineState::Shared, false)
+    }
+}

@@ -1,0 +1,65 @@
+//! MESIF (Intel server parts): MESI plus a Forward state. Exactly one
+//! clean sharer is designated Forward and answers the next read miss
+//! cache-to-cache; reads that race past it (or arrive after it was
+//! invalidated) fall back to the home/memory path.
+
+use super::{CoherenceKind, CoherenceProtocol, DataSource, OwnerDemotion};
+use crate::cache::LineState;
+
+/// The MESIF policy (today's default; the behaviour the pre-refactor
+/// engine hard-coded).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mesif;
+
+impl CoherenceProtocol for Mesif {
+    fn kind(&self) -> CoherenceKind {
+        CoherenceKind::Mesif
+    }
+
+    fn demote_owner_on_read(&self, _owner_state: LineState) -> OwnerDemotion {
+        // M/E owner drops to Shared; ownership dissolves into the sharer
+        // set (the requester becomes the Forward copy on completion).
+        OwnerDemotion {
+            to: LineState::Shared,
+            retains_ownership: false,
+        }
+    }
+
+    fn read_source(
+        &self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        match owner {
+            Some(o) if o != req_core => DataSource::Peer(o),
+            _ => match forward {
+                Some(f) if f != req_core => DataSource::Peer(f),
+                _ => DataSource::Memory,
+            },
+        }
+    }
+
+    fn write_source(
+        &self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        match owner {
+            Some(o) if o != req_core => DataSource::Peer(o),
+            // The requester already owns the line (stale queued upgrade):
+            // just acknowledge.
+            Some(_) => DataSource::Ack,
+            None => match forward {
+                Some(f) if f != req_core => DataSource::Peer(f),
+                _ => DataSource::Memory,
+            },
+        }
+    }
+
+    fn read_install(&self) -> (LineState, bool) {
+        // The most recent reader holds the Forward copy.
+        (LineState::Forward, true)
+    }
+}

@@ -1,0 +1,189 @@
+//! Pluggable coherence protocols: the line-state transition policy the
+//! engine consults on every directory transaction.
+//!
+//! The engine owns the *mechanics* of a transaction — queueing at the
+//! home slice, charging interconnect legs and energy, moving directory
+//! records — and asks a [`CoherenceProtocol`] only for the *decisions*
+//! that differ between protocol families:
+//!
+//! * where the data answering a miss comes from ([`DataSource`]);
+//! * what happens to the previous owner's copy when a reader arrives
+//!   ([`OwnerDemotion`]);
+//! * what state the requester installs, and whether it takes over the
+//!   Forward designation.
+//!
+//! Decisions are pure functions of the directory's view of the line, so
+//! protocols carry no state. The engine dispatches on the `Copy`
+//! [`CoherenceKind`] tag via [`KindDispatch`], which statically matches
+//! to the concrete implementation (the decisions inline into the
+//! service path); a `&'static dyn` route ([`protocol_for`]) exists for
+//! external callers. Nothing sits on the L1-hit fast path, which never
+//! consults the protocol at all (the E→M upgrade on a hit is universal
+//! across MESI-family protocols).
+//!
+//! Three families are implemented: [`Mesif`] (Intel: a clean Forward
+//! copy answers read misses cache-to-cache), [`Mesi`] (no Forward state:
+//! clean shared reads go to the home/memory), and [`Moesi`] (AMD-style:
+//! a dirty Owned copy keeps supplying readers without a writeback).
+
+use crate::cache::LineState;
+pub use bounce_topo::CoherenceKind;
+
+mod mesi;
+mod mesif;
+mod moesi;
+
+pub use mesi::Mesi;
+pub use mesif::Mesif;
+pub use moesi::Moesi;
+
+/// Where the data answering a directory transaction comes from. The
+/// engine turns this into interconnect legs, queueing and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// Cache-to-cache: home → peer, peer lookup, peer → requester.
+    Peer(usize),
+    /// Cache-to-cache from the single dirty Owned copy (MOESI): same
+    /// legs as [`DataSource::Peer`], but concurrent read misses
+    /// serialise at the supplier's cache port — there is exactly one
+    /// copy that can source the data.
+    OwnedPeer(usize),
+    /// The home slice fetches the line from DRAM/MCDRAM.
+    Memory,
+    /// No data moves; a bare home → requester acknowledgement (ownership
+    /// upgrade for a line the requester already holds).
+    Ack,
+}
+
+/// What happens to the current owner's copy when a read request departs
+/// the directory (service start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnerDemotion {
+    /// State the owner's cached copy drops to.
+    pub to: LineState,
+    /// Whether the owner keeps its directory ownership record (MOESI's
+    /// Owned state). When false, ownership dissolves into the sharer
+    /// set.
+    pub retains_ownership: bool,
+}
+
+/// Line-state transition policy for one coherence-protocol family.
+///
+/// All methods are pure decision functions; the engine applies them and
+/// charges the corresponding latencies/energy, keeping protocol and
+/// mechanics separable (and the MESIF path bit-for-bit identical to the
+/// pre-refactor engine).
+pub trait CoherenceProtocol: Send + Sync {
+    /// The family tag (used for invariant checks and labels).
+    fn kind(&self) -> CoherenceKind;
+
+    /// On a read (GetS) departing the directory: how the current owner's
+    /// copy — in `owner_state` — demotes.
+    fn demote_owner_on_read(&self, owner_state: LineState) -> OwnerDemotion;
+
+    /// On a read miss (GetS): where the data comes from, given the
+    /// directory's pre-departure view of the line.
+    fn read_source(
+        &self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource;
+
+    /// On a write miss or upgrade (GetM): where the data (or the
+    /// ownership acknowledgement) comes from. Sharer invalidations are
+    /// universal and handled by the engine.
+    fn write_source(
+        &self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource;
+
+    /// On read completion: the state installed at the requester, and
+    /// whether the requester takes over the Forward designation.
+    fn read_install(&self) -> (LineState, bool);
+}
+
+/// Resolve a protocol tag to its (stateless) implementation as a trait
+/// object (external callers and tests).
+pub fn protocol_for(kind: CoherenceKind) -> &'static dyn CoherenceProtocol {
+    match kind {
+        CoherenceKind::Mesif => &Mesif,
+        CoherenceKind::Mesi => &Mesi,
+        CoherenceKind::Moesi => &Moesi,
+    }
+}
+
+/// Enum-dispatched mirror of [`CoherenceProtocol`] for the engine's
+/// service path: matching on the `Copy` tag statically resolves to the
+/// concrete implementation, so the decision functions inline into the
+/// transaction service with no virtual call (measurably faster on the
+/// miss path than the `dyn` route, which remains for external callers).
+macro_rules! dispatch {
+    ($self:ident . $method:ident ( $($arg:expr),* )) => {
+        match $self {
+            CoherenceKind::Mesif => Mesif.$method($($arg),*),
+            CoherenceKind::Mesi => Mesi.$method($($arg),*),
+            CoherenceKind::Moesi => Moesi.$method($($arg),*),
+        }
+    };
+}
+
+/// Inherent forwarding impls on the tag — same names and signatures as
+/// the trait, minus `&self` indirection.
+pub trait KindDispatch {
+    /// See [`CoherenceProtocol::demote_owner_on_read`].
+    fn demote_owner_on_read(self, owner_state: LineState) -> OwnerDemotion;
+    /// See [`CoherenceProtocol::read_source`].
+    fn read_source(
+        self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource;
+    /// See [`CoherenceProtocol::write_source`].
+    fn write_source(
+        self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource;
+    /// See [`CoherenceProtocol::read_install`].
+    fn read_install(self) -> (LineState, bool);
+}
+
+impl KindDispatch for CoherenceKind {
+    #[inline]
+    fn demote_owner_on_read(self, owner_state: LineState) -> OwnerDemotion {
+        dispatch!(self.demote_owner_on_read(owner_state))
+    }
+
+    #[inline]
+    fn read_source(
+        self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        dispatch!(self.read_source(owner, forward, req_core))
+    }
+
+    #[inline]
+    fn write_source(
+        self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        dispatch!(self.write_source(owner, forward, req_core))
+    }
+
+    #[inline]
+    fn read_install(self) -> (LineState, bool) {
+        dispatch!(self.read_install())
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,70 @@
+//! MOESI (AMD-style): MESI plus an Owned state. A dirty line can be
+//! read-shared without writing it back — the previous writer demotes to
+//! Owned, keeps directory ownership, and keeps supplying readers
+//! cache-to-cache. The writeback is deferred until the Owned copy is
+//! evicted or invalidated by the next writer.
+//!
+//! The flip side modelled here: the Owned copy is the *only* source of
+//! the dirty data, so concurrent read misses serialise at its cache port
+//! ([`DataSource::OwnedPeer`]). MESIF's racing readers instead spill to
+//! the banked home/memory path, which services them in parallel.
+
+use super::{CoherenceKind, CoherenceProtocol, DataSource, OwnerDemotion};
+use crate::cache::LineState;
+
+/// The MOESI policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Moesi;
+
+impl CoherenceProtocol for Moesi {
+    fn kind(&self) -> CoherenceKind {
+        CoherenceKind::Moesi
+    }
+
+    fn demote_owner_on_read(&self, owner_state: LineState) -> OwnerDemotion {
+        match owner_state {
+            // Dirty copy: demote to Owned, keep ownership, no writeback.
+            LineState::Modified | LineState::Owned => OwnerDemotion {
+                to: LineState::Owned,
+                retains_ownership: true,
+            },
+            // Clean (E) copy: nothing is owed to memory, so ownership
+            // dissolves into the sharer set as in plain MESI.
+            _ => OwnerDemotion {
+                to: LineState::Shared,
+                retains_ownership: false,
+            },
+        }
+    }
+
+    fn read_source(
+        &self,
+        owner: Option<usize>,
+        _forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        match owner {
+            Some(o) if o != req_core => DataSource::OwnedPeer(o),
+            _ => DataSource::Memory,
+        }
+    }
+
+    fn write_source(
+        &self,
+        owner: Option<usize>,
+        _forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        match owner {
+            Some(o) if o != req_core => DataSource::Peer(o),
+            // O→M upgrade: the requester already holds the dirty data;
+            // it only needs the sharers killed and an acknowledgement.
+            Some(_) => DataSource::Ack,
+            None => DataSource::Memory,
+        }
+    }
+
+    fn read_install(&self) -> (LineState, bool) {
+        (LineState::Shared, false)
+    }
+}

@@ -1,0 +1,150 @@
+//! Transition-table tests: for each protocol, every `(directory view,
+//! request)` pair is pinned to its expected decision, and every owner
+//! cache state to its expected demotion. These are the state machines in
+//! table form — engine-level integration is covered by
+//! `tests/protocol_transitions.rs`.
+
+use super::*;
+use LineState::*;
+
+const REQ: usize = 0;
+const PEER: usize = 1;
+
+/// Directory views worth distinguishing: (owner, forward) as seen at
+/// service start. Sharer handling (invalidation fan-out) is universal
+/// and engine-side, so it does not appear in the decision inputs.
+fn views() -> Vec<(Option<usize>, Option<usize>)> {
+    vec![
+        (None, None),       // uncached / sharers only, no forward copy
+        (None, Some(PEER)), // forward copy at a peer
+        (None, Some(REQ)),  // requester itself holds the forward copy
+        (Some(PEER), None), // a peer owns the line
+        (Some(REQ), None),  // the requester already owns it (upgrade)
+    ]
+}
+
+#[test]
+fn mesif_read_transition_table() {
+    let p = Mesif;
+    let expect = [
+        DataSource::Memory,     // no owner, no forward: memory
+        DataSource::Peer(PEER), // forward peer answers c2c
+        DataSource::Memory,     // own forward copy: refetch from memory
+        DataSource::Peer(PEER), // dirty owner answers c2c
+        DataSource::Memory,     // own stale ownership: memory
+    ];
+    for ((owner, fwd), want) in views().into_iter().zip(expect) {
+        assert_eq!(p.read_source(owner, fwd, REQ), want, "{owner:?}/{fwd:?}");
+    }
+    assert_eq!(p.read_install(), (Forward, true));
+}
+
+#[test]
+fn mesif_write_transition_table() {
+    let p = Mesif;
+    let expect = [
+        DataSource::Memory,
+        DataSource::Peer(PEER), // forward copy supplies the RFO data
+        DataSource::Memory,
+        DataSource::Peer(PEER),
+        DataSource::Ack, // stale queued upgrade: bare acknowledgement
+    ];
+    for ((owner, fwd), want) in views().into_iter().zip(expect) {
+        assert_eq!(p.write_source(owner, fwd, REQ), want, "{owner:?}/{fwd:?}");
+    }
+}
+
+#[test]
+fn mesi_read_transition_table() {
+    let p = Mesi;
+    let expect = [
+        DataSource::Memory,
+        DataSource::Memory, // no Forward state: clean sharing goes home
+        DataSource::Memory,
+        DataSource::Peer(PEER),
+        DataSource::Memory,
+    ];
+    for ((owner, fwd), want) in views().into_iter().zip(expect) {
+        assert_eq!(p.read_source(owner, fwd, REQ), want, "{owner:?}/{fwd:?}");
+    }
+    assert_eq!(p.read_install(), (Shared, false));
+}
+
+#[test]
+fn mesi_write_transition_table() {
+    let p = Mesi;
+    let expect = [
+        DataSource::Memory,
+        DataSource::Memory,
+        DataSource::Memory,
+        DataSource::Peer(PEER),
+        DataSource::Ack,
+    ];
+    for ((owner, fwd), want) in views().into_iter().zip(expect) {
+        assert_eq!(p.write_source(owner, fwd, REQ), want, "{owner:?}/{fwd:?}");
+    }
+}
+
+#[test]
+fn moesi_read_transition_table() {
+    let p = Moesi;
+    let expect = [
+        DataSource::Memory,
+        DataSource::Memory, // forward never exists under MOESI
+        DataSource::Memory,
+        DataSource::OwnedPeer(PEER), // the Owned/M copy supplies, serialised
+        DataSource::Memory,
+    ];
+    for ((owner, fwd), want) in views().into_iter().zip(expect) {
+        assert_eq!(p.read_source(owner, fwd, REQ), want, "{owner:?}/{fwd:?}");
+    }
+    assert_eq!(p.read_install(), (Shared, false));
+}
+
+#[test]
+fn moesi_write_transition_table() {
+    let p = Moesi;
+    let expect = [
+        DataSource::Memory,
+        DataSource::Memory,
+        DataSource::Memory,
+        DataSource::Peer(PEER), // next writer pulls the dirty line over
+        DataSource::Ack,        // O→M upgrade: data already local
+    ];
+    for ((owner, fwd), want) in views().into_iter().zip(expect) {
+        assert_eq!(p.write_source(owner, fwd, REQ), want, "{owner:?}/{fwd:?}");
+    }
+}
+
+#[test]
+fn owner_demotion_per_state() {
+    // (protocol, owner cache state) -> (state after a reader arrives,
+    // keeps directory ownership?). Exhaustive over the states an owner
+    // can legally be in when a GetS departs.
+    let cases: [(&dyn CoherenceProtocol, LineState, LineState, bool); 8] = [
+        (&Mesif, Modified, Shared, false),
+        (&Mesif, Exclusive, Shared, false),
+        (&Mesi, Modified, Shared, false),
+        (&Mesi, Exclusive, Shared, false),
+        (&Moesi, Modified, Owned, true), // dirty sharing without writeback
+        (&Moesi, Owned, Owned, true),    // later readers: still supplying
+        (&Moesi, Exclusive, Shared, false), // clean: plain MESI demotion
+        (&Moesi, Invalid, Shared, false), // silently evicted: nothing kept
+    ];
+    for (p, st, to, retains) in cases {
+        let d = p.demote_owner_on_read(st);
+        assert_eq!(
+            (d.to, d.retains_ownership),
+            (to, retains),
+            "{:?} owner in {st:?}",
+            p.kind()
+        );
+    }
+}
+
+#[test]
+fn dispatch_matches_kind() {
+    for kind in CoherenceKind::ALL {
+        assert_eq!(protocol_for(kind).kind(), kind);
+    }
+}

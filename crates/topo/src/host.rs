@@ -10,6 +10,7 @@ use crate::machine::{
     CacheLevel, CacheSharing, Core, CoreId, HwThread, HwThreadId, Interconnect, MachineTopology,
     Socket, SocketId, Tile, TileId,
 };
+use crate::protocol::CoherenceKind;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
@@ -189,6 +190,7 @@ fn try_detect() -> Option<MachineTopology> {
         },
         interconnect: Interconnect::Uniform { latency_cycles: 40 },
         freq_ghz: 2.0,
+        protocol: CoherenceKind::default(),
     };
 
     for &pkg in &packages {

@@ -34,6 +34,7 @@ pub mod host;
 pub mod machine;
 pub mod placement;
 pub mod presets;
+pub mod protocol;
 pub mod render;
 pub mod route;
 
@@ -44,4 +45,5 @@ pub use machine::{
     MeshPos, Socket, SocketId, Tile, TileId,
 };
 pub use placement::Placement;
+pub use protocol::CoherenceKind;
 pub use route::Link;

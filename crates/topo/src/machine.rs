@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::protocol::CoherenceKind;
+
 /// Index of a hardware thread (SMT context), global across the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HwThreadId(pub usize);
@@ -179,6 +181,8 @@ pub struct MachineTopology {
     pub interconnect: Interconnect,
     /// Nominal core frequency in GHz (used to convert cycles to seconds).
     pub freq_ghz: f64,
+    /// Coherence-protocol family the machine's caches natively implement.
+    pub protocol: CoherenceKind,
 }
 
 impl MachineTopology {
@@ -350,6 +354,7 @@ impl MachineTopology {
             caches,
             interconnect,
             freq_ghz,
+            protocol: CoherenceKind::default(),
         };
         for s in 0..sockets {
             let sid = SocketId(s);

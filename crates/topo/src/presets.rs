@@ -7,6 +7,7 @@
 //! costs, so the presets only need to get the *structure* right.
 
 use crate::machine::{CacheLevel, CacheSharing, Interconnect, MachineTopology, MeshPos};
+use crate::protocol::CoherenceKind;
 
 /// Intel Xeon E5-2695 v4 ("Broadwell-EP"), the paper's big-core testbed:
 /// 2 sockets × 18 cores × 2-way SMT = 72 hardware threads; per-core
@@ -62,6 +63,8 @@ pub fn xeon_e5_2695_v4() -> MachineTopology {
         let within = tile.id.0 % 18;
         tile.ring_stop = Some(within as u16);
     }
+    // Intel server parts source clean shared lines from a Forward copy.
+    m.protocol = CoherenceKind::Mesif;
     debug_assert!(m.validate().is_ok());
     m
 }
@@ -110,6 +113,9 @@ pub fn xeon_phi_7290() -> MachineTopology {
             row: (i / 6) as u16,
         });
     }
+    // KNL's distributed tag directory speaks plain MESI (no Forward
+    // state): clean shared reads are serviced by the home tile / MCDRAM.
+    m.protocol = CoherenceKind::Mesi;
     debug_assert!(m.validate().is_ok());
     m
 }
@@ -302,6 +308,14 @@ mod tests {
             assert!(by_name(n).is_some(), "{n}");
         }
         assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn presets_name_native_protocols() {
+        assert_eq!(xeon_e5_2695_v4().protocol, CoherenceKind::Mesif);
+        assert_eq!(xeon_phi_7290().protocol, CoherenceKind::Mesi);
+        assert_eq!(tiny_test_machine().protocol, CoherenceKind::Mesif);
+        assert_eq!(dual_socket_small().protocol, CoherenceKind::Mesif);
     }
 
     #[test]

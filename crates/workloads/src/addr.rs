@@ -18,6 +18,8 @@ const LOCK_BASE: u64 = 0x0002_0000;
 const MCS_FLAG_BASE: u64 = 0x0003_0000;
 /// Base of the MCS per-thread successor links.
 const MCS_NEXT_BASE: u64 = 0x0004_0000;
+/// Base of the per-thread scan region (set-conflicting filler lines).
+const SCAN_BASE: u64 = 0x0005_0000;
 /// Spacing between allocated lines (a padded cell: 2 lines).
 const STRIDE: u64 = 128;
 
@@ -63,6 +65,15 @@ impl AddressMap {
     pub fn mcs_next_base(&self) -> WordAddr {
         WordAddr::of_line(MCS_NEXT_BASE)
     }
+
+    /// Thread `i`'s scan line: private to the thread, but guaranteed to
+    /// map to the *same* L1 set as [`shared`](Self::shared) — every base
+    /// and stride in this map is a multiple of 64, the largest set count
+    /// in use — so touching it can evict the thread's copy of the shared
+    /// line ([`Workload::ReadScan`](crate::Workload::ReadScan)).
+    pub fn scan_conflict(&self, i: usize) -> WordAddr {
+        WordAddr::of_line(SCAN_BASE + STRIDE * i as u64)
+    }
 }
 
 #[cfg(test)]
@@ -89,8 +100,21 @@ mod tests {
         }
         for i in 0..64 {
             lines.insert(m.private(i).line);
+            lines.insert(m.scan_conflict(i).line);
         }
-        assert_eq!(lines.len(), 5 + 64 + 128, "no two cells share a line");
+        assert_eq!(lines.len(), 5 + 64 + 64 + 128, "no two cells share a line");
+    }
+
+    #[test]
+    fn scan_lines_conflict_with_shared_set() {
+        let m = AddressMap;
+        for i in 0..16 {
+            assert_eq!(
+                m.scan_conflict(i).line.0 % 64,
+                m.shared().line.0 % 64,
+                "scan line {i} must map to the shared line's L1 set"
+            );
+        }
     }
 
     #[test]

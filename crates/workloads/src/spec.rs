@@ -90,6 +90,22 @@ pub enum Workload {
         /// Writers' primitive.
         prim: Primitive,
     },
+    /// Read-heavy sharing under cache-capacity pressure — the coherence
+    /// protocol ablation's separator (experiment E13). The first
+    /// `writers` threads FAA the shared line with `writer_work` cycles
+    /// between ops; every other thread loads it and then walks a private
+    /// line that maps to the *same* L1 set, evicting its own copy — so
+    /// each of its shared reads is a fresh directory transaction. Which
+    /// data path answers those reads (MESIF's Forward copy, MOESI's
+    /// serialised Owned supplier, or memory under plain MESI) dominates
+    /// throughput. Meant to run with a direct-mapped L1 (`l1_ways = 1`)
+    /// so a single conflicting line evicts.
+    ReadScan {
+        /// Number of writer threads (the rest scan-read).
+        writers: usize,
+        /// Writers' local work between RMWs, cycles.
+        writer_work: u64,
+    },
     /// Lock / critical-section handoff with the given lock algorithm.
     LockHandoff {
         /// Lock algorithm.
@@ -153,6 +169,10 @@ impl Workload {
             Workload::MixedReadWrite { writers, prim } => {
                 format!("mixed-{prim}-{writers}w")
             }
+            Workload::ReadScan {
+                writers,
+                writer_work,
+            } => format!("readscan-{writers}w-w{writer_work}"),
             Workload::LockHandoff { shape, cs, noncs } => {
                 format!("lock-{}-cs{cs}-n{noncs}", shape.label())
             }
@@ -197,6 +217,16 @@ impl Workload {
                         builders::op_loop(prim, map.shared(), 0)
                     } else {
                         reader_loop(map)
+                    }
+                }
+                Workload::ReadScan {
+                    writers,
+                    writer_work,
+                } => {
+                    if i < writers {
+                        builders::op_loop(Primitive::Faa, map.shared(), writer_work)
+                    } else {
+                        scan_reader_loop(map, i)
                     }
                 }
                 Workload::LockHandoff { shape, cs, noncs } => match shape {
@@ -278,6 +308,26 @@ fn reader_loop(map: AddressMap) -> Program {
     .expect("reader loop is well-formed")
 }
 
+/// A reader that loads the shared word and then its private
+/// [`AddressMap::scan_conflict`] line (same L1 set), so that with a
+/// direct-mapped L1 the shared copy is evicted between reads and every
+/// shared load is a fresh directory transaction.
+fn scan_reader_loop(map: AddressMap, i: usize) -> Program {
+    let load = |addr| Step::Op {
+        prim: Primitive::Load,
+        addr,
+        operand: Operand::Const(0),
+        expected: Operand::Const(0),
+    };
+    Program::new(vec![
+        load(map.shared()),
+        load(map.scan_conflict(i)),
+        Step::Work(8),
+        Step::Goto(0),
+    ])
+    .expect("scan reader loop is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +388,40 @@ mod tests {
                 .any(|s| matches!(s, Step::Op { prim, .. } if prim.is_rmw()))
         };
         assert_eq!(progs.iter().filter(|p| is_writer(p)).count(), 2);
+    }
+
+    #[test]
+    fn readscan_scanners_touch_shared_plus_private_conflict() {
+        let w = Workload::ReadScan {
+            writers: 1,
+            writer_work: 2000,
+        };
+        let progs = w.sim_programs(4);
+        let map = AddressMap;
+        let is_writer = |p: &Program| {
+            p.steps()
+                .iter()
+                .any(|s| matches!(s, Step::Op { prim, .. } if prim.is_rmw()))
+        };
+        assert_eq!(progs.iter().filter(|p| is_writer(p)).count(), 1);
+        // Every scanner loads the shared line plus its own distinct
+        // filler line, and that filler maps to the shared line's L1 set.
+        let mut fillers = std::collections::HashSet::new();
+        for p in progs.iter().skip(1) {
+            let lines: Vec<_> = p
+                .steps()
+                .iter()
+                .filter_map(|s| match s {
+                    Step::Op { addr, .. } => Some(addr.line),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(lines.len(), 2);
+            assert_eq!(lines[0], map.shared().line);
+            assert_eq!(lines[1].0 % 64, map.shared().line.0 % 64);
+            fillers.insert(lines[1]);
+        }
+        assert_eq!(fillers.len(), 3, "one filler line per scanner");
     }
 
     #[test]

@@ -166,7 +166,7 @@ fn cas_waste_grows_with_contention() {
 #[test]
 fn experiment_registry_complete() {
     let all = experiments::all_experiments(ExpCtx::quick());
-    assert_eq!(all.len(), 36, "2 tables + 17 experiments x 2 machines");
+    assert_eq!(all.len(), 38, "2 tables + 18 experiments x 2 machines");
     for (id, t) in &all {
         assert!(!t.rows.is_empty(), "{id} empty");
         assert!(!t.headers.is_empty(), "{id} lacks headers");
