@@ -1,8 +1,10 @@
 # Development shortcuts (https://github.com/casey/just)
 
-# Run every test in the workspace.
+# Run every test in the workspace, under a hard wall-clock cap so a
+# hung simulation (the failure mode the watchdog exists for) can never
+# wedge the suite itself.
 test:
-    cargo test --workspace
+    timeout 1500 cargo test --workspace
 
 # Lint + docs, as CI runs them.
 lint:

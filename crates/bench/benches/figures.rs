@@ -165,7 +165,7 @@ fn bench_fig6(c: &mut Criterion) {
 fn bench_fig7(c: &mut Criterion) {
     let mut g = group(c, "fig7_model_validation");
     g.bench_function("e5_fit_and_predict", |b| {
-        b.iter(|| experiments::fig7(ExpCtx::quick(), Machine::E5))
+        b.iter(|| experiments::fig7(ExpCtx::quick(), Machine::E5).unwrap())
     });
     g.finish();
 }

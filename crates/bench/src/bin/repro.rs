@@ -5,10 +5,12 @@
 //! repro list                      # show experiment ids
 //! repro all [--quick] [--out D]  # run everything, write TSVs + stdout
 //! repro all --jobs 4 --timings   # parallel run with per-experiment times
+//! repro all --out D --resume     # skip experiments already completed in D
+//! repro all --filter fig1,e14    # run a subset of the campaign
 //! repro fig1 --machine knl       # one experiment, one machine
 //! repro table2 --markdown        # markdown instead of TSV on stdout
 //! repro predict --machine e5 --threads 24 --prim faa [--placement packed]
-//! repro --experiment e13 --machine e5   # protocol ablation (MESIF/MOESI/MESI)
+//! repro --experiment e14 --machine e5   # preemption fault injection
 //! repro fig1 --protocol mesi      # any experiment under a non-native protocol
 //! ```
 //!
@@ -18,12 +20,28 @@
 //! at every job count. `repro all --timings` also writes
 //! `BENCH_repro.json` with the wall-clock, total simulated events and
 //! events/sec for the run.
+//!
+//! # Resilience
+//!
+//! `repro all` isolates every experiment: a panic or a simulator
+//! watchdog trip (event-budget exhaustion, livelock) in one experiment
+//! is reported on stderr — naming the experiment and the failing
+//! configuration — while every other experiment still completes. The
+//! process exits nonzero if anything failed.
+//!
+//! With `--out D` the campaign maintains `D/MANIFEST.json`, updated
+//! atomically after each experiment, recording output files and their
+//! content hashes. `--resume` re-verifies that manifest and skips every
+//! experiment whose outputs are intact, so a killed campaign restarts
+//! where it stopped and the resumed `results/` directory is
+//! byte-identical to an uninterrupted run.
 
-use bounce_bench::{to_markdown_doc, write_tsv, write_tsv_with_plot};
+use bounce_bench::manifest::Manifest;
+use bounce_bench::{to_markdown_doc, write_table_outputs};
 use bounce_harness::experiments::{self, ExpCtx, Machine};
-use bounce_harness::report::Table;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 struct Args {
     command: String,
@@ -32,8 +50,10 @@ struct Args {
     markdown: bool,
     plots: bool,
     timings: bool,
+    resume: bool,
     jobs: usize,
     out: Option<PathBuf>,
+    filter: Option<Vec<String>>,
     threads: usize,
     prim: bounce_atomics::Primitive,
     placement: bounce_topo::Placement,
@@ -57,8 +77,10 @@ fn parse_args() -> Result<Args, String> {
         markdown: false,
         plots: false,
         timings: false,
+        resume: false,
         jobs: 0,
         out: None,
+        filter: None,
         threads: 8,
         prim: bounce_atomics::Primitive::Faa,
         placement: bounce_topo::Placement::Packed,
@@ -72,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--markdown" => args.markdown = true,
             "--plots" => args.plots = true,
             "--timings" => args.timings = true,
+            "--resume" => args.resume = true,
             "--jobs" | "-j" => {
                 let v = it.next().ok_or("--jobs needs a number (0 = all cores)")?;
                 args.jobs = v.parse().map_err(|_| format!("bad job count '{v}'"))?;
@@ -108,6 +131,21 @@ fn parse_args() -> Result<Args, String> {
                 let d = it.next().ok_or("--out needs a directory")?;
                 args.out = Some(PathBuf::from(d));
             }
+            "--filter" => {
+                let v = it
+                    .next()
+                    .ok_or("--filter needs a comma-separated id list")?;
+                let ids: Vec<String> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if ids.is_empty() {
+                    return Err("--filter needs at least one experiment id".into());
+                }
+                args.filter = Some(ids);
+            }
             "--threads" | "-n" => {
                 let v = it.next().ok_or("--threads needs a number")?;
                 args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
@@ -141,7 +179,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const EXPERIMENT_IDS: [&str; 20] = [
+const EXPERIMENT_IDS: [&str; 21] = [
     "table1",
     "table2",
     "fig1",
@@ -159,14 +197,15 @@ const EXPERIMENT_IDS: [&str; 20] = [
     "fig13",
     "fig14",
     "e13",
+    "e14",
     "ablations",
     "sensitivity",
     "latency-hist",
 ];
 
-fn run_one(id: &str, ctx: ExpCtx, machine: Machine) -> Option<Table> {
+fn run_one(id: &str, ctx: ExpCtx, machine: Machine) -> Option<experiments::ExpResult> {
     Some(match id {
-        "table1" => experiments::table1(),
+        "table1" => Ok(experiments::table1()),
         "table2" => experiments::table2(ctx),
         "fig1" => experiments::fig1(ctx, machine),
         "fig2" => experiments::fig2(ctx, machine),
@@ -183,11 +222,239 @@ fn run_one(id: &str, ctx: ExpCtx, machine: Machine) -> Option<Table> {
         "fig13" => experiments::fig13(ctx, machine),
         "fig14" => experiments::fig14(ctx, machine),
         "e13" => experiments::protocol_ablation(ctx, machine),
+        "e14" => experiments::fault_injection(ctx, machine),
         "ablations" => experiments::ablations(ctx, machine),
         "sensitivity" => experiments::sensitivity(ctx, machine),
         "latency-hist" => experiments::latency_hist(ctx, machine),
         _ => return None,
     })
+}
+
+/// Whether a `--filter` token selects the (possibly machine-suffixed)
+/// experiment id: `fig1` selects both `fig1-e5` and `fig1-knl`;
+/// `fig1-e5` selects just that one.
+fn filter_matches(token: &str, id: &str) -> bool {
+    token == id || id.strip_prefix(token).is_some_and(|r| r.starts_with('-'))
+}
+
+/// What happened to one experiment of a campaign.
+enum Outcome {
+    /// Skipped under `--resume`: the manifest entry verified against disk.
+    Cached,
+    /// Ran to completion this time (table already written if `--out`).
+    Fresh(bounce_harness::report::Table),
+    /// The experiment failed (panic / watchdog) or its outputs could
+    /// not be written; the message names the experiment's context or
+    /// the file that failed.
+    Failed(String),
+}
+
+/// `repro all`: the full campaign with panic isolation, optional
+/// manifest-backed resume, and a single unified error path for output
+/// files. Returns nonzero if any experiment failed.
+fn run_all(args: &Args, ctx: ExpCtx) -> ExitCode {
+    if args.resume && args.out.is_none() {
+        eprintln!("error: --resume needs --out DIR (the directory holding MANIFEST.json)");
+        return ExitCode::FAILURE;
+    }
+    if args.resume && args.markdown {
+        eprintln!(
+            "error: --resume is incompatible with --markdown (resume only skips file outputs)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut specs = experiments::experiment_specs(ctx);
+    if let Some(filter) = &args.filter {
+        if let Some(bad) = filter
+            .iter()
+            .find(|tok| !specs.iter().any(|(id, _)| filter_matches(tok, id)))
+        {
+            eprintln!(
+                "error: --filter '{bad}' matches no experiment; known: {}",
+                EXPERIMENT_IDS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        specs.retain(|(id, _)| filter.iter().any(|tok| filter_matches(tok, id)));
+    }
+
+    // The manifest records the campaign configuration; resuming under a
+    // different one would mix incompatible outputs in one directory.
+    let config = format!(
+        "quick={},protocol={},plots={}",
+        args.quick,
+        args.protocol.map(|p| p.label()).unwrap_or("native"),
+        args.plots
+    );
+    let manifest: Option<Mutex<Manifest>> = match &args.out {
+        None => None,
+        Some(dir) => {
+            let loaded = if args.resume {
+                match Manifest::load(dir) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("error: {e} (delete it or rerun without --resume)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                None
+            };
+            if let Some(m) = &loaded {
+                if m.config != config {
+                    eprintln!(
+                        "error: manifest in {} was written with '{}' but this run is '{}'; \
+                         rerun without --resume to start over",
+                        dir.display(),
+                        m.config,
+                        config
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            Some(Mutex::new(loaded.unwrap_or_else(|| Manifest::new(&config))))
+        }
+    };
+    let cached: Vec<bool> = specs
+        .iter()
+        .map(|(id, _)| match (&manifest, &args.out) {
+            (Some(m), Some(dir)) if args.resume => m.lock().unwrap().verified_complete(dir, id),
+            _ => false,
+        })
+        .collect();
+
+    bounce_sim::counters::reset_events();
+    let t0 = std::time::Instant::now();
+    let outcomes: Vec<(Outcome, std::time::Duration)> = bounce_harness::par_run(specs.len(), |i| {
+        let (id, thunk) = &specs[i];
+        let t0 = std::time::Instant::now();
+        if cached[i] {
+            return (Outcome::Cached, t0.elapsed());
+        }
+        let outcome = match experiments::run_guarded(id, thunk) {
+            Err(e) => Outcome::Failed(e.to_string()),
+            Ok(table) => match (&manifest, &args.out) {
+                (Some(m), Some(dir)) => {
+                    // Write outputs, then atomically publish the
+                    // manifest entry — so a kill between experiments
+                    // never records an experiment whose files are
+                    // not fully on disk.
+                    match write_table_outputs(dir, id, &table, args.plots).and_then(|records| {
+                        let mut m = m.lock().unwrap();
+                        m.entries.insert(id.clone(), records);
+                        m.save(dir)
+                    }) {
+                        Ok(()) => Outcome::Fresh(table),
+                        Err(e) => Outcome::Failed(e),
+                    }
+                }
+                _ => Outcome::Fresh(table),
+            },
+        };
+        (outcome, t0.elapsed())
+    });
+    let wall = t0.elapsed();
+    let events = bounce_sim::counters::total_events();
+
+    if args.timings {
+        eprintln!("--- timings ({} jobs) ---", bounce_harness::jobs());
+        for ((id, _), (outcome, d)) in specs.iter().zip(&outcomes) {
+            match outcome {
+                Outcome::Cached => eprintln!("{id:<20}   cached"),
+                _ => eprintln!("{id:<20} {:>8.2}s", d.as_secs_f64()),
+            }
+        }
+        eprintln!(
+            "total: {:.2}s wall, {} simulated events, {:.1} M events/s",
+            wall.as_secs_f64(),
+            events,
+            events as f64 / wall.as_secs_f64() / 1e6
+        );
+        let bench_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let bench_path = bench_dir.join("BENCH_repro.json");
+        let json = format!(
+            "{{\n  \"command\": \"repro all{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.3},\n  \"simulated_events\": {},\n  \"events_per_sec\": {:.0},\n  \"experiments\": {}\n}}\n",
+            if args.quick { " --quick" } else { "" },
+            bounce_harness::jobs(),
+            wall.as_secs_f64(),
+            events,
+            events as f64 / wall.as_secs_f64(),
+            specs.len()
+        );
+        if let Err(e) = std::fs::create_dir_all(&bench_dir)
+            .map_err(|e| format!("creating {}: {e}", bench_dir.display()))
+            .and_then(|()| {
+                std::fs::write(&bench_path, json)
+                    .map_err(|e| format!("writing {}: {e}", bench_path.display()))
+            })
+        {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", bench_path.display());
+    }
+
+    // stdout, in registry order. Cached experiments were not re-run, so
+    // their tables are replayed from the verified files on disk —
+    // keeping a resumed run's stdout identical to an uninterrupted one.
+    let mut printed: Vec<(String, bounce_harness::report::Table)> = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    for ((id, _), (outcome, _)) in specs.iter().zip(&outcomes) {
+        match outcome {
+            Outcome::Fresh(t) => {
+                if args.markdown {
+                    printed.push((id.clone(), t.clone()));
+                } else {
+                    println!("{}", t.to_tsv());
+                }
+            }
+            Outcome::Cached => {
+                let path = args
+                    .out
+                    .as_ref()
+                    .expect("cached implies --out")
+                    .join(format!("{id}.tsv"));
+                match std::fs::read_to_string(&path) {
+                    Ok(tsv) => println!("{tsv}"),
+                    Err(e) => {
+                        failures.push((id.clone(), format!("reading {}: {e}", path.display())))
+                    }
+                }
+            }
+            Outcome::Failed(msg) => failures.push((id.clone(), msg.clone())),
+        }
+    }
+    if args.markdown {
+        print!("{}", to_markdown_doc(&printed));
+    }
+
+    if let Some(dir) = &args.out {
+        let n_cached = outcomes
+            .iter()
+            .filter(|(o, _)| matches!(o, Outcome::Cached))
+            .count();
+        let n_ok = outcomes
+            .iter()
+            .filter(|(o, _)| matches!(o, Outcome::Fresh(_)))
+            .count();
+        eprintln!(
+            "wrote {n_ok} tables to {} ({n_cached} already complete, skipped)",
+            dir.display()
+        );
+    }
+    if !failures.is_empty() {
+        for (id, msg) in &failures {
+            eprintln!("error: {id}: {msg}");
+        }
+        eprintln!(
+            "{} of {} experiments failed; the rest completed",
+            failures.len(),
+            specs.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -210,14 +477,14 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "help" => {
             eprintln!(
-                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR]",
+                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
                 EXPERIMENT_IDS.join("|"),
                 protocol_names().replace(", ", "|")
             );
             ExitCode::SUCCESS
         }
         "validate" => {
-            use bounce_harness::campaign::{default_cfg, fit_and_validate, TrainSplit};
+            use bounce_harness::campaign::{default_cfg, try_fit_and_validate, TrainSplit};
             for m in Machine::ALL {
                 let topo = m.topo();
                 let ns = if args.quick {
@@ -225,14 +492,20 @@ fn main() -> ExitCode {
                 } else {
                     m.sweep_ns(false)
                 };
-                let c = fit_and_validate(
+                let c = match try_fit_and_validate(
                     &topo,
                     args.prim,
                     &ns,
                     &default_cfg(&topo, if args.quick { 300_000 } else { 2_000_000 }),
                     &m.model_params(),
                     TrainSplit::Alternate,
-                );
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: validate on {}: {e}", topo.name);
+                        return ExitCode::FAILURE;
+                    }
+                };
                 println!(
                     "{:<4} {}: throughput MAPE {:>6.2}%   latency MAPE {:>6.2}%   ({} points)",
                     m.label(),
@@ -245,7 +518,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "fit" => {
-            use bounce_harness::campaign::{default_cfg, fit_and_validate, TrainSplit};
+            use bounce_harness::campaign::{default_cfg, try_fit_and_validate, TrainSplit};
             let machine = args.machine.unwrap_or(Machine::E5);
             let topo = machine.topo();
             let ns: Vec<usize> = if args.quick {
@@ -254,14 +527,20 @@ fn main() -> ExitCode {
                 machine.sweep_ns(false)
             };
             eprintln!("measuring + fitting on simulated {} ...", topo.name);
-            let c = fit_and_validate(
+            let c = match try_fit_and_validate(
                 &topo,
                 args.prim,
                 &ns,
                 &default_cfg(&topo, if args.quick { 300_000 } else { 2_000_000 }),
                 &machine.model_params(),
                 TrainSplit::Alternate,
-            );
+            ) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: fit on {}: {e}", topo.name);
+                    return ExitCode::FAILURE;
+                }
+            };
             let t = &c.fit.params.transfer;
             println!("fitted transfer costs (cycles):");
             println!("  t_smt    = {:.1}", t.smt);
@@ -350,73 +629,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "all" => {
-            bounce_sim::counters::reset_events();
-            let t0 = std::time::Instant::now();
-            let timed = experiments::all_experiments_timed(ctx);
-            let wall = t0.elapsed();
-            let events = bounce_sim::counters::total_events();
-            let tables: Vec<(String, Table)> = timed
-                .iter()
-                .map(|(id, t, _)| (id.clone(), t.clone()))
-                .collect();
-            if args.timings {
-                eprintln!("--- timings ({} jobs) ---", bounce_harness::jobs());
-                for (id, _, d) in &timed {
-                    eprintln!("{id:<20} {:>8.2}s", d.as_secs_f64());
-                }
-                eprintln!(
-                    "total: {:.2}s wall, {} simulated events, {:.1} M events/s",
-                    wall.as_secs_f64(),
-                    events,
-                    events as f64 / wall.as_secs_f64() / 1e6
-                );
-                let bench_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
-                if let Err(e) = std::fs::create_dir_all(&bench_dir) {
-                    eprintln!("error creating {}: {e}", bench_dir.display());
-                    return ExitCode::FAILURE;
-                }
-                let bench_path = bench_dir.join("BENCH_repro.json");
-                let json = format!(
-                    "{{\n  \"command\": \"repro all{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.3},\n  \"simulated_events\": {},\n  \"events_per_sec\": {:.0},\n  \"experiments\": {}\n}}\n",
-                    if args.quick { " --quick" } else { "" },
-                    bounce_harness::jobs(),
-                    wall.as_secs_f64(),
-                    events,
-                    events as f64 / wall.as_secs_f64(),
-                    timed.len()
-                );
-                match std::fs::write(&bench_path, json) {
-                    Ok(()) => eprintln!("wrote {}", bench_path.display()),
-                    Err(e) => {
-                        eprintln!("error writing {}: {e}", bench_path.display());
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            if let Some(dir) = &args.out {
-                for (id, t) in &tables {
-                    let res = if args.plots {
-                        write_tsv_with_plot(dir, id, t)
-                    } else {
-                        write_tsv(dir, id, t)
-                    };
-                    if let Err(e) = res {
-                        eprintln!("error writing {id}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-                eprintln!("wrote {} tables to {}", tables.len(), dir.display());
-            }
-            if args.markdown {
-                print!("{}", to_markdown_doc(&tables));
-            } else {
-                for (_, t) in &tables {
-                    println!("{}", t.to_tsv());
-                }
-            }
-            ExitCode::SUCCESS
-        }
+        "all" => run_all(&args, ctx),
         id => {
             let machines: Vec<Machine> = match args.machine {
                 Some(m) => vec![m],
@@ -425,12 +638,12 @@ fn main() -> ExitCode {
             let mut found = false;
             for m in machines {
                 match run_one(id, ctx, m) {
-                    Some(t) => {
+                    Some(Ok(t)) => {
                         found = true;
                         if let Some(dir) = &args.out {
                             let file_id = format!("{id}-{}", m.label());
-                            if let Err(e) = write_tsv(dir, &file_id, &t) {
-                                eprintln!("error writing {file_id}: {e}");
+                            if let Err(e) = write_table_outputs(dir, &file_id, &t, args.plots) {
+                                eprintln!("error: {e}");
                                 return ExitCode::FAILURE;
                             }
                         }
@@ -443,6 +656,10 @@ fn main() -> ExitCode {
                         if id.starts_with("table") {
                             break;
                         }
+                    }
+                    Some(Err(e)) => {
+                        eprintln!("error: {id} on {}: {e}", m.label());
+                        return ExitCode::FAILURE;
                     }
                     None => break,
                 }

@@ -4,7 +4,10 @@
 
 #![warn(missing_docs)]
 
+pub mod manifest;
+
 use bounce_harness::report::Table;
+use manifest::{fnv1a_hex, FileRecord};
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
@@ -63,6 +66,35 @@ pub fn write_tsv_with_plot(dir: &Path, id: &str, table: &Table) -> std::io::Resu
     f.write_all(gnuplot_script(id, table).as_bytes())
 }
 
+/// Write all output files of one experiment (TSV, plus the gnuplot
+/// script when `plots` is set) and return manifest records describing
+/// them. All file writes in the `repro` binary funnel through here, so
+/// there is exactly one failure path and the error names the file that
+/// could not be written.
+pub fn write_table_outputs(
+    dir: &Path,
+    id: &str,
+    table: &Table,
+    plots: bool,
+) -> Result<Vec<FileRecord>, String> {
+    let mut outputs = vec![(format!("{id}.tsv"), table.to_tsv())];
+    if plots {
+        outputs.push((format!("{id}.gp"), gnuplot_script(id, table)));
+    }
+    fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let mut records = Vec::with_capacity(outputs.len());
+    for (name, content) in outputs {
+        let path = dir.join(&name);
+        fs::write(&path, content.as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        records.push(FileRecord {
+            path: name,
+            hash: fnv1a_hex(content.as_bytes()),
+        });
+    }
+    Ok(records)
+}
+
 /// Render a list of experiment tables as one markdown document.
 pub fn to_markdown_doc(tables: &[(String, Table)]) -> String {
     let mut out = String::from("# Reproduced tables and figures\n\n");
@@ -117,6 +149,35 @@ mod tests {
         assert!(dir.join("demo.tsv").exists());
         assert!(dir.join("demo.gp").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_table_outputs_records_match_disk() {
+        let mut t = Table::new("t", &["n", "v"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("bounce-bench-outputs-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = write_table_outputs(&dir, "demo", &t, true).unwrap();
+        assert_eq!(recs.len(), 2, "tsv + gnuplot script");
+        for r in &recs {
+            let bytes = std::fs::read(dir.join(&r.path)).unwrap();
+            assert_eq!(fnv1a_hex(&bytes), r.hash, "hash of {}", r.path);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_table_outputs_error_names_file() {
+        let t = Table::new("t", &["a"]);
+        // A path under an existing *file* cannot be created as a dir.
+        let blocker = std::env::temp_dir().join("bounce-bench-blocker");
+        std::fs::write(&blocker, b"file").unwrap();
+        let err = write_table_outputs(&blocker.join("sub"), "demo", &t, false).unwrap_err();
+        assert!(
+            err.contains("bounce-bench-blocker"),
+            "error names path: {err}"
+        );
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Crash-safe campaign manifest: `results/MANIFEST.json`.
+//!
+//! `repro all --out D` records every completed experiment here — its
+//! output files and their content hashes — updating the manifest
+//! atomically (write to a temp file, then rename) after *each*
+//! experiment finishes. A later `repro all --resume --out D` skips any
+//! experiment whose manifest entry still verifies against the files on
+//! disk, so a campaign killed at experiment 23 of 40 restarts at 23,
+//! and the resumed run's `results/` is byte-identical to an
+//! uninterrupted one (experiments are independent and deterministic).
+//!
+//! The format is a small hand-written JSON subset (this repository
+//! vendors no JSON dependency): one object keyed by experiment id, each
+//! entry listing `{path, hash}` records. Hashes are 64-bit FNV-1a over
+//! the file bytes — collision resistance is irrelevant here; the hash
+//! only needs to catch truncated or hand-edited outputs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Manifest file name inside the output directory.
+pub const FILE_NAME: &str = "MANIFEST.json";
+
+/// One output file of a completed experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRecord {
+    /// File name relative to the output directory.
+    pub path: String,
+    /// `fnv1a:<16 hex digits>` over the file contents.
+    pub hash: String,
+}
+
+/// All completed experiments, keyed by experiment id. `BTreeMap` keeps
+/// the serialised form stable regardless of completion order, so a
+/// parallel campaign and a serial one write identical manifests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// The campaign configuration this manifest belongs to (quick flag,
+    /// protocol override). Resuming under a different configuration
+    /// must not reuse these entries.
+    pub config: String,
+    /// Completed experiments and their output files.
+    pub entries: BTreeMap<String, Vec<FileRecord>>,
+}
+
+/// 64-bit FNV-1a of `bytes`, rendered as `fnv1a:<hex>`.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Manifest {
+    /// A fresh manifest for a campaign configuration.
+    pub fn new(config: &str) -> Self {
+        Manifest {
+            config: config.to_string(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Serialise to the JSON subset this module reads back.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"config\": \"{}\",", json_escape(&self.config));
+        s.push_str("  \"experiments\": {\n");
+        let total = self.entries.len();
+        for (i, (id, files)) in self.entries.iter().enumerate() {
+            let _ = write!(s, "    \"{}\": [", json_escape(id));
+            for (j, f) in files.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{}{{\"path\": \"{}\", \"hash\": \"{}\"}}",
+                    if j == 0 { "" } else { ", " },
+                    json_escape(&f.path),
+                    json_escape(&f.hash)
+                );
+            }
+            let _ = writeln!(s, "]{}", if i + 1 == total { "" } else { "," });
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Parse a manifest previously written by [`Manifest::to_json`].
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let v = parse_json(text)?;
+        let top = v.as_object().ok_or("manifest root is not an object")?;
+        let config = top
+            .field("config")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing \"config\"")?
+            .to_string();
+        let exps = top
+            .field("experiments")
+            .and_then(Json::as_object)
+            .ok_or("manifest missing \"experiments\"")?;
+        let mut entries = BTreeMap::new();
+        for (id, files) in exps {
+            let arr = files
+                .as_array()
+                .ok_or_else(|| format!("entry '{id}' is not an array"))?;
+            let mut records = Vec::with_capacity(arr.len());
+            for f in arr {
+                let o = f
+                    .as_object()
+                    .ok_or_else(|| format!("file record in '{id}' is not an object"))?;
+                let get = |k: &str| -> Result<String, String> {
+                    o.field(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("file record in '{id}' missing \"{k}\""))
+                };
+                records.push(FileRecord {
+                    path: get("path")?,
+                    hash: get("hash")?,
+                });
+            }
+            entries.insert(id.clone(), records);
+        }
+        Ok(Manifest { config, entries })
+    }
+
+    /// Load the manifest from `dir`, if one exists and parses. A stale
+    /// temp file from an interrupted save is deleted on the way.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, String> {
+        let _ = fs::remove_file(dir.join(format!("{FILE_NAME}.tmp")));
+        let path = dir.join(FILE_NAME);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("reading {}: {e}", path.display())),
+        };
+        Manifest::from_json(&text)
+            .map(Some)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))
+    }
+
+    /// Atomically write the manifest into `dir` (temp file + rename), so
+    /// a kill mid-save leaves either the old manifest or the new one,
+    /// never a torn file.
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let tmp = dir.join(format!("{FILE_NAME}.tmp"));
+        let dst = dir.join(FILE_NAME);
+        fs::write(&tmp, self.to_json()).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &dst)
+            .map_err(|e| format!("renaming {} to {}: {e}", tmp.display(), dst.display()))
+    }
+
+    /// Whether experiment `id` completed earlier *and* its recorded
+    /// outputs are still intact on disk (every file present with a
+    /// matching hash).
+    pub fn verified_complete(&self, dir: &Path, id: &str) -> bool {
+        let Some(files) = self.entries.get(id) else {
+            return false;
+        };
+        !files.is_empty()
+            && files.iter().all(|f| {
+                fs::read(dir.join(&f.path))
+                    .map(|bytes| fnv1a_hex(&bytes) == f.hash)
+                    .unwrap_or(false)
+            })
+    }
+}
+
+// --- minimal JSON subset parser (objects, arrays, strings) ---
+
+#[derive(Debug)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+trait ObjectExt {
+    fn field(&self, key: &str) -> Option<&Json>;
+}
+
+impl ObjectExt for [(String, Json)] {
+    fn field(&self, key: &str) -> Option<&Json> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(&c) => Err(format!("unexpected '{}' at byte {}", c as char, *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        out.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", other as char)),
+                }
+            }
+            c => {
+                // Re-assemble multi-byte UTF-8 sequences verbatim.
+                let start = *pos - 1;
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("quick=false,protocol=native,plots=true");
+        m.entries.insert(
+            "fig1-e5".into(),
+            vec![
+                FileRecord {
+                    path: "fig1-e5.tsv".into(),
+                    hash: fnv1a_hex(b"data"),
+                },
+                FileRecord {
+                    path: "fig1-e5.gp".into(),
+                    hash: fnv1a_hex(b"plot"),
+                },
+            ],
+        );
+        m.entries.insert(
+            "table1".into(),
+            vec![FileRecord {
+                path: "table1.tsv".into(),
+                hash: fnv1a_hex(b"t1"),
+            }],
+        );
+        m
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let m = sample();
+        let parsed = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        // Stable serialisation: BTreeMap ordering, not insertion order.
+        assert_eq!(parsed.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn escaping_survives_roundtrip() {
+        let mut m = Manifest::new("cfg with \"quotes\" and \\slash\\ and\nnewline");
+        m.entries.insert(
+            "id \"x\"".into(),
+            vec![FileRecord {
+                path: "weird \u{1} name — dash".into(),
+                hash: "fnv1a:0".into(),
+            }],
+        );
+        let parsed = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_stale_tmp_cleanup() {
+        let dir = std::env::temp_dir().join(format!("manifest-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let m = sample();
+        m.save(&dir).unwrap();
+        // Simulate a kill mid-save: a stale tmp file lying around.
+        fs::write(dir.join(format!("{FILE_NAME}.tmp")), "{torn").unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, m);
+        assert!(!dir.join(format!("{FILE_NAME}.tmp")).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_is_none() {
+        let dir = std::env::temp_dir().join(format!("manifest-miss-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn load_corrupt_manifest_is_error() {
+        let dir = std::env::temp_dir().join(format!("manifest-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(FILE_NAME), "{\"config\": \"x\"").unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verified_complete_checks_presence_and_hash() {
+        let dir = std::env::temp_dir().join(format!("manifest-verify-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("a.tsv"), b"alpha").unwrap();
+        let mut m = Manifest::new("cfg");
+        m.entries.insert(
+            "a".into(),
+            vec![FileRecord {
+                path: "a.tsv".into(),
+                hash: fnv1a_hex(b"alpha"),
+            }],
+        );
+        m.entries.insert(
+            "gone".into(),
+            vec![FileRecord {
+                path: "gone.tsv".into(),
+                hash: fnv1a_hex(b"x"),
+            }],
+        );
+        m.entries.insert("empty".into(), Vec::new());
+        assert!(m.verified_complete(&dir, "a"));
+        assert!(!m.verified_complete(&dir, "gone"), "missing file");
+        assert!(!m.verified_complete(&dir, "empty"), "no recorded files");
+        assert!(!m.verified_complete(&dir, "never-ran"));
+        // Vandalised output: hash mismatch invalidates the entry.
+        fs::write(dir.join("a.tsv"), b"tampered").unwrap();
+        assert!(!m.verified_complete(&dir, "a"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv1a_known_values() {
+        // FNV-1a test vectors (64-bit).
+        assert_eq!(fnv1a_hex(b""), "fnv1a:cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"a"), "fnv1a:af63dc4c8601ec8c");
+        assert_ne!(fnv1a_hex(b"ab"), fnv1a_hex(b"ba"), "order sensitive");
+    }
+}

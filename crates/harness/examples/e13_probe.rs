@@ -6,7 +6,7 @@ fn main() {
         ("quick n=8", ExpCtx::quick()),
         ("full n=16", ExpCtx::full()),
     ] {
-        let t = protocol_ablation(ctx, Machine::E5);
+        let t = protocol_ablation(ctx, Machine::E5).expect("E13 probe failed");
         println!("== {label} ==\n{}", t.to_markdown());
     }
 }

@@ -3,7 +3,7 @@
 //! latency on the full sweep — as a reusable API.
 
 use crate::measurement::Measurement;
-use crate::simrun::{sim_measure, SimRunConfig};
+use crate::simrun::SimRunConfig;
 use bounce_atomics::Primitive;
 use bounce_core::fit::{fit_transfer_costs, FitReport, SweepObservation};
 use bounce_core::validate::{mape, ValidationRow};
@@ -48,6 +48,10 @@ impl Campaign {
 /// Run the full campaign: measure the HC sweep for `prim` at every
 /// `ns`, fit the transfer costs on the chosen split, and validate both
 /// throughput and mean latency against the fitted model.
+///
+/// # Panics
+/// Panics if any sweep point trips the forward-progress watchdog; use
+/// [`try_fit_and_validate`] for the structured error.
 pub fn fit_and_validate(
     topo: &MachineTopology,
     prim: Primitive,
@@ -56,10 +60,26 @@ pub fn fit_and_validate(
     initial: &ModelParams,
     split: TrainSplit,
 ) -> Campaign {
+    try_fit_and_validate(topo, prim, ns, cfg, initial, split)
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// [`fit_and_validate`] surfacing watchdog diagnoses as a
+/// [`bounce_sim::SimError`] instead of panicking.
+pub fn try_fit_and_validate(
+    topo: &MachineTopology,
+    prim: Primitive,
+    ns: &[usize],
+    cfg: &SimRunConfig,
+    initial: &ModelParams,
+    split: TrainSplit,
+) -> Result<Campaign, bounce_sim::SimError> {
     let order = cfg.placement.full_order(topo);
     let measurements: Vec<Measurement> = crate::parallel::par_map(ns, |&n| {
-        sim_measure(topo, &Workload::HighContention { prim }, n, cfg)
-    });
+        crate::simrun::try_sim_measure(topo, &Workload::HighContention { prim }, n, cfg)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let multi: Vec<&Measurement> = measurements.iter().filter(|m| m.n >= 2).collect();
     let train: Vec<SweepObservation> = multi
         .iter()
@@ -95,12 +115,12 @@ pub fn fit_and_validate(
             measured: m.mean_latency_cycles,
         })
         .collect();
-    Campaign {
+    Ok(Campaign {
         fit,
         throughput_rows,
         latency_rows,
         measurements,
-    }
+    })
 }
 
 /// Convenience default: packed placement, FIFO arbitration, pinned home.

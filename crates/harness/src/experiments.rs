@@ -6,14 +6,85 @@
 //! the two paper machines. `ExpCtx::quick` shrinks sweeps and durations
 //! for tests; the `repro` binary runs the full versions.
 
+use crate::measurement::Measurement;
 use crate::report::{fmt_f64, Table};
-use crate::simrun::{sim_measure, sim_measure_pinned, SimRunConfig};
+use crate::simrun::{try_sim_measure, try_sim_measure_pinned, SimRunConfig};
 use bounce_atomics::Primitive;
 use bounce_core::fairness::{predict_jain, ArbitrationKind};
 use bounce_core::{Model, ModelParams};
-use bounce_sim::{ArbitrationPolicy, CoherenceKind, SimParams};
-use bounce_topo::{presets, Interconnect, MachineTopology, Placement};
+use bounce_sim::{ArbitrationPolicy, CoherenceKind, FaultConfig, SimError, SimParams};
+use bounce_topo::{presets, HwThreadId, Interconnect, MachineTopology, Placement};
 use bounce_workloads::{LockShape, Workload};
+use std::fmt;
+
+/// An experiment failure: a watchdog-diagnosed simulation error or a
+/// caught panic, each with enough context to name the failing point.
+#[derive(Debug)]
+pub enum ExpError {
+    /// A simulation point tripped the forward-progress watchdog.
+    Sim {
+        /// The failing point (workload, thread count, machine).
+        context: String,
+        /// The watchdog's diagnosis (boxed: `SimError::NoProgress`
+        /// carries per-thread and per-line diagnostics).
+        source: Box<SimError>,
+    },
+    /// An experiment panicked; the sweep's remaining experiments were
+    /// unaffected (see [`crate::parallel`]).
+    Panic {
+        /// The failing experiment.
+        context: String,
+        /// The panic payload.
+        payload: String,
+    },
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::Sim { context, source } => write!(f, "{context}: {source}"),
+            ExpError::Panic { context, payload } => write!(f, "{context}: panicked: {payload}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExpError::Sim { source, .. } => Some(source),
+            ExpError::Panic { .. } => None,
+        }
+    }
+}
+
+/// Result of one experiment: its table, or a contextualised failure.
+pub type ExpResult = Result<Table, ExpError>;
+
+/// [`try_sim_measure`] with the failing point's config attached.
+fn measure(
+    topo: &MachineTopology,
+    w: &Workload,
+    n: usize,
+    cfg: &SimRunConfig,
+) -> Result<Measurement, ExpError> {
+    try_sim_measure(topo, w, n, cfg).map_err(|e| ExpError::Sim {
+        context: format!("{} n={} on {}", w.label(), n, topo.name),
+        source: Box::new(e),
+    })
+}
+
+/// [`try_sim_measure_pinned`] with the failing point's config attached.
+fn measure_pinned(
+    topo: &MachineTopology,
+    w: &Workload,
+    hw: &[HwThreadId],
+    cfg: &SimRunConfig,
+) -> Result<Measurement, ExpError> {
+    try_sim_measure_pinned(topo, w, hw, cfg).map_err(|e| ExpError::Sim {
+        context: format!("{} n={} (pinned) on {}", w.label(), hw.len(), topo.name),
+        source: Box::new(e),
+    })
+}
 
 /// The two paper testbeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,7 +243,7 @@ pub fn table1() -> Table {
 
 /// Table 2 (E2): uncontended (single-thread, own line) latency of each
 /// primitive, in cycles, on both machines.
-pub fn table2(ctx: ExpCtx) -> Table {
+pub fn table2(ctx: ExpCtx) -> ExpResult {
     let mut t = Table::new(
         "Table 2 (E2): uncontended latency of atomic primitives (cycles)",
         &["machine", "primitive", "latency_cycles", "throughput_mops"],
@@ -181,7 +252,7 @@ pub fn table2(ctx: ExpCtx) -> Table {
         let topo = m.topo();
         let cfg = ctx.run_cfg(m, &topo);
         for prim in Primitive::ALL {
-            let meas = sim_measure(&topo, &Workload::LowContention { prim, work: 0 }, 1, &cfg);
+            let meas = measure(&topo, &Workload::LowContention { prim, work: 0 }, 1, &cfg)?;
             t.push(vec![
                 m.label().into(),
                 prim.label().into(),
@@ -190,12 +261,12 @@ pub fn table2(ctx: ExpCtx) -> Table {
             ]);
         }
     }
-    t
+    Ok(t)
 }
 
 /// Fig 1 (E3): high-contention throughput vs thread count, one column
 /// per primitive.
-pub fn fig1(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig1(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let mut t = Table::new(
@@ -208,16 +279,16 @@ pub fn fig1(ctx: ExpCtx, machine: Machine) -> Table {
     for n in machine.sweep_ns(ctx.quick) {
         let mut row = vec![n.to_string()];
         for prim in Primitive::ALL {
-            let meas = sim_measure(&topo, &Workload::HighContention { prim }, n, &cfg);
+            let meas = measure(&topo, &Workload::HighContention { prim }, n, &cfg)?;
             row.push(mops(meas.throughput_ops_per_sec));
         }
         t.push(row);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 2 (E4): high-contention mean per-op latency vs thread count.
-pub fn fig2(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig2(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let mut t = Table::new(
@@ -228,7 +299,7 @@ pub fn fig2(ctx: ExpCtx, machine: Machine) -> Table {
         let mut row = vec![n.to_string()];
         let mut cas_p99 = 0.0;
         for prim in Primitive::RMW {
-            let meas = sim_measure(&topo, &Workload::HighContention { prim }, n, &cfg);
+            let meas = measure(&topo, &Workload::HighContention { prim }, n, &cfg)?;
             row.push(fmt_f64(meas.mean_latency_cycles));
             if prim == Primitive::Cas {
                 cas_p99 = meas.p99_latency_cycles;
@@ -237,12 +308,12 @@ pub fn fig2(ctx: ExpCtx, machine: Machine) -> Table {
         row.push(fmt_f64(cas_p99));
         t.push(row);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 3 (E5): CAS retry-loop success/failure vs thread count, with the
 /// model's predicted failure rate.
-pub fn fig3(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig3(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let model = Model::new(topo.clone(), machine.model_params());
@@ -262,7 +333,7 @@ pub fn fig3(ctx: ExpCtx, machine: Machine) -> Table {
         ],
     );
     for n in machine.sweep_ns(ctx.quick) {
-        let meas = sim_measure(&topo, &Workload::CasRetryLoop { window, work: 0 }, n, &cfg);
+        let meas = measure(&topo, &Workload::CasRetryLoop { window, work: 0 }, n, &cfg)?;
         let pred = model.predict_cas_loop(&order[..n], window as f64);
         t.push(vec![
             n.to_string(),
@@ -272,13 +343,13 @@ pub fn fig3(ctx: ExpCtx, machine: Machine) -> Table {
             fmt_f64(1.0 - pred.success_rate),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 4 (E6): fairness (Jain index of per-thread successes) vs thread
 /// count under each arbitration policy, plus the model's prediction for
 /// the locality-biased policy.
-pub fn fig4(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig4(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let order = Placement::Scattered.full_order(&topo);
     let mut t = Table::new(
@@ -296,26 +367,26 @@ pub fn fig4(ctx: ExpCtx, machine: Machine) -> Table {
         for arb in ArbitrationPolicy::ALL {
             let mut cfg = ctx.run_cfg(machine, &topo);
             cfg.params.arbitration = arb;
-            let meas = sim_measure_pinned(
+            let meas = measure_pinned(
                 &topo,
                 &Workload::HighContention {
                     prim: Primitive::Faa,
                 },
                 &order[..n],
                 &cfg,
-            );
+            )?;
             row.push(fmt_f64(meas.jain));
         }
         let pred = predict_jain(&topo, &order[..n], ArbitrationKind::NearestFirst);
         row.push(fmt_f64(pred));
         t.push(row);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 5 (E7): energy per operation vs thread count (HC), simulator
 /// RAPL-substitute vs model.
-pub fn fig5(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig5(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let model = Model::new(topo.clone(), machine.model_params());
@@ -325,23 +396,23 @@ pub fn fig5(ctx: ExpCtx, machine: Machine) -> Table {
         &["n", "faa_nj", "cas_nj", "model_faa_nj", "lc_faa_nj"],
     );
     for n in machine.sweep_ns(ctx.quick) {
-        let faa = sim_measure(
+        let faa = measure(
             &topo,
             &Workload::HighContention {
                 prim: Primitive::Faa,
             },
             n,
             &cfg,
-        );
-        let cas = sim_measure(
+        )?;
+        let cas = measure(
             &topo,
             &Workload::HighContention {
                 prim: Primitive::Cas,
             },
             n,
             &cfg,
-        );
-        let lc = sim_measure(
+        )?;
+        let lc = measure(
             &topo,
             &Workload::LowContention {
                 prim: Primitive::Faa,
@@ -349,7 +420,7 @@ pub fn fig5(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &cfg,
-        );
+        )?;
         let pred = model.predict_hc(&order[..n], Primitive::Faa);
         t.push(vec![
             n.to_string(),
@@ -359,11 +430,11 @@ pub fn fig5(ctx: ExpCtx, machine: Machine) -> Table {
             fmt_f64(lc.energy_per_op_nj.unwrap_or(0.0)),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 6 (E8): low-contention throughput scaling vs thread count.
-pub fn fig6(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig6(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let mut t = Table::new(
@@ -377,7 +448,7 @@ pub fn fig6(ctx: ExpCtx, machine: Machine) -> Table {
     for n in machine.sweep_ns(ctx.quick) {
         let mut row = vec![n.to_string()];
         for prim in Primitive::RMW {
-            let meas = sim_measure(&topo, &Workload::LowContention { prim, work: 0 }, n, &cfg);
+            let meas = measure(&topo, &Workload::LowContention { prim, work: 0 }, n, &cfg)?;
             row.push(mops(meas.throughput_ops_per_sec));
         }
         row.push(mops(
@@ -387,14 +458,14 @@ pub fn fig6(ctx: ExpCtx, machine: Machine) -> Table {
         ));
         t.push(row);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 7 (E9): model validation — fit the transfer costs on alternating
 /// sweep points ([`crate::campaign`]), predict every point, and report
 /// per-point error and MAPE for *both* throughput and mean latency.
-pub fn fig7(ctx: ExpCtx, machine: Machine) -> Table {
-    use crate::campaign::{fit_and_validate, TrainSplit};
+pub fn fig7(ctx: ExpCtx, machine: Machine) -> ExpResult {
+    use crate::campaign::{try_fit_and_validate, TrainSplit};
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let ns = machine.sweep_ns(ctx.quick);
@@ -403,14 +474,18 @@ pub fn fig7(ctx: ExpCtx, machine: Machine) -> Table {
     } else {
         TrainSplit::All
     };
-    let campaign = fit_and_validate(
+    let campaign = try_fit_and_validate(
         &topo,
         Primitive::Faa,
         &ns,
         &cfg,
         &machine.model_params(),
         split,
-    );
+    )
+    .map_err(|e| ExpError::Sim {
+        context: format!("fit_and_validate HC FAA on {}", topo.name),
+        source: Box::new(e),
+    })?;
     let fitted = &campaign.fit.params.transfer;
     let mut t = Table::new(
         format!(
@@ -451,12 +526,12 @@ pub fn fig7(ctx: ExpCtx, machine: Machine) -> Table {
         String::new(),
         fmt_f64(campaign.latency_mape()),
     ]);
-    t
+    Ok(t)
 }
 
 /// Fig 8 (E10): placement effect — HC throughput at a fixed thread
 /// count under each placement policy, vs the model.
-pub fn fig8(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig8(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let model = Model::new(topo.clone(), machine.model_params());
@@ -482,14 +557,14 @@ pub fn fig8(ctx: ExpCtx, machine: Machine) -> Table {
     );
     for placement in Placement::ALL {
         let hw = placement.assign(&topo, n);
-        let meas = sim_measure_pinned(
+        let meas = measure_pinned(
             &topo,
             &Workload::HighContention {
                 prim: Primitive::Faa,
             },
             &hw,
             &cfg,
-        );
+        )?;
         let pred = model.predict_hc(&hw, Primitive::Faa);
         t.push(vec![
             placement.label().into(),
@@ -498,7 +573,7 @@ pub fn fig8(ctx: ExpCtx, machine: Machine) -> Table {
             fmt_f64(pred.mixture[4]),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 9 (E11): contention dilution — throughput and latency vs local
@@ -509,7 +584,7 @@ pub fn fig8(ctx: ExpCtx, machine: Machine) -> Table {
 /// per-op latency falls) until the knee at `w* ≈ (N−1)·E[t]`, after
 /// which the system becomes demand-limited and throughput declines as
 /// `N/(w + c_p + E[t])`.
-pub fn fig9(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig9(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let model = Model::new(topo.clone(), machine.model_params());
@@ -533,7 +608,7 @@ pub fn fig9(ctx: ExpCtx, machine: Machine) -> Table {
         ],
     );
     for &work in works {
-        let meas = sim_measure(
+        let meas = measure(
             &topo,
             &Workload::Diluted {
                 prim: Primitive::Faa,
@@ -541,7 +616,7 @@ pub fn fig9(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &cfg,
-        );
+        )?;
         let pred = model.predict_dilution(&order, Primitive::Faa, work as f64);
         t.push(vec![
             work.to_string(),
@@ -550,12 +625,12 @@ pub fn fig9(ctx: ExpCtx, machine: Machine) -> Table {
             fmt_f64(meas.mean_latency_cycles),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 10 (E12): application case study — lock implementations under
 /// contention (critical-section handoffs per second).
-pub fn fig10(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig10(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let mut cfg = ctx.run_cfg(machine, &topo);
     // Locks are latency-bound; give the sim a longer window so every
@@ -590,7 +665,7 @@ pub fn fig10(ctx: ExpCtx, machine: Machine) -> Table {
         let mut row = vec![n.to_string()];
         let mut ticket_jain = 1.0;
         for shape in LockShape::ALL {
-            let meas = sim_measure(
+            let meas = measure(
                 &topo,
                 &Workload::LockHandoff {
                     shape,
@@ -599,7 +674,7 @@ pub fn fig10(ctx: ExpCtx, machine: Machine) -> Table {
                 },
                 n,
                 &cfg,
-            );
+            )?;
             // Handoffs = successful acquisitions. TAS/TTAS: the
             // successful-TAS count. Ticket: two FAAs per handoff (take
             // ticket + advance serving). MCS: exactly one SWAP per
@@ -635,13 +710,13 @@ pub fn fig10(ctx: ExpCtx, machine: Machine) -> Table {
         row.push(fmt_f64(ticket_jain));
         t.push(row);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 11 (E13): false sharing — per-thread words on one line vs padded
 /// private lines. Logically private data, physically shared line: the
 /// HC behaviour reappears.
-pub fn fig11(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig11(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let mut t = Table::new(
@@ -655,15 +730,15 @@ pub fn fig11(ctx: ExpCtx, machine: Machine) -> Table {
         if n > 8 && ctx.quick {
             continue;
         }
-        let fs = sim_measure(
+        let fs = measure(
             &topo,
             &Workload::FalseSharing {
                 prim: Primitive::Faa,
             },
             n,
             &cfg,
-        );
-        let padded = sim_measure(
+        )?;
+        let padded = measure(
             &topo,
             &Workload::LowContention {
                 prim: Primitive::Faa,
@@ -671,7 +746,7 @@ pub fn fig11(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &cfg,
-        );
+        )?;
         let slow = padded.throughput_ops_per_sec / fs.throughput_ops_per_sec.max(1.0);
         t.push(vec![
             n.to_string(),
@@ -680,14 +755,14 @@ pub fn fig11(ctx: ExpCtx, machine: Machine) -> Table {
             fmt_f64(slow),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 12 (E14): read-mostly sharing — one writer, growing reader
 /// count, with and without the MESIF Forward state. Cache-to-cache
 /// forwarding (MESIF) spares the memory round trip after every
 /// invalidation burst.
-pub fn fig12(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig12(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let model = Model::new(topo.clone(), machine.model_params());
     let order = Placement::Packed.full_order(&topo);
@@ -708,10 +783,10 @@ pub fn fig12(ctx: ExpCtx, machine: Machine) -> Table {
         if n > topo.num_threads() {
             continue;
         }
-        let run = |protocol: CoherenceKind| {
+        let run = |protocol: CoherenceKind| -> Result<f64, ExpError> {
             let mut cfg = ctx.run_cfg(machine, &topo);
             cfg.params.protocol = protocol;
-            sim_measure(
+            Ok(measure(
                 &topo,
                 &Workload::MixedReadWrite {
                     writers: 1,
@@ -719,11 +794,11 @@ pub fn fig12(ctx: ExpCtx, machine: Machine) -> Table {
                 },
                 n,
                 &cfg,
-            )
-            .throughput_ops_per_sec
+            )?
+            .throughput_ops_per_sec)
         };
-        let with = run(CoherenceKind::Mesif);
-        let without = run(CoherenceKind::Mesi);
+        let with = run(CoherenceKind::Mesif)?;
+        let without = run(CoherenceKind::Mesi)?;
         // The reader loop in the workload inserts 8 cycles of local
         // work per read (see `bounce_workloads::spec::reader_loop`).
         let pred = model.predict_mixed_rw(order[0], &order[1..n], 8.0);
@@ -735,13 +810,13 @@ pub fn fig12(ctx: ExpCtx, machine: Machine) -> Table {
             mops(pred.total_ops_per_sec),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 13 (E15): contention spreading — fixed thread count, growing
 /// number of contended lines (the line-striped counter). Throughput
 /// grows ~linearly with stripes until the demand cap.
-pub fn fig13(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig13(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let model = Model::new(topo.clone(), machine.model_params());
@@ -761,7 +836,7 @@ pub fn fig13(ctx: ExpCtx, machine: Machine) -> Table {
     );
     let mut base = 0.0;
     for lines in stripes {
-        let meas = sim_measure(
+        let meas = measure(
             &topo,
             &Workload::MultiLine {
                 prim: Primitive::Faa,
@@ -769,7 +844,7 @@ pub fn fig13(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &cfg,
-        );
+        )?;
         let pred = model.predict_multiline(&order, Primitive::Faa, lines);
         if lines == 1 {
             base = meas.throughput_ops_per_sec;
@@ -781,7 +856,7 @@ pub fn fig13(ctx: ExpCtx, machine: Machine) -> Table {
             fmt_f64(meas.throughput_ops_per_sec / base.max(1.0)),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Protocol ablation (E13): the same machine run under each coherence
@@ -800,7 +875,7 @@ pub fn fig13(ctx: ExpCtx, machine: Machine) -> Table {
 ///   answers them cache-to-cache but one at a time (its cache port
 ///   serialises); MESI sends every clean-shared read to memory.
 ///   Expected ordering: MESIF ≥ MOESI > MESI.
-pub fn protocol_ablation(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn protocol_ablation(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let n = if ctx.quick { 8 } else { 16 };
     let mut t = Table::new(
@@ -816,29 +891,29 @@ pub fn protocol_ablation(ctx: ExpCtx, machine: Machine) -> Table {
     for kind in CoherenceKind::ALL {
         let mut cfg = ctx.run_cfg(machine, &topo);
         cfg.params.protocol = kind;
-        let faa = sim_measure(
+        let faa = measure(
             &topo,
             &Workload::HighContention {
                 prim: Primitive::Faa,
             },
             n,
             &cfg,
-        );
-        let cas = sim_measure(
+        )?;
+        let cas = measure(
             &topo,
             &Workload::HighContention {
                 prim: Primitive::Cas,
             },
             n,
             &cfg,
-        );
+        )?;
         // The read-heavy separator runs with a direct-mapped L1 so the
         // scanners' filler line evicts their shared copy every
         // iteration (see `Workload::ReadScan`); the protocols then
         // differ in which data path answers the resulting read misses.
         let mut scan_cfg = cfg.clone();
         scan_cfg.params.l1_ways = 1;
-        let readheavy = sim_measure(
+        let readheavy = measure(
             &topo,
             &Workload::ReadScan {
                 writers: 1,
@@ -846,7 +921,7 @@ pub fn protocol_ablation(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &scan_cfg,
-        );
+        )?;
         t.push(vec![
             kind.label().to_string(),
             mops(faa.throughput_ops_per_sec),
@@ -855,13 +930,13 @@ pub fn protocol_ablation(ctx: ExpCtx, machine: Machine) -> Table {
             mops(readheavy.throughput_ops_per_sec),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Ablation table (A1–A3): the design choices DESIGN.md calls out —
 /// CAS backoff, home-slice placement, arbitration policy — each probed
 /// at one contention level.
-pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn ablations(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let n = if ctx.quick { 4 } else { 16 };
     let mut t = Table::new(
@@ -893,7 +968,7 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
         ),
     ] {
         let cfg = ctx.run_cfg(machine, &topo);
-        let m = sim_measure(&topo, &w, n, &cfg);
+        let m = measure(&topo, &w, n, &cfg)?;
         t.push(vec![
             "A1-backoff".into(),
             label.into(),
@@ -913,14 +988,14 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
     ] {
         let mut cfg = ctx.run_cfg(machine, &topo);
         cfg.params.home_policy = policy;
-        let m = sim_measure(
+        let m = measure(
             &topo,
             &Workload::HighContention {
                 prim: Primitive::Faa,
             },
             n,
             &cfg,
-        );
+        )?;
         t.push(vec![
             "A2-home".into(),
             label.into(),
@@ -935,14 +1010,14 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
         let mut cfg = ctx.run_cfg(machine, &topo);
         cfg.params.arbitration = arb;
         cfg.placement = Placement::Scattered;
-        let m = sim_measure(
+        let m = measure(
             &topo,
             &Workload::HighContention {
                 prim: Primitive::Faa,
             },
             n,
             &cfg,
-        );
+        )?;
         t.push(vec![
             "A3-arbitration".into(),
             arb.label().into(),
@@ -962,7 +1037,7 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
         let mut cfg = ctx.run_cfg(machine, &topo);
         cfg.params.home_policy = policy;
         cfg.params.home_port_occupancy = occupancy;
-        let m = sim_measure(
+        let m = measure(
             &topo,
             &Workload::MultiLine {
                 prim: Primitive::Faa,
@@ -970,7 +1045,7 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &cfg,
-        );
+        )?;
         t.push(vec![
             "A4-home-bandwidth".into(),
             label.into(),
@@ -986,7 +1061,7 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
         let mut cfg = ctx.run_cfg(machine, &topo);
         cfg.params.home_policy = bounce_sim::HomePolicy::Hash;
         cfg.params.link_occupancy_cycles = occupancy;
-        let m = sim_measure(
+        let m = measure(
             &topo,
             &Workload::MultiLine {
                 prim: Primitive::Faa,
@@ -994,7 +1069,7 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &cfg,
-        );
+        )?;
         t.push(vec![
             "A5-link-bandwidth".into(),
             label.into(),
@@ -1003,7 +1078,7 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
             fmt_f64(m.jain),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Latency-distribution table (D1): the full log2 histogram behind
@@ -1011,7 +1086,7 @@ pub fn ablations(ctx: ExpCtx, machine: Machine) -> Table {
 /// arbitration (FIFO's strict rotation gives every op the same queue
 /// depth and collapses the distribution to one bucket — the spread
 /// comes from winner variance and the domain mixture).
-pub fn latency_hist(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn latency_hist(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let mut cfg = ctx.run_cfg(machine, &topo);
     cfg.params.arbitration = ArbitrationPolicy::Random;
@@ -1066,7 +1141,7 @@ pub fn latency_hist(ctx: ExpCtx, machine: Machine) -> Table {
             ]);
         }
     }
-    t
+    Ok(t)
 }
 
 /// Fig 14 (E16): Zipf-skewed contention — throughput vs skew θ over a
@@ -1075,7 +1150,7 @@ pub fn latency_hist(ctx: ExpCtx, machine: Machine) -> Table {
 /// HC. The model bound treats the hottest line as the bottleneck:
 /// `X ≤ min( (f/E[t]) / p₀,  N·f/c_p )` with `p₀` the head line's
 /// popularity.
-pub fn fig14(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn fig14(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
     let model = Model::new(topo.clone(), machine.model_params());
@@ -1100,7 +1175,7 @@ pub fn fig14(ctx: ExpCtx, machine: Machine) -> Table {
         ],
     );
     for &theta in thetas {
-        let meas = sim_measure(
+        let meas = measure(
             &topo,
             &Workload::Zipf {
                 prim: Primitive::Faa,
@@ -1110,7 +1185,7 @@ pub fn fig14(ctx: ExpCtx, machine: Machine) -> Table {
             },
             n,
             &cfg,
-        );
+        )?;
         let p0 = bounce_workloads::Zipf::new(lines, theta).pmf(0);
         let hc = model.predict_hc(&order, Primitive::Faa);
         let lc = model.predict_lc(n, Primitive::Faa, 0.0);
@@ -1122,14 +1197,14 @@ pub fn fig14(ctx: ExpCtx, machine: Machine) -> Table {
             mops(bound),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Sensitivity table (S1): elasticities of the HC predictions with
 /// respect to each model parameter, at a within-socket and a
 /// cross-socket configuration. Answers "how much does a fitting error
 /// in θ matter?".
-pub fn sensitivity(ctx: ExpCtx, machine: Machine) -> Table {
+pub fn sensitivity(ctx: ExpCtx, machine: Machine) -> ExpResult {
     use bounce_core::sensitivity::hc_sensitivities;
     let topo = machine.topo();
     let model = Model::new(topo.clone(), machine.model_params());
@@ -1157,33 +1232,108 @@ pub fn sensitivity(ctx: ExpCtx, machine: Machine) -> Table {
             ]);
         }
     }
-    t
+    Ok(t)
 }
 
-/// Every experiment, in presentation order, with stable ids.
+/// E14: preemption fault injection — sweep the mean fraction of time
+/// threads spend preempted (descheduled mid-critical-path) and watch
+/// fairness degrade per primitive. Preemption windows are deterministic
+/// per (seed, thread) and graded across threads with full
+/// `preempt_spread` — OS noise concentrates on some hardware threads
+/// (housekeeping cores, IRQ affinity), so thread 0 runs clean while the
+/// last thread sees twice the mean rate; see [`bounce_sim::FaultConfig`].
 ///
-/// Experiments run on the parallel executor (see [`crate::parallel`]):
-/// each (id, table) pair is produced by an independent task, and results
-/// are collected in registry order, so the output — and every table in
-/// it — is identical to a serial run.
-pub fn all_experiments(ctx: ExpCtx) -> Vec<(String, Table)> {
-    all_experiments_timed(ctx)
-        .into_iter()
-        .map(|(id, t, _)| (id, t))
-        .collect()
+/// FAA is wait-free: a preempted thread loses exactly its own slots, so
+/// per-thread throughput tracks uptime and Jain falls linearly with the
+/// noise gradient. The CAS retry loop is only lock-free: a preempted
+/// thread wakes to a stale compare value and re-enters arbitration from
+/// the back, so the noisy threads lose *more* than their dark fraction —
+/// its Jain collapses faster than FAA's. Aggregate failure rate *falls*
+/// with preemption (dark threads thin the contention), which is exactly
+/// the asymmetry the fairness index exposes. Arbitration is `Random`
+/// here: deterministic FIFO gives the CAS loop a degenerately unfair
+/// baseline (fixed winner pattern) that would mask the fault effect.
+pub fn fault_injection(ctx: ExpCtx, machine: Machine) -> ExpResult {
+    let topo = machine.topo();
+    let n = if ctx.quick { 4 } else { 16 };
+    let preempt_len: u64 = 5_000;
+    let pcts: &[u64] = if ctx.quick {
+        &[0, 10, 40]
+    } else {
+        &[0, 5, 10, 20, 40]
+    };
+    let mut t = Table::new(
+        format!(
+            "E14: preemption fault injection, n={n} (window {preempt_len} cycles) — {}",
+            topo.name
+        ),
+        &[
+            "preempt_pct",
+            "faa_mops",
+            "faa_jain",
+            "casloop_goodput_mops",
+            "casloop_fail_rate",
+            "casloop_jain",
+        ],
+    );
+    for &pct in pcts {
+        // interval is the full period; the dark fraction is
+        // len / (len + gap) with mean gap = interval, so solve
+        // interval = len * (100 - pct) / pct for an exact mean dark
+        // fraction of pct/100 (pct = 0 disables preemption entirely).
+        let faults = match (preempt_len * (100 - pct)).checked_div(pct) {
+            None => FaultConfig::default(),
+            Some(interval) => FaultConfig {
+                preempt_interval_cycles: interval,
+                preempt_len_cycles: preempt_len,
+                preempt_spread: 1.0,
+                freq_jitter: 0.0,
+            },
+        };
+        let mut cfg = ctx.run_cfg(machine, &topo).with_faults(faults);
+        cfg.params.arbitration = ArbitrationPolicy::Random;
+        let faa = measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            n,
+            &cfg,
+        )?;
+        let cas = measure(
+            &topo,
+            &Workload::CasRetryLoop {
+                window: 30,
+                work: 0,
+            },
+            n,
+            &cfg,
+        )?;
+        t.push(vec![
+            pct.to_string(),
+            mops(faa.throughput_ops_per_sec),
+            fmt_f64(faa.jain),
+            mops(cas.goodput_ops_per_sec),
+            fmt_f64(cas.failure_rate),
+            fmt_f64(cas.jain),
+        ]);
+    }
+    Ok(t)
 }
 
-/// Like [`all_experiments`], with each experiment's own wall-clock
-/// elapsed time (as seen by the task, so times of concurrently-running
-/// experiments overlap).
-pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, Table, std::time::Duration)> {
-    type Thunk = Box<dyn Fn() -> Table + Send + Sync>;
-    let mut specs: Vec<(String, Thunk)> = vec![
-        ("table1".to_string(), Box::new(table1)),
+/// A deferred experiment: call it to run.
+pub type ExpThunk = Box<dyn Fn() -> ExpResult + Send + Sync>;
+
+/// Every experiment as an (id, thunk) pair, in presentation order, with
+/// stable ids. The `repro` binary uses this directly so `--filter` and
+/// `--resume` can skip experiments without running them.
+pub fn experiment_specs(ctx: ExpCtx) -> Vec<(String, ExpThunk)> {
+    let mut specs: Vec<(String, ExpThunk)> = vec![
+        ("table1".to_string(), Box::new(|| Ok(table1()))),
         ("table2".to_string(), Box::new(move || table2(ctx))),
     ];
     for m in Machine::ALL {
-        let figs: [(&str, Thunk); 18] = [
+        let figs: [(&str, ExpThunk); 19] = [
             ("fig1", Box::new(move || fig1(ctx, m))),
             ("fig2", Box::new(move || fig2(ctx, m))),
             ("fig3", Box::new(move || fig3(ctx, m))),
@@ -1199,6 +1349,7 @@ pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, Table, std::time::Dura
             ("fig13", Box::new(move || fig13(ctx, m))),
             ("fig14", Box::new(move || fig14(ctx, m))),
             ("e13", Box::new(move || protocol_ablation(ctx, m))),
+            ("e14", Box::new(move || fault_injection(ctx, m))),
             ("ablations", Box::new(move || ablations(ctx, m))),
             ("sensitivity", Box::new(move || sensitivity(ctx, m))),
             ("latency-hist", Box::new(move || latency_hist(ctx, m))),
@@ -1207,11 +1358,48 @@ pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, Table, std::time::Dura
             specs.push((format!("{name}-{}", m.label()), thunk));
         }
     }
+    specs
+}
+
+/// Run one experiment thunk with panic isolation: a panic anywhere in
+/// the experiment becomes an [`ExpError::Panic`] naming the experiment,
+/// and sibling experiments are unaffected.
+pub fn run_guarded(id: &str, thunk: &ExpThunk) -> ExpResult {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(thunk)) {
+        Ok(r) => r,
+        Err(p) => Err(ExpError::Panic {
+            context: format!("experiment {id}"),
+            payload: crate::parallel::payload_string(p),
+        }),
+    }
+}
+
+/// Every experiment, in presentation order, with stable ids. A failing
+/// experiment — watchdog trip or panic — yields its `Err` in place
+/// while every other experiment still runs to completion.
+///
+/// Experiments run on the parallel executor (see [`crate::parallel`]):
+/// each (id, result) pair is produced by an independent task, and
+/// results are collected in registry order, so the output — and every
+/// table in it — is identical to a serial run.
+pub fn all_experiments(ctx: ExpCtx) -> Vec<(String, ExpResult)> {
+    all_experiments_timed(ctx)
+        .into_iter()
+        .map(|(id, t, _)| (id, t))
+        .collect()
+}
+
+/// Like [`all_experiments`], with each experiment's own wall-clock
+/// elapsed time (as seen by the task, so times of concurrently-running
+/// experiments overlap).
+pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, ExpResult, std::time::Duration)> {
+    let specs = experiment_specs(ctx);
     crate::parallel::par_run(specs.len(), |i| {
         let (id, thunk) = &specs[i];
         let t0 = std::time::Instant::now();
-        let table = thunk();
-        (id.clone(), table, t0.elapsed())
+        let result = run_guarded(id, thunk);
+        (id.clone(), result, t0.elapsed())
     })
 }
 
@@ -1229,7 +1417,7 @@ mod tests {
 
     #[test]
     fn table2_rmw_slower_than_load() {
-        let t = table2(ExpCtx::quick());
+        let t = table2(ExpCtx::quick()).unwrap();
         // 2 machines x 6 primitives.
         assert_eq!(t.rows.len(), 12);
         let lat = t.column("latency_cycles").unwrap();
@@ -1246,7 +1434,7 @@ mod tests {
 
     #[test]
     fn fig1_has_expected_shape() {
-        let t = fig1(ExpCtx::quick(), Machine::E5);
+        let t = fig1(ExpCtx::quick(), Machine::E5).unwrap();
         assert_eq!(t.headers.len(), 7);
         assert_eq!(t.rows.len(), 4); // quick sweep 1,2,4,8
                                      // Single-thread FAA beats 8-thread FAA (the contention cliff).
@@ -1256,7 +1444,7 @@ mod tests {
 
     #[test]
     fn fig3_failure_grows_with_n() {
-        let t = fig3(ExpCtx::quick(), Machine::E5);
+        let t = fig3(ExpCtx::quick(), Machine::E5).unwrap();
         let fail = t.column_f64("fail_rate").unwrap();
         assert!(fail[0] <= fail[fail.len() - 1] + 0.05);
         // Model column exists and is a probability.
@@ -1266,7 +1454,7 @@ mod tests {
 
     #[test]
     fn fig7_reports_mape() {
-        let t = fig7(ExpCtx::quick(), Machine::E5);
+        let t = fig7(ExpCtx::quick(), Machine::E5).unwrap();
         let last = t.rows.last().unwrap();
         assert_eq!(last[0], "MAPE");
         let m: f64 = last[3].parse().unwrap();
@@ -1275,7 +1463,7 @@ mod tests {
 
     #[test]
     fn fig9_free_work_then_decline() {
-        let t = fig9(ExpCtx::quick(), Machine::E5);
+        let t = fig9(ExpCtx::quick(), Machine::E5).unwrap();
         let x = t.column_f64("throughput_mops").unwrap();
         // Small work is free under saturation...
         assert!(
@@ -1295,15 +1483,67 @@ mod tests {
     #[test]
     fn all_experiments_quick_runs() {
         let all = all_experiments(ExpCtx::quick());
-        assert_eq!(all.len(), 2 + 2 * 18);
-        for (id, t) in &all {
+        assert_eq!(all.len(), 2 + 2 * 19);
+        for (id, r) in &all {
+            let t = r.as_ref().unwrap_or_else(|e| panic!("{id} failed: {e}"));
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
     }
 
     #[test]
+    fn e14_is_deterministic() {
+        let a = fault_injection(ExpCtx::quick(), Machine::E5).unwrap();
+        let b = fault_injection(ExpCtx::quick(), Machine::E5).unwrap();
+        assert_eq!(a.rows, b.rows, "same seed must give identical tables");
+    }
+
+    #[test]
+    fn e14_fairness_degrades_with_preemption() {
+        let t = fault_injection(ExpCtx::quick(), Machine::E5).unwrap();
+        let cas_jain = t.column_f64("casloop_jain").unwrap();
+        let faa_jain = t.column_f64("faa_jain").unwrap();
+        let fail = t.column_f64("casloop_fail_rate").unwrap();
+        // Fairness must fall monotonically (small tolerance per step for
+        // sampling noise) as the preemption rate grows, for both
+        // primitives.
+        for jain in [&cas_jain, &faa_jain] {
+            for w in jain.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 0.02,
+                    "Jain must not improve under preemption: {jain:?}"
+                );
+            }
+        }
+        assert!(
+            *cas_jain.last().unwrap() < cas_jain[0] - 0.1,
+            "40% preemption must visibly skew the CAS loop: {cas_jain:?}"
+        );
+        // The CAS loop's stale-wake penalty makes it collapse harder
+        // than wait-free FAA.
+        assert!(
+            cas_jain.last().unwrap() < faa_jain.last().unwrap(),
+            "CAS fairness {cas_jain:?} must fall below FAA's {faa_jain:?}"
+        );
+        // Dark threads thin the contention, so the aggregate CAS
+        // failure rate falls even as fairness collapses.
+        assert!(
+            *fail.last().unwrap() <= fail[0],
+            "preemption thins contention; failure rate must not rise: {fail:?}"
+        );
+    }
+
+    #[test]
+    fn run_guarded_converts_panics() {
+        let thunk: ExpThunk = Box::new(|| panic!("synthetic failure"));
+        let err = run_guarded("e99", &thunk).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("e99"), "{msg}");
+        assert!(msg.contains("synthetic failure"), "{msg}");
+    }
+
+    #[test]
     fn fig11_false_sharing_much_slower_than_padded() {
-        let t = fig11(ExpCtx::quick(), Machine::E5);
+        let t = fig11(ExpCtx::quick(), Machine::E5).unwrap();
         let slow = t.column_f64("slowdown").unwrap();
         // At n >= 4 padding must win by a wide margin.
         assert!(
@@ -1314,7 +1554,7 @@ mod tests {
 
     #[test]
     fn e13_protocol_ordering() {
-        let t = protocol_ablation(ExpCtx::quick(), Machine::E5);
+        let t = protocol_ablation(ExpCtx::quick(), Machine::E5).unwrap();
         let proto = t.column("protocol").unwrap();
         let row = |p: &str| -> &Vec<String> { t.rows.iter().find(|r| r[proto] == p).unwrap() };
         let read_col = t
@@ -1341,7 +1581,7 @@ mod tests {
 
     #[test]
     fn fig12_mesif_helps_readers() {
-        let t = fig12(ExpCtx::quick(), Machine::E5);
+        let t = fig12(ExpCtx::quick(), Machine::E5).unwrap();
         let gain = t.column_f64("mesif_gain").unwrap();
         assert!(
             gain.iter().all(|&g| g >= 0.9),
@@ -1355,7 +1595,7 @@ mod tests {
 
     #[test]
     fn ablation_backoff_reduces_failures() {
-        let t = ablations(ExpCtx::quick(), Machine::E5);
+        let t = ablations(ExpCtx::quick(), Machine::E5).unwrap();
         let variant = t.column("variant").unwrap();
         let fail = t.column("fail_rate").unwrap();
         let get = |v: &str| -> f64 {

@@ -31,7 +31,8 @@ pub mod report;
 pub mod simrun;
 pub mod sweeps;
 
+pub use experiments::{ExpError, ExpResult};
 pub use measurement::{Backend, Measurement};
-pub use parallel::{jobs, par_map, par_run, set_jobs};
+pub use parallel::{jobs, par_map, par_run, par_run_result, set_jobs, PointPanic};
 pub use report::Table;
-pub use simrun::{sim_measure, sim_measure_seeds, SeededSummary, SimRunConfig};
+pub use simrun::{sim_measure, sim_measure_seeds, try_sim_measure, SeededSummary, SimRunConfig};

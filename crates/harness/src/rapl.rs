@@ -6,7 +6,7 @@
 //! its own accounting).
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A handle on every readable RAPL package domain.
 #[derive(Debug, Clone)]
@@ -15,12 +15,19 @@ pub struct Rapl {
 }
 
 impl Rapl {
-    /// Discover RAPL domains; `None` when the host exposes none that we
-    /// can read.
+    /// Discover RAPL domains under the host's powercap root; `None`
+    /// when the host exposes none that we can read. Callers degrade
+    /// gracefully: a `None` here means energy columns read "n/a" and
+    /// the run continues (see [`crate::sweeps::measurements_table`]).
     pub fn discover() -> Option<Rapl> {
-        let base = PathBuf::from("/sys/class/powercap");
+        Self::discover_at(Path::new("/sys/class/powercap"))
+    }
+
+    /// [`Rapl::discover`] against an arbitrary sysfs root (injectable
+    /// for tests: point it at a fake tree).
+    pub fn discover_at(base: &Path) -> Option<Rapl> {
         let mut domains = Vec::new();
-        let entries = fs::read_dir(&base).ok()?;
+        let entries = fs::read_dir(base).ok()?;
         for e in entries.flatten() {
             let name = e.file_name();
             let name = name.to_string_lossy().into_owned();
@@ -33,6 +40,7 @@ impl Rapl {
                 }
             }
         }
+        domains.sort();
         if domains.is_empty() {
             None
         } else {
@@ -87,5 +95,42 @@ mod tests {
         assert_eq!(delta_j(100, 1_000_100), Some(1.0000));
         assert_eq!(delta_j(200, 100), None);
         assert_eq!(delta_j(5, 5), Some(0.0));
+    }
+
+    fn fake_domain(root: &Path, name: &str, energy: Option<&str>) {
+        let d = root.join(name);
+        fs::create_dir_all(&d).unwrap();
+        if let Some(e) = energy {
+            fs::write(d.join("energy_uj"), e).unwrap();
+        }
+    }
+
+    #[test]
+    fn discover_at_reads_fake_powercap_tree() {
+        let root = std::env::temp_dir().join(format!("rapl-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        // Two package domains, one subdomain (must be excluded, it
+        // would double-count), one unreadable package, assorted junk.
+        fake_domain(&root, "intel-rapl:0", Some("123456"));
+        fake_domain(&root, "intel-rapl:1", Some("1000"));
+        fake_domain(&root, "intel-rapl:0:0", Some("999999"));
+        fake_domain(&root, "intel-rapl:2", None);
+        fake_domain(&root, "dtpm", Some("5"));
+        let r = Rapl::discover_at(&root).expect("two readable package domains");
+        assert_eq!(r.num_domains(), 2);
+        assert_eq!(r.read_uj(), Some(124_456));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn discover_at_missing_or_empty_root_is_none() {
+        let root = std::env::temp_dir().join(format!("rapl-none-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        // Missing root: the host has no powercap at all.
+        assert!(Rapl::discover_at(&root).is_none());
+        // Present but without rapl domains: same graceful None.
+        fs::create_dir_all(root.join("dtpm")).unwrap();
+        assert!(Rapl::discover_at(&root).is_none());
+        fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -1,7 +1,7 @@
 //! The simulator backend: workload → engine → [`Measurement`].
 
 use crate::measurement::{Backend, Measurement};
-use bounce_sim::{Engine, SimConfig, SimParams};
+use bounce_sim::{Engine, FaultConfig, SimConfig, SimError, SimParams};
 use bounce_topo::{HwThreadId, MachineTopology, Placement};
 use bounce_workloads::Workload;
 
@@ -47,28 +47,65 @@ impl SimRunConfig {
         self.params.protocol = protocol;
         self
     }
+
+    /// Inject faults (the preemption experiment sweeps this; everything
+    /// else runs fault-free).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.params.faults = faults;
+        self
+    }
 }
 
 /// Run `workload` with `n` threads on the simulated `topo` and reduce to
 /// a [`Measurement`].
+///
+/// # Panics
+/// Panics if the simulation trips the forward-progress watchdog; use
+/// [`try_sim_measure`] to get the structured [`SimError`] instead.
 pub fn sim_measure(
     topo: &MachineTopology,
     workload: &Workload,
     n: usize,
     cfg: &SimRunConfig,
 ) -> Measurement {
+    try_sim_measure(topo, workload, n, cfg).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// Like [`sim_measure`] but surfacing watchdog diagnoses as a
+/// [`SimError`] instead of panicking.
+pub fn try_sim_measure(
+    topo: &MachineTopology,
+    workload: &Workload,
+    n: usize,
+    cfg: &SimRunConfig,
+) -> Result<Measurement, SimError> {
     let hw = cfg.placement.assign(topo, n);
-    sim_measure_pinned(topo, workload, &hw, cfg)
+    try_sim_measure_pinned(topo, workload, &hw, cfg)
 }
 
 /// Like [`sim_measure`] but with an explicit hardware-thread assignment
 /// (used by the placement experiment).
+///
+/// # Panics
+/// Panics if the simulation trips the forward-progress watchdog; use
+/// [`try_sim_measure_pinned`] for the non-panicking form.
 pub fn sim_measure_pinned(
     topo: &MachineTopology,
     workload: &Workload,
     hw: &[HwThreadId],
     cfg: &SimRunConfig,
 ) -> Measurement {
+    try_sim_measure_pinned(topo, workload, hw, cfg)
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// [`try_sim_measure`] with an explicit hardware-thread assignment.
+pub fn try_sim_measure_pinned(
+    topo: &MachineTopology,
+    workload: &Workload,
+    hw: &[HwThreadId],
+    cfg: &SimRunConfig,
+) -> Result<Measurement, SimError> {
     let n = hw.len();
     let sim_cfg = SimConfig::new(cfg.params.clone(), cfg.duration_cycles);
     let mut engine = Engine::new(topo, sim_cfg);
@@ -76,9 +113,9 @@ pub fn sim_measure_pinned(
     for (&h, p) in hw.iter().zip(programs) {
         engine.add_thread(h, p);
     }
-    let report = engine.run();
+    let report = engine.try_run()?;
     let merged = report.merged_latency();
-    Measurement {
+    Ok(Measurement {
         workload: workload.label(),
         machine: topo.name.clone(),
         backend: Backend::Sim,
@@ -103,7 +140,7 @@ pub fn sim_measure_pinned(
             acc
         }),
         per_thread_ops: report.threads.iter().map(|t| t.ops).collect(),
-    }
+    })
 }
 
 /// Repeat a measurement across RNG seeds (only the `Random` arbitration

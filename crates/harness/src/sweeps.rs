@@ -5,13 +5,18 @@
 use crate::measurement::Measurement;
 use crate::parallel::par_map;
 use crate::report::{fmt_f64, Table};
-use crate::simrun::{sim_measure, SimRunConfig};
+use crate::simrun::{sim_measure, try_sim_measure, SimRunConfig};
+use bounce_sim::SimError;
 use bounce_topo::MachineTopology;
 use bounce_workloads::Workload;
 
 /// Run `workload` for every thread count in `ns` on the simulated
 /// machine. Points run on the parallel executor; results come back in
 /// sweep order (see [`crate::parallel`]).
+///
+/// # Panics
+/// Panics if any point trips the forward-progress watchdog; use
+/// [`try_sweep_threads`] for structured errors.
 pub fn sweep_threads(
     topo: &MachineTopology,
     workload: &Workload,
@@ -21,7 +26,25 @@ pub fn sweep_threads(
     par_map(ns, |&n| sim_measure(topo, workload, n, cfg))
 }
 
+/// [`sweep_threads`] surfacing the first watchdog diagnosis instead of
+/// panicking. Every point still runs (points are independent); on error
+/// the lowest-index failing point's `SimError` is returned.
+pub fn try_sweep_threads(
+    topo: &MachineTopology,
+    workload: &Workload,
+    ns: &[usize],
+    cfg: &SimRunConfig,
+) -> Result<Vec<Measurement>, SimError> {
+    par_map(ns, |&n| try_sim_measure(topo, workload, n, cfg))
+        .into_iter()
+        .collect()
+}
+
 /// Run every workload variant at a fixed thread count, in parallel.
+///
+/// # Panics
+/// Panics if any point trips the forward-progress watchdog; use
+/// [`try_sweep_workloads`] for structured errors.
 pub fn sweep_workloads(
     topo: &MachineTopology,
     workloads: &[Workload],
@@ -29,6 +52,19 @@ pub fn sweep_workloads(
     cfg: &SimRunConfig,
 ) -> Vec<Measurement> {
     par_map(workloads, |w| sim_measure(topo, w, n, cfg))
+}
+
+/// [`sweep_workloads`] surfacing the first watchdog diagnosis instead of
+/// panicking.
+pub fn try_sweep_workloads(
+    topo: &MachineTopology,
+    workloads: &[Workload],
+    n: usize,
+    cfg: &SimRunConfig,
+) -> Result<Vec<Measurement>, SimError> {
+    par_map(workloads, |w| try_sim_measure(topo, w, n, cfg))
+        .into_iter()
+        .collect()
 }
 
 /// Tabulate measurements with the full standard metric set.
@@ -57,7 +93,9 @@ pub fn measurements_table(title: &str, measurements: &[Measurement]) -> Table {
             fmt_f64(m.mean_latency_cycles),
             fmt_f64(m.p99_latency_cycles),
             fmt_f64(m.jain),
-            fmt_f64(m.energy_per_op_nj.unwrap_or(0.0)),
+            m.energy_per_op_nj
+                .map(fmt_f64)
+                .unwrap_or_else(|| "n/a".into()),
         ]);
     }
     t

@@ -1,6 +1,7 @@
 //! Simulation parameters: protocol latencies, energy coefficients,
 //! arbitration and home-mapping policies, and per-machine presets.
 
+use crate::faults::FaultConfig;
 use bounce_atomics::Primitive;
 use bounce_topo::{CoherenceKind, MachineTopology};
 use serde::{Deserialize, Serialize};
@@ -154,8 +155,11 @@ pub struct SimParams {
     pub home_policy: HomePolicy,
     /// Energy coefficients.
     pub energy: EnergyParams,
-    /// RNG seed (Random arbitration, hash salt).
+    /// RNG seed (Random arbitration, hash salt, fault schedules).
     pub seed: u64,
+    /// Fault injection (preemption windows, frequency jitter). The
+    /// default injects nothing and leaves all outputs bit-identical.
+    pub faults: FaultConfig,
 }
 
 impl SimParams {
@@ -182,6 +186,7 @@ impl SimParams {
             home_policy: HomePolicy::Hash,
             energy: EnergyParams::e5(),
             seed: 0x1CC9_2019,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -209,6 +214,7 @@ impl SimParams {
             home_policy: HomePolicy::Hash,
             energy: EnergyParams::knl(),
             seed: 0x1CC9_2019,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -248,7 +254,73 @@ impl SimParams {
         if self.energy.static_w_per_core < 0.0 {
             return Err("negative static power".into());
         }
+        self.faults.validate()?;
         Ok(())
+    }
+}
+
+/// Forward-progress watchdog configuration.
+///
+/// The watchdog turns the two ways a discrete-event simulation can fail
+/// to terminate into structured [`SimError`](crate::SimError)s:
+///
+/// * an **event budget** caps the total number of events one run may
+///   process — the backstop against same-time event storms that never
+///   advance simulated time;
+/// * a **retirement staleness** check fires when simulated time keeps
+///   advancing but no workload operation retires for
+///   [`stall_epochs`](Watchdog::stall_epochs) consecutive epochs —
+///   livelock with a live clock.
+///
+/// Both default to `0` = *auto*, resolved from the run's shape so that
+/// legitimate runs (including heavily backed-off spin loops) never trip
+/// them. Setting `stall_epochs` to 0 disables the livelock check
+/// entirely; the event budget cannot be disabled, only raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watchdog {
+    /// Maximum events a run may process. 0 = auto
+    /// (`threads × duration × 8 + 1M`).
+    pub max_events: u64,
+    /// Length of one retirement-staleness epoch, cycles. 0 = auto
+    /// (`duration / 8`, at least 1).
+    pub epoch_cycles: u64,
+    /// Consecutive retirement-free epochs before `NoProgress` fires.
+    /// 0 disables the livelock check.
+    pub stall_epochs: u64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            max_events: 0,
+            epoch_cycles: 0,
+            stall_epochs: 4,
+        }
+    }
+}
+
+impl Watchdog {
+    /// The event budget for a run of `threads` threads over `duration`
+    /// cycles, resolving 0 to the auto formula.
+    pub fn resolved_max_events(&self, threads: usize, duration: u64) -> u64 {
+        if self.max_events > 0 {
+            self.max_events
+        } else {
+            (threads.max(1) as u64)
+                .saturating_mul(duration)
+                .saturating_mul(8)
+                .saturating_add(1_000_000)
+        }
+    }
+
+    /// The staleness epoch length for a `duration`-cycle run, resolving
+    /// 0 to the auto formula.
+    pub fn resolved_epoch_cycles(&self, duration: u64) -> u64 {
+        if self.epoch_cycles > 0 {
+            self.epoch_cycles
+        } else {
+            (duration / 8).max(1)
+        }
     }
 }
 
@@ -265,6 +337,8 @@ pub struct SimConfig {
     /// Per-op latency histogram collection (off saves memory on long
     /// runs).
     pub collect_latency: bool,
+    /// Forward-progress watchdog limits.
+    pub watchdog: Watchdog,
 }
 
 impl SimConfig {
@@ -276,6 +350,7 @@ impl SimConfig {
             duration_cycles,
             warmup_cycles: duration_cycles / 10,
             collect_latency: true,
+            watchdog: Watchdog::default(),
         }
     }
 }
@@ -334,6 +409,33 @@ mod tests {
         let c = SimConfig::new(SimParams::e5(), 1000);
         assert_eq!(c.warmup_cycles, 100);
         assert!(c.collect_latency);
+    }
+
+    #[test]
+    fn watchdog_auto_resolution() {
+        let w = Watchdog::default();
+        assert_eq!(
+            w.resolved_max_events(4, 100_000),
+            4 * 100_000 * 8 + 1_000_000
+        );
+        assert_eq!(w.resolved_epoch_cycles(80_000), 10_000);
+        assert_eq!(w.resolved_epoch_cycles(3), 1, "never zero");
+        let explicit = Watchdog {
+            max_events: 42,
+            epoch_cycles: 7,
+            stall_epochs: 2,
+        };
+        assert_eq!(explicit.resolved_max_events(64, 1 << 40), 42);
+        assert_eq!(explicit.resolved_epoch_cycles(1 << 40), 7);
+    }
+
+    #[test]
+    fn validate_covers_faults() {
+        let mut p = SimParams::e5();
+        p.faults.preempt_interval_cycles = 100;
+        assert!(p.validate().is_err(), "half-configured preemption");
+        p.faults.preempt_len_cycles = 10;
+        p.validate().unwrap();
     }
 
     #[test]

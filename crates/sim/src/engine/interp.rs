@@ -16,6 +16,17 @@ impl Engine {
         if self.threads[tid].status == Status::Halted {
             return;
         }
+        // Fault injection: a preempted thread goes dark — it executes
+        // nothing until its window ends. Coherence transactions already
+        // in the fabric complete normally; only instruction issue stops.
+        if let Some(fs) = self.faults.as_mut() {
+            if let Some(resume_at) = fs.check_preempt(tid, self.now) {
+                self.threads[tid].status = Status::Waiting;
+                let t = resume_at.max(self.now + 1);
+                self.schedule(t, Ev::Resume(tid));
+                return;
+            }
+        }
         self.threads[tid].status = Status::Ready;
         let mut steps = 0u32;
         loop {
@@ -38,6 +49,11 @@ impl Engine {
             match step {
                 Step::Work(k) => {
                     self.threads[tid].pc = pc + 1;
+                    let core = self.threads[tid].core;
+                    let k = match self.faults.as_ref() {
+                        Some(fs) => fs.scale_work(core, k),
+                        None => k,
+                    };
                     let t = self.now + k;
                     self.schedule(t, Ev::Resume(tid));
                     return;
@@ -299,6 +315,7 @@ impl Engine {
             return;
         }
         // Ordinary workload op: account and continue.
+        self.retired_ops += 1;
         if in_window {
             let lat = self.now - op.issued_at;
             let rep = &mut self.threads[tid].report;

@@ -39,6 +39,8 @@
 use crate::cache::{LineId, LineState, SetAssocCache, WordAddr};
 use crate::config::SimConfig;
 use crate::directory::{Directory, Request};
+use crate::error::{LineDiag, SimError, StuckThread};
+use crate::faults::FaultState;
 use crate::program::{Program, SpinPred, Step, NUM_REGS};
 use crate::protocol::CoherenceKind;
 use crate::report::{EnergyBreakdown, SimReport, ThreadReport};
@@ -121,6 +123,17 @@ enum Status {
     Waiting,
     Spinning,
     Halted,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Ready => "ready",
+            Status::Waiting => "waiting",
+            Status::Spinning => "spinning",
+            Status::Halted => "halted",
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -225,6 +238,12 @@ pub struct Engine {
     mem_accesses: u64,
     dir_transactions: u64,
     events_processed: u64,
+    /// Raw count of workload ops retired (independent of the measurement
+    /// window) — the watchdog's liveness signal.
+    retired_ops: u64,
+    /// Fault-injection state, built at run start when
+    /// `cfg.params.faults.enabled()`.
+    faults: Option<FaultState>,
     energy: EnergyBreakdown,
     queue_depth: crate::report::LatencyStats,
     trace: Option<Trace>,
@@ -304,6 +323,8 @@ impl Engine {
             mem_accesses: 0,
             dir_transactions: 0,
             events_processed: 0,
+            retired_ops: 0,
+            faults: None,
             energy: EnergyBreakdown::default(),
             queue_depth: crate::report::LatencyStats::default(),
             trace: None,
@@ -478,16 +499,81 @@ impl Engine {
     /// configured duration) and report. The engine remains inspectable
     /// afterwards ([`Engine::word`], for conservation checks); running a
     /// finished engine again returns an empty report.
+    ///
+    /// # Panics
+    /// Panics if the forward-progress watchdog fires (see
+    /// [`Engine::try_run`] for the non-panicking form).
     pub fn run(&mut self) -> SimReport {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Run to completion under the forward-progress watchdog
+    /// ([`SimConfig::watchdog`](crate::config::Watchdog)).
+    ///
+    /// Returns [`SimError::EventBudgetExceeded`] if the run processes
+    /// more events than its budget (an event storm that never advances
+    /// simulated time), or [`SimError::NoProgress`] if simulated time
+    /// keeps advancing but no workload op retires for the configured
+    /// number of consecutive epochs — in both cases with the stuck
+    /// threads' program counters and the most contended line's coherence
+    /// state attached.
+    pub fn try_run(&mut self) -> Result<SimReport, SimError> {
         // Kick off every thread at t=0.
         for tid in 0..self.threads.len() {
             self.schedule(0, Ev::Resume(tid));
         }
+        if self.cfg.params.faults.enabled() && self.faults.is_none() {
+            self.faults = Some(FaultState::new(
+                &self.cfg.params.faults,
+                self.cfg.params.seed,
+                self.threads.len(),
+                self.n_cores,
+            ));
+        }
         let duration = self.cfg.duration_cycles;
+        let wd = self.cfg.watchdog;
+        let budget = wd.resolved_max_events(self.threads.len(), duration);
+        let epoch_cycles = wd.resolved_epoch_cycles(duration);
+        let mut epoch_end = epoch_cycles;
+        let mut stale_epochs: u64 = 0;
+        let mut retired_at_epoch = self.retired_ops;
         let counted_before = self.events_processed;
-        while let Some(EventEntry { time, ev, .. }) = self.events.pop() {
+        let mut processed: u64 = 0;
+        let result = loop {
+            let Some(EventEntry { time, ev, .. }) = self.events.pop() else {
+                break Ok(());
+            };
             if time > duration {
-                break;
+                break Ok(());
+            }
+            processed += 1;
+            if processed > budget {
+                break Err(SimError::EventBudgetExceeded {
+                    budget,
+                    at_cycle: time,
+                });
+            }
+            // Retirement-staleness check: each time the clock crosses an
+            // epoch boundary, require at least one op to have retired
+            // since the last boundary. `while` (not `if`) because a
+            // long `Work` step can jump several epochs at once — those
+            // idle epochs are not livelock, so only the epoch containing
+            // actual event activity counts.
+            if wd.stall_epochs > 0 && time >= epoch_end {
+                if self.retired_ops == retired_at_epoch {
+                    stale_epochs += 1;
+                    if stale_epochs >= wd.stall_epochs {
+                        self.now = time;
+                        break Err(self.no_progress_error(stale_epochs, epoch_cycles));
+                    }
+                } else {
+                    stale_epochs = 0;
+                    retired_at_epoch = self.retired_ops;
+                }
+                while epoch_end <= time {
+                    epoch_end += epoch_cycles;
+                }
             }
             self.now = time;
             self.events_processed += 1;
@@ -497,9 +583,58 @@ impl Engine {
                 Ev::ServiceDone(line, req) => self.service_done(line, req),
                 Ev::OpComplete(tid) => self.op_complete(tid),
             }
-        }
+        };
         crate::counters::add_events(self.events_processed - counted_before);
-        self.finish()
+        result.map(|()| self.finish())
+    }
+
+    /// Assemble the `NoProgress` diagnostic: every non-halted thread's
+    /// program counter plus the coherence state of the line with the
+    /// deepest directory queue.
+    fn no_progress_error(&self, stalled_epochs: u64, epoch_cycles: u64) -> SimError {
+        let stuck = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status != Status::Halted)
+            .take(SimError::MAX_STUCK_THREADS)
+            .map(|(tid, t)| StuckThread {
+                thread: tid,
+                hw_thread: t.hw.0,
+                pc: t.pc,
+                status: t.status.label(),
+            })
+            .collect();
+        let hottest_line = (0..self.dir.tracked_lines() as u32)
+            .max_by_key(|&i| {
+                let e = self.dir.get_at(i);
+                // Prefer lines with queued or in-flight work; tie-break
+                // towards lower intern index for determinism.
+                (
+                    e.queue.len(),
+                    e.excl_in_flight.is_some() as usize + e.shared_in_flight as usize,
+                    std::cmp::Reverse(i),
+                )
+            })
+            .map(|i| {
+                let e = self.dir.get_at(i);
+                LineDiag {
+                    line: self.dir.line_at(i).0,
+                    home_tile: self.dir.home_of(i).0,
+                    owner: e.owner,
+                    sharers: e.sharers.len(),
+                    forward: e.forward,
+                    queue_len: e.queue.len(),
+                    excl_in_flight: e.excl_in_flight.is_some(),
+                }
+            });
+        SimError::NoProgress {
+            at_cycle: self.now,
+            stalled_epochs,
+            epoch_cycles,
+            stuck,
+            hottest_line,
+        }
     }
 }
 

@@ -37,6 +37,7 @@ impl Engine {
             mem_accesses: self.mem_accesses,
             dir_transactions: self.dir_transactions,
             events: self.events_processed,
+            preemptions: self.faults.as_ref().map(|f| f.preemptions).unwrap_or(0),
             energy: self.energy.clone(),
             queue_depth: self.queue_depth.clone(),
         }

@@ -1,0 +1,198 @@
+//! Structured simulation failures: the forward-progress watchdog's
+//! diagnoses.
+//!
+//! A discrete-event simulator has two pathological failure shapes that a
+//! plain panic (or worse, a silent hang) reports badly:
+//!
+//! * **runaway event generation** — a bug (or a hostile program) keeps
+//!   scheduling events without simulated time ever passing the horizon,
+//!   so the run loop never terminates;
+//! * **livelock** — time advances and events are processed, but no
+//!   workload operation ever retires (e.g. a wake-up storm between
+//!   spinners, or every thread stuck in a retry cycle).
+//!
+//! [`Engine::try_run`](crate::Engine::try_run) converts both into a
+//! [`SimError`] carrying enough state to debug the stuck run: the
+//! non-halted threads' program counters and the coherence state of the
+//! most contended line at the moment the watchdog fired.
+
+use std::fmt;
+
+/// A simulated thread that had not halted when the watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckThread {
+    /// Simulated-thread index.
+    pub thread: usize,
+    /// Hardware thread the simulated thread is pinned to.
+    pub hw_thread: usize,
+    /// Program counter at the time the watchdog fired.
+    pub pc: usize,
+    /// Scheduler status label (`ready`, `waiting`, `spinning`).
+    pub status: &'static str,
+}
+
+impl fmt::Display for StuckThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{}@hw{} pc={} {}",
+            self.thread, self.hw_thread, self.pc, self.status
+        )
+    }
+}
+
+/// Directory-level coherence state of the most contended line when the
+/// watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineDiag {
+    /// The line address.
+    pub line: u64,
+    /// Home tile index of the line.
+    pub home_tile: usize,
+    /// Core holding the line exclusively, if any.
+    pub owner: Option<usize>,
+    /// Number of cores holding shared copies.
+    pub sharers: usize,
+    /// Core holding the MESIF Forward copy, if any.
+    pub forward: Option<usize>,
+    /// Requests waiting at the directory entry.
+    pub queue_len: usize,
+    /// Whether an exclusive transaction was in service.
+    pub excl_in_flight: bool,
+}
+
+impl fmt::Display for LineDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {:#x} (home tile {}): owner={:?} sharers={} forward={:?} queued={} excl_in_flight={}",
+            self.line,
+            self.home_tile,
+            self.owner,
+            self.sharers,
+            self.forward,
+            self.queue_len,
+            self.excl_in_flight
+        )
+    }
+}
+
+/// A watchdog-diagnosed simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Simulated time kept advancing but no workload op retired for
+    /// `stalled_epochs` consecutive epochs of `epoch_cycles` each.
+    NoProgress {
+        /// Simulation time at which the watchdog fired.
+        at_cycle: u64,
+        /// Number of consecutive retirement-free epochs observed.
+        stalled_epochs: u64,
+        /// Length of one watchdog epoch, cycles.
+        epoch_cycles: u64,
+        /// Every non-halted thread, with its program counter (capped at
+        /// [`SimError::MAX_STUCK_THREADS`] entries).
+        stuck: Vec<StuckThread>,
+        /// The most contended line's coherence state, if any line was
+        /// tracked.
+        hottest_line: Option<LineDiag>,
+    },
+    /// The run processed more events than its budget allows — the
+    /// backstop against event storms that never advance time.
+    EventBudgetExceeded {
+        /// The resolved event budget for this run.
+        budget: u64,
+        /// Simulation time at which the budget ran out.
+        at_cycle: u64,
+    },
+}
+
+impl SimError {
+    /// Cap on the number of [`StuckThread`] entries a `NoProgress` error
+    /// carries (large machines run hundreds of threads).
+    pub const MAX_STUCK_THREADS: usize = 8;
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoProgress {
+                at_cycle,
+                stalled_epochs,
+                epoch_cycles,
+                stuck,
+                hottest_line,
+            } => {
+                write!(
+                    f,
+                    "no forward progress: no op retired for {stalled_epochs} epochs \
+                     of {epoch_cycles} cycles (at cycle {at_cycle})"
+                )?;
+                if !stuck.is_empty() {
+                    write!(f, "; stuck threads: ")?;
+                    for (i, t) in stuck.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                }
+                if let Some(l) = hottest_line {
+                    write!(f, "; {l}")?;
+                }
+                Ok(())
+            }
+            SimError::EventBudgetExceeded { budget, at_cycle } => write!(
+                f,
+                "event budget exceeded: more than {budget} events processed \
+                 by cycle {at_cycle} (likely an event storm that never \
+                 advances simulated time)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_progress_display_names_threads_and_line() {
+        let e = SimError::NoProgress {
+            at_cycle: 120_000,
+            stalled_epochs: 4,
+            epoch_cycles: 10_000,
+            stuck: vec![StuckThread {
+                thread: 2,
+                hw_thread: 5,
+                pc: 3,
+                status: "spinning",
+            }],
+            hottest_line: Some(LineDiag {
+                line: 0x4000,
+                home_tile: 0,
+                owner: Some(1),
+                sharers: 0,
+                forward: None,
+                queue_len: 3,
+                excl_in_flight: true,
+            }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("no forward progress"), "{s}");
+        assert!(s.contains("t2@hw5 pc=3 spinning"), "{s}");
+        assert!(s.contains("0x4000"), "{s}");
+        assert!(s.contains("queued=3"), "{s}");
+    }
+
+    #[test]
+    fn budget_display_names_budget() {
+        let e = SimError::EventBudgetExceeded {
+            budget: 1000,
+            at_cycle: 77,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1000") && s.contains("77"), "{s}");
+    }
+}

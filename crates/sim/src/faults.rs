@@ -1,0 +1,333 @@
+//! Deterministic fault injection: thread preemption windows and
+//! per-core frequency jitter.
+//!
+//! The paper's fairness story (and the follow-up contention-management
+//! literature) hinges on what happens when a thread *loses the CPU* in
+//! the middle of a contended access pattern: a CAS retry loop resumes
+//! with a stale read and burns a failed attempt, a lock holder parks the
+//! whole system. The fault layer models exactly that, OS-free:
+//!
+//! * **Preemption windows** — each simulated thread independently goes
+//!   dark for [`FaultConfig::preempt_len_cycles`] cycles, with gaps drawn
+//!   uniformly from `[interval/2, 3·interval/2)` around
+//!   [`FaultConfig::preempt_interval_cycles`]. A dark thread issues no
+//!   instructions; coherence transactions it already started complete
+//!   normally (the line request is in the fabric, not on the core).
+//! * **Frequency jitter** — each *core* gets a fixed work-duration
+//!   multiplier drawn from `[1−j, 1+j]`, modelling per-core DVFS spread.
+//!   It scales `Step::Work` durations (the local compute between ops —
+//!   CAS windows, critical sections), not coherence latencies.
+//!
+//! Both are driven by per-thread/per-core SplitMix64 streams derived
+//! from [`SimParams::seed`](crate::SimParams::seed), so fault schedules
+//! are deterministic, independent of event ordering, and reproducible
+//! at any `--jobs` count. A default (all-zero) [`FaultConfig`] injects
+//! nothing and costs one branch per interpreter resume.
+
+use crate::directory::splitmix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection parameters. The default injects no faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Mean cycles between the starts of one thread's preemption
+    /// windows. 0 disables preemption.
+    pub preempt_interval_cycles: u64,
+    /// Cycles a preempted thread stays dark. 0 disables preemption.
+    pub preempt_len_cycles: u64,
+    /// Spread of per-thread preemption *rates*, in `[0, 1]`. OS noise
+    /// is not uniform across hardware threads (housekeeping cores, IRQ
+    /// affinity, daemon placement): with spread `g`, thread `t` of `n`
+    /// draws its gaps from an interval scaled so its preemption rate is
+    /// `1 + g·(2t/(n−1) − 1)` times the mean — a linear gradient from
+    /// `1−g` (thread 0, quietest) to `1+g` (thread n−1, noisiest), mean
+    /// preserved. 0 preempts every thread at the same mean rate.
+    pub preempt_spread: f64,
+    /// Per-core frequency jitter amplitude as a fraction of nominal
+    /// (e.g. 0.1 = ±10% on local work durations). 0.0 disables.
+    pub freq_jitter: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            preempt_interval_cycles: 0,
+            preempt_len_cycles: 0,
+            preempt_spread: 0.0,
+            freq_jitter: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether preemption windows are injected.
+    pub fn preemption_enabled(&self) -> bool {
+        self.preempt_interval_cycles > 0 && self.preempt_len_cycles > 0
+    }
+
+    /// Whether anything at all is injected.
+    pub fn enabled(&self) -> bool {
+        self.preemption_enabled() || self.freq_jitter > 0.0
+    }
+
+    /// Fraction of time a thread spends dark, `len / (len + interval)`.
+    pub fn dark_fraction(&self) -> f64 {
+        if !self.preemption_enabled() {
+            return 0.0;
+        }
+        self.preempt_len_cycles as f64
+            / (self.preempt_len_cycles + self.preempt_interval_cycles) as f64
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.freq_jitter) {
+            return Err(format!(
+                "freq_jitter {} out of range [0, 1)",
+                self.freq_jitter
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.preempt_spread) {
+            return Err(format!(
+                "preempt_spread {} out of range [0, 1]",
+                self.preempt_spread
+            ));
+        }
+        if self.preempt_interval_cycles > 0 && self.preempt_len_cycles == 0 {
+            return Err("preempt_interval_cycles set but preempt_len_cycles is 0".into());
+        }
+        if self.preempt_len_cycles > 0 && self.preempt_interval_cycles == 0 {
+            return Err("preempt_len_cycles set but preempt_interval_cycles is 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// Runtime fault state, built by the engine at the start of a run when
+/// the config injects anything.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// Per-thread start of the next preemption window.
+    next_preempt: Vec<u64>,
+    /// Per-thread end of the current (or last) preemption window.
+    preempt_until: Vec<u64>,
+    /// Per-thread gap generators — one independent stream each, so a
+    /// thread's schedule does not depend on how many other threads run.
+    rngs: Vec<StdRng>,
+    /// Per-core multiplier on `Step::Work` durations.
+    work_scale: Vec<f64>,
+    /// Preemption windows entered so far.
+    pub(crate) preemptions: u64,
+    /// Per-thread mean gap between windows (`u64::MAX` = this thread is
+    /// never preempted — either preemption is off or the spread zeroes
+    /// its rate).
+    intervals: Vec<u64>,
+    len: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(cfg: &FaultConfig, seed: u64, n_threads: usize, n_cores: usize) -> Self {
+        let preempt = cfg.preemption_enabled();
+        let mut rngs = Vec::with_capacity(n_threads);
+        let mut next_preempt = Vec::with_capacity(n_threads);
+        let mut intervals = Vec::with_capacity(n_threads);
+        for tid in 0..n_threads {
+            let mut rng =
+                StdRng::seed_from_u64(splitmix64(seed ^ (tid as u64).wrapping_mul(0xA5A5_5A5A)));
+            // Per-thread rate gradient: 1−g .. 1+g across the threads.
+            let rate = if n_threads > 1 {
+                1.0 + cfg.preempt_spread * (2.0 * tid as f64 / (n_threads - 1) as f64 - 1.0)
+            } else {
+                1.0
+            };
+            let interval = if !preempt || rate <= 0.0 {
+                u64::MAX
+            } else {
+                ((cfg.preempt_interval_cycles as f64 / rate).round() as u64).max(1)
+            };
+            // Desynchronise the first windows across threads.
+            let first = if interval == u64::MAX {
+                u64::MAX
+            } else {
+                rng.gen_range(0..interval)
+            };
+            intervals.push(interval);
+            next_preempt.push(first);
+            rngs.push(rng);
+        }
+        let work_scale = (0..n_cores)
+            .map(|core| {
+                if cfg.freq_jitter > 0.0 {
+                    let mut rng = StdRng::seed_from_u64(splitmix64(
+                        seed ^ (core as u64).wrapping_mul(0xC3C3_3C3C),
+                    ));
+                    1.0 + rng.gen_range(-cfg.freq_jitter..cfg.freq_jitter)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        FaultState {
+            next_preempt,
+            preempt_until: vec![0; n_threads],
+            rngs,
+            work_scale,
+            preemptions: 0,
+            intervals,
+            len: cfg.preempt_len_cycles,
+        }
+    }
+
+    /// Called at every interpreter resume. Returns `Some(resume_at)` if
+    /// the thread is (or just went) dark and must not execute until then.
+    pub(crate) fn check_preempt(&mut self, tid: usize, now: u64) -> Option<u64> {
+        let interval = self.intervals[tid];
+        if interval == u64::MAX {
+            return None;
+        }
+        if now < self.preempt_until[tid] {
+            return Some(self.preempt_until[tid]);
+        }
+        if now >= self.next_preempt[tid] {
+            let until = now + self.len;
+            self.preempt_until[tid] = until;
+            let gap = self.rngs[tid].gen_range(interval / 2..interval + interval / 2);
+            self.next_preempt[tid] = until + gap.max(1);
+            self.preemptions += 1;
+            return Some(until);
+        }
+        None
+    }
+
+    /// Scale a `Step::Work` duration by the core's frequency factor.
+    pub(crate) fn scale_work(&self, core: usize, k: u64) -> u64 {
+        if k == 0 {
+            return 0;
+        }
+        ((k as f64 * self.work_scale[core]).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preempt_cfg(interval: u64, len: u64) -> FaultConfig {
+        FaultConfig {
+            preempt_interval_cycles: interval,
+            preempt_len_cycles: len,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_is_disabled_and_valid() {
+        let c = FaultConfig::default();
+        assert!(!c.enabled());
+        assert_eq!(c.dark_fraction(), 0.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_half_configured_preemption() {
+        assert!(preempt_cfg(100, 0).validate().is_err());
+        assert!(preempt_cfg(0, 100).validate().is_err());
+        assert!(preempt_cfg(100, 10).validate().is_ok());
+        let c = FaultConfig {
+            freq_jitter: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = preempt_cfg(100, 10);
+        c.preempt_spread = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn preempt_spread_grades_rates_across_threads() {
+        let mut cfg = preempt_cfg(1_000, 100);
+        cfg.preempt_spread = 1.0;
+        let mut s = FaultState::new(&cfg, 11, 4, 4);
+        let mut windows = [0u64; 4];
+        for (tid, w) in windows.iter_mut().enumerate() {
+            let mut t = 0u64;
+            while t < 400_000 {
+                t = match s.check_preempt(tid, t) {
+                    Some(until) => until,
+                    None => t + 1,
+                };
+            }
+            *w = s.preemptions;
+        }
+        let counts: Vec<u64> = windows
+            .iter()
+            .scan(0, |prev, &w| {
+                let d = w - *prev;
+                *prev = w;
+                Some(d)
+            })
+            .collect();
+        // Full spread: thread 0 is never preempted, rates grow with tid.
+        assert_eq!(counts[0], 0, "quietest thread stays clean: {counts:?}");
+        assert!(
+            counts[1] < counts[2] && counts[2] < counts[3],
+            "rates must grade up across threads: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn dark_fraction_matches_ratio() {
+        let c = preempt_cfg(9_000, 1_000);
+        assert!((c.dark_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preemption_schedule_is_deterministic_per_thread() {
+        let cfg = preempt_cfg(10_000, 500);
+        let mut a = FaultState::new(&cfg, 42, 4, 4);
+        let mut b = FaultState::new(&cfg, 42, 4, 4);
+        for now in (0..200_000).step_by(97) {
+            assert_eq!(a.check_preempt(2, now), b.check_preempt(2, now));
+        }
+        assert!(a.preemptions > 0, "windows must actually occur");
+        assert_eq!(a.preemptions, b.preemptions);
+    }
+
+    #[test]
+    fn dark_window_reports_resume_time() {
+        let cfg = preempt_cfg(1_000, 100);
+        let mut s = FaultState::new(&cfg, 7, 1, 1);
+        // Walk until the first window opens.
+        let mut t = 0;
+        let until = loop {
+            if let Some(u) = s.check_preempt(0, t) {
+                break u;
+            }
+            t += 1;
+        };
+        assert_eq!(until, t + 100);
+        // Mid-window resumes report the same horizon.
+        assert_eq!(s.check_preempt(0, t + 50), Some(until));
+        // At the horizon the thread runs again.
+        assert_eq!(s.check_preempt(0, until), None);
+    }
+
+    #[test]
+    fn work_scale_is_stable_and_bounded() {
+        let cfg = FaultConfig {
+            freq_jitter: 0.2,
+            ..FaultConfig::default()
+        };
+        let s = FaultState::new(&cfg, 3, 2, 8);
+        for core in 0..8 {
+            let w = s.scale_work(core, 1000);
+            assert!((800..=1200).contains(&w), "core {core}: {w}");
+            assert_eq!(w, s.scale_work(core, 1000), "stable per core");
+        }
+        assert_eq!(s.scale_work(0, 0), 0, "zero work stays zero");
+        let no_jitter = FaultState::new(&FaultConfig::default(), 3, 1, 4);
+        assert_eq!(no_jitter.scale_work(2, 1234), 1234);
+    }
+}

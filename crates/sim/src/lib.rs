@@ -42,14 +42,18 @@ pub mod config;
 pub mod counters;
 pub mod directory;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod program;
 pub mod protocol;
 pub mod report;
 pub mod trace;
 
 pub use cache::{LineId, LineState, SetAssocCache, WordAddr};
-pub use config::{ArbitrationPolicy, EnergyParams, HomePolicy, SimConfig, SimParams};
+pub use config::{ArbitrationPolicy, EnergyParams, HomePolicy, SimConfig, SimParams, Watchdog};
 pub use engine::Engine;
+pub use error::{LineDiag, SimError, StuckThread};
+pub use faults::FaultConfig;
 pub use program::{Operand, Program, SpinPred, Step};
 pub use protocol::{CoherenceKind, CoherenceProtocol, DataSource};
 pub use report::{EnergyBreakdown, SimReport, ThreadReport};

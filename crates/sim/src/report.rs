@@ -173,6 +173,9 @@ pub struct SimReport {
     pub dir_transactions: u64,
     /// Events processed by the engine (diagnostic).
     pub events: u64,
+    /// Preemption windows injected by the fault layer (0 when fault
+    /// injection is off).
+    pub preemptions: u64,
     /// Histogram of directory queue depth observed at each service
     /// start (log2 buckets; depth includes the request being started).
     pub queue_depth: LatencyStats,
@@ -433,6 +436,7 @@ mod tests {
             mem_accesses: 2,
             dir_transactions: 9,
             events: 1000,
+            preemptions: 0,
             queue_depth: LatencyStats::default(),
             energy: EnergyBreakdown {
                 static_j: 1.0,

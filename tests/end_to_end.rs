@@ -166,8 +166,9 @@ fn cas_waste_grows_with_contention() {
 #[test]
 fn experiment_registry_complete() {
     let all = experiments::all_experiments(ExpCtx::quick());
-    assert_eq!(all.len(), 38, "2 tables + 18 experiments x 2 machines");
-    for (id, t) in &all {
+    assert_eq!(all.len(), 40, "2 tables + 19 experiments x 2 machines");
+    for (id, r) in &all {
+        let t = r.as_ref().unwrap_or_else(|e| panic!("{id} failed: {e}"));
         assert!(!t.rows.is_empty(), "{id} empty");
         assert!(!t.headers.is_empty(), "{id} lacks headers");
         for row in &t.rows {
