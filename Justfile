@@ -12,6 +12,14 @@ lint:
     cargo clippy --workspace --all-targets -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+# The static verification layer (see crates/verify): exhaustive model
+# check of every coherence protocol, workload-IR lint over every
+# registered workload, and the determinism lint over simulator sources.
+verify-static:
+    cargo run --release -p bounce-verify --bin modelcheck
+    cargo run --release -p bounce-bench --bin repro -- lint
+    cargo run --release -p bounce-verify --bin detlint
+
 # Regenerate every table and figure into results/ (with gnuplot scripts).
 # jobs=0 means one worker per host core; jobs=1 is the serial baseline.
 # Output is byte-identical at every job count.

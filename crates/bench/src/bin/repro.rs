@@ -12,6 +12,7 @@
 //! repro predict --machine e5 --threads 24 --prim faa [--placement packed]
 //! repro --experiment e14 --machine e5   # preemption fault injection
 //! repro fig1 --protocol mesi      # any experiment under a non-native protocol
+//! repro lint                      # static-lint every registered workload
 //! ```
 //!
 //! `--jobs N` fans independent simulation points across `N` host
@@ -477,7 +478,7 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "help" => {
             eprintln!(
-                "usage: repro [predict|fit|validate|topo|list|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
+                "usage: repro [predict|fit|validate|topo|list|lint|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
                 EXPERIMENT_IDS.join("|"),
                 protocol_names().replace(", ", "|")
             );
@@ -576,6 +577,34 @@ fn main() -> ExitCode {
                 println!("{id}");
             }
             ExitCode::SUCCESS
+        }
+        "lint" => {
+            // Static workload-IR analysis of every registered workload
+            // (the same pass the engine runs as a mandatory gate before
+            // simulating — see `bounce_sim::analyze`). Catches a broken
+            // builder or experiment spec without running a single
+            // simulation event.
+            let workloads = experiments::registered_workloads();
+            let results = bounce_verify::lint_workloads(&workloads);
+            let dirty: Vec<_> = results.iter().filter(|r| !r.is_clean()).collect();
+            for r in &results {
+                println!("{r}");
+            }
+            if dirty.is_empty() {
+                eprintln!(
+                    "lint: {} workloads clean at thread counts {:?}",
+                    results.len(),
+                    bounce_verify::LINT_THREAD_COUNTS
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "lint: {} of {} workloads failed",
+                    dirty.len(),
+                    results.len()
+                );
+                ExitCode::FAILURE
+            }
         }
         "predict" => {
             let machine = args.machine.unwrap_or(Machine::E5);

@@ -1361,6 +1361,71 @@ pub fn experiment_specs(ctx: ExpCtx) -> Vec<(String, ExpThunk)> {
     specs
 }
 
+/// Every distinct workload parameterization the experiment registry
+/// draws from, plus the standard battery — the input set for offline
+/// workload-IR linting (`repro lint` and the `bounce-verify` registry
+/// property test). Kept next to [`experiment_specs`] so a new
+/// experiment's workloads get added here in the same change; the
+/// `registry_workloads_cover_experiment_specs` test cross-checks the
+/// experiment sources against this list.
+pub fn registered_workloads() -> Vec<Workload> {
+    let mut v = Workload::standard_battery();
+    // table2 / fig6: per-primitive low contention.
+    v.extend(
+        Primitive::ALL
+            .iter()
+            .map(|&prim| Workload::LowContention { prim, work: 0 }),
+    );
+    // fig9 (E11): dilution sweep — work is a latency knob, not a shape
+    // knob, but lint the sweep endpoints anyway.
+    for work in [0, 12_800] {
+        v.push(Workload::Diluted {
+            prim: Primitive::Faa,
+            work,
+        });
+    }
+    // fig12: false sharing and its padded antidote.
+    v.push(Workload::FalseSharing {
+        prim: Primitive::Faa,
+    });
+    // fig11 / E13: read-mostly sharing.
+    v.push(Workload::MixedReadWrite {
+        writers: 1,
+        prim: Primitive::Faa,
+    });
+    v.push(Workload::ReadScan {
+        writers: 1,
+        writer_work: 2000,
+    });
+    // fig13: line striping.
+    for lines in [1, 2, 8] {
+        v.push(Workload::MultiLine {
+            prim: Primitive::Faa,
+            lines,
+        });
+    }
+    // Ablation A1: backoff ladders.
+    for backoff in [[64, 256, 1024], [512, 2048, 8192]] {
+        v.push(Workload::CasRetryLoopBackoff {
+            window: 30,
+            backoff,
+        });
+    }
+    // fig14 (E16): Zipf skew sweep endpoints.
+    for theta in [0.0, 2.4] {
+        v.push(Workload::Zipf {
+            prim: Primitive::Faa,
+            lines: 8,
+            theta,
+            seed: 7,
+        });
+    }
+    // Dedup by label (battery and per-experiment entries overlap).
+    let mut seen = std::collections::BTreeSet::new();
+    v.retain(|w| seen.insert(w.label()));
+    v
+}
+
 /// Run one experiment thunk with panic isolation: a panic anywhere in
 /// the experiment becomes an [`ExpError::Panic`] naming the experiment,
 /// and sibling experiments are unaffected.
@@ -1406,6 +1471,57 @@ pub fn all_experiments_timed(ctx: ExpCtx) -> Vec<(String, ExpResult, std::time::
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_workloads_cover_experiment_specs() {
+        // Every Workload variant the experiment functions construct
+        // must appear in the lint registry — cross-checked against
+        // this file's own source so a new experiment using a new
+        // variant fails here until the registry learns it.
+        let registered = registered_workloads();
+        let src = include_str!("experiments.rs");
+        let variant_of = |w: &Workload| -> &'static str {
+            match w {
+                Workload::HighContention { .. } => "HighContention",
+                Workload::LowContention { .. } => "LowContention",
+                Workload::Diluted { .. } => "Diluted",
+                Workload::CasRetryLoop { .. } => "CasRetryLoop",
+                Workload::MixedReadWrite { .. } => "MixedReadWrite",
+                Workload::ReadScan { .. } => "ReadScan",
+                Workload::LockHandoff { .. } => "LockHandoff",
+                Workload::FalseSharing { .. } => "FalseSharing",
+                Workload::CasRetryLoopBackoff { .. } => "CasRetryLoopBackoff",
+                Workload::MultiLine { .. } => "MultiLine",
+                Workload::Zipf { .. } => "Zipf",
+            }
+        };
+        let covered: std::collections::BTreeSet<&str> = registered.iter().map(variant_of).collect();
+        for variant in [
+            "HighContention",
+            "LowContention",
+            "Diluted",
+            "CasRetryLoop",
+            "MixedReadWrite",
+            "ReadScan",
+            "LockHandoff",
+            "FalseSharing",
+            "CasRetryLoopBackoff",
+            "MultiLine",
+            "Zipf",
+        ] {
+            if src.contains(&format!("Workload::{variant}")) {
+                assert!(
+                    covered.contains(variant),
+                    "experiments use Workload::{variant} but registered_workloads() \
+                     lists no parameterization of it"
+                );
+            }
+        }
+        // The registry is label-unique (no accidental duplicates).
+        let labels: std::collections::BTreeSet<String> =
+            registered.iter().map(|w| w.label()).collect();
+        assert_eq!(labels.len(), registered.len());
+    }
 
     #[test]
     fn table1_lists_both_machines() {

@@ -519,6 +519,21 @@ impl Engine {
     /// threads' program counters and the most contended line's coherence
     /// state attached.
     pub fn try_run(&mut self) -> Result<SimReport, SimError> {
+        // Mandatory static pass: reject malformed workloads before any
+        // event is processed. `repro lint` runs the same analysis
+        // offline; this is the backstop for programs built directly.
+        {
+            let programs: Vec<&Program> = self.threads.iter().map(|t| &t.program).collect();
+            if let Some(d) = crate::analyze::analyze_workload(&programs)
+                .into_iter()
+                .next()
+            {
+                return Err(SimError::InvalidWorkload {
+                    thread: d.thread,
+                    error: d.error,
+                });
+            }
+        }
         // Kick off every thread at t=0.
         for tid in 0..self.threads.len() {
             self.schedule(0, Ev::Resume(tid));

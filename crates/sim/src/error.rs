@@ -104,6 +104,14 @@ pub enum SimError {
         /// Simulation time at which the budget ran out.
         at_cycle: u64,
     },
+    /// The workload failed the static analysis pass
+    /// ([`crate::analyze::analyze_workload`]) run before execution.
+    InvalidWorkload {
+        /// Thread whose program was flagged.
+        thread: usize,
+        /// The analyzer's diagnostic.
+        error: crate::analyze::AnalysisError,
+    },
 }
 
 impl SimError {
@@ -147,6 +155,9 @@ impl fmt::Display for SimError {
                  by cycle {at_cycle} (likely an event storm that never \
                  advances simulated time)"
             ),
+            SimError::InvalidWorkload { thread, error } => {
+                write!(f, "invalid workload: thread {thread}: {error}")
+            }
         }
     }
 }

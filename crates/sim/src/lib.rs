@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod cache;
 pub mod config;
 pub mod counters;
@@ -49,12 +50,13 @@ pub mod protocol;
 pub mod report;
 pub mod trace;
 
+pub use analyze::{analyze_program, analyze_steps, analyze_workload, AnalysisError, Diagnostic};
 pub use cache::{LineId, LineState, SetAssocCache, WordAddr};
 pub use config::{ArbitrationPolicy, EnergyParams, HomePolicy, SimConfig, SimParams, Watchdog};
 pub use engine::Engine;
 pub use error::{LineDiag, SimError, StuckThread};
 pub use faults::FaultConfig;
-pub use program::{Operand, Program, SpinPred, Step};
+pub use program::{Operand, Program, ProgramError, SpinPred, Step};
 pub use protocol::{CoherenceKind, CoherenceProtocol, DataSource};
 pub use report::{EnergyBreakdown, SimReport, ThreadReport};
 pub use trace::{Trace, TraceEvent};

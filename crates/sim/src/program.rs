@@ -17,9 +17,72 @@
 use crate::cache::WordAddr;
 use bounce_atomics::Primitive;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Number of general-purpose registers per thread.
 pub const NUM_REGS: usize = 4;
+
+/// Why [`Program::new`] rejected a step list.
+///
+/// Construction-time validation is deliberately cheap and local (it runs
+/// on every workload build); the deeper CFG/dataflow checks live in
+/// [`crate::analyze`] and run once per engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The step list was empty.
+    Empty,
+    /// A `Goto`/branch target pointed at or past the end of the program.
+    TargetOutOfRange {
+        /// Step holding the offending jump.
+        step: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Program length the target was checked against.
+        len: usize,
+    },
+    /// A register index was `>=` [`NUM_REGS`].
+    RegisterOutOfRange {
+        /// Step naming the register.
+        step: usize,
+        /// The offending register index.
+        reg: u8,
+    },
+    /// A cycle of pure control steps (no op, work, spin, or halt) is
+    /// reachable: the interpreter would loop forever at zero simulated
+    /// cost.
+    ControlOnlyCycle {
+        /// A step from which the cycle is reachable.
+        from: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "empty program"),
+            ProgramError::TargetOutOfRange { step, target, len } => {
+                write!(
+                    f,
+                    "step {step}: jump target {target} out of range (program has {len} steps)"
+                )
+            }
+            ProgramError::RegisterOutOfRange { step, reg } => {
+                write!(
+                    f,
+                    "step {step}: register r{reg} out of range (have {NUM_REGS})"
+                )
+            }
+            ProgramError::ControlOnlyCycle { from } => {
+                write!(
+                    f,
+                    "control-only cycle reachable from step {from} (livelock)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
 
 /// A value source for op operands and spin predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -128,48 +191,56 @@ impl Program {
     /// Validation rejects: empty programs, jump targets out of range,
     /// register indices out of range, and programs whose plain-control
     /// cycles contain neither an op, work, spin, nor halt (they would
-    /// livelock the interpreter at zero simulated cost).
-    pub fn new(steps: Vec<Step>) -> Result<Program, String> {
+    /// livelock the interpreter at zero simulated cost). Each rejection
+    /// is a typed [`ProgramError`] naming the offending step.
+    pub fn new(steps: Vec<Step>) -> Result<Program, ProgramError> {
         if steps.is_empty() {
-            return Err("empty program".into());
+            return Err(ProgramError::Empty);
         }
         let n = steps.len();
-        let check_reg = |r: u8| -> Result<(), String> {
+        let check_reg = |i: usize, r: u8| -> Result<(), ProgramError> {
             if (r as usize) < NUM_REGS {
                 Ok(())
             } else {
-                Err(format!("register r{r} out of range (have {NUM_REGS})"))
+                Err(ProgramError::RegisterOutOfRange { step: i, reg: r })
             }
         };
-        let check_op = |o: &Operand| -> Result<(), String> {
+        let check_op = |i: usize, o: &Operand| -> Result<(), ProgramError> {
             match o {
                 Operand::Const(_) => Ok(()),
-                Operand::Reg(r) | Operand::RegPlus(r, _) => check_reg(*r),
+                Operand::Reg(r) | Operand::RegPlus(r, _) => check_reg(i, *r),
+            }
+        };
+        let check_target = |i: usize, t: usize| -> Result<(), ProgramError> {
+            if t < n {
+                Ok(())
+            } else {
+                Err(ProgramError::TargetOutOfRange {
+                    step: i,
+                    target: t,
+                    len: n,
+                })
             }
         };
         for (i, s) in steps.iter().enumerate() {
             match s {
                 Step::Goto(t) | Step::BranchIfFail(t) | Step::BranchIfSuccess(t) => {
-                    if *t >= n {
-                        return Err(format!("step {i}: jump target {t} out of range"));
-                    }
+                    check_target(i, *t)?;
                 }
                 Step::BranchIfRegZero(r, t) => {
-                    check_reg(*r)?;
-                    if *t >= n {
-                        return Err(format!("step {i}: jump target {t} out of range"));
-                    }
+                    check_reg(i, *r)?;
+                    check_target(i, *t)?;
                 }
-                Step::SetRegFromPrev(r) | Step::SetRegConst(r, _) => check_reg(*r)?,
+                Step::SetRegFromPrev(r) | Step::SetRegConst(r, _) => check_reg(i, *r)?,
                 Step::RegAdd { dst, src, .. } => {
-                    check_reg(*dst)?;
-                    check_reg(*src)?;
+                    check_reg(i, *dst)?;
+                    check_reg(i, *src)?;
                 }
                 Step::Op {
                     operand, expected, ..
                 } => {
-                    check_op(operand)?;
-                    check_op(expected)?;
+                    check_op(i, operand)?;
+                    check_op(i, expected)?;
                 }
                 Step::OpIndexed {
                     reg,
@@ -177,13 +248,13 @@ impl Program {
                     expected,
                     ..
                 } => {
-                    check_reg(*reg)?;
-                    check_op(operand)?;
-                    check_op(expected)?;
+                    check_reg(i, *reg)?;
+                    check_op(i, operand)?;
+                    check_op(i, expected)?;
                 }
                 Step::SpinWhile { pred, .. } => {
                     if let SpinPred::WhileNe(o) | SpinPred::WhileEq(o) = pred {
-                        check_op(o)?;
+                        check_op(i, o)?;
                     }
                 }
                 Step::Work(_) | Step::Halt => {}
@@ -198,9 +269,7 @@ impl Program {
             let mut visited = vec![false; n];
             loop {
                 if visited[pc] {
-                    return Err(format!(
-                        "control-only cycle reachable from step {start} (livelock)"
-                    ));
+                    return Err(ProgramError::ControlOnlyCycle { from: start });
                 }
                 visited[pc] = true;
                 match steps[pc] {
@@ -214,7 +283,7 @@ impl Program {
                     // Branches, ops, work, spin, halt all either consume
                     // time, depend on op outcomes (which consume time to
                     // produce), or stop. (Pure register-branch cycles are
-                    // caught at runtime by the interpreter's step bound.)
+                    // caught by the SCC analysis in `crate::analyze`.)
                     _ => break,
                 }
             }
@@ -625,6 +694,35 @@ mod tests {
         assert!(Program::new(vec![Step::Goto(0)]).is_err());
         // setreg ; goto back
         assert!(Program::new(vec![Step::SetRegConst(0, 1), Step::Goto(0)]).is_err());
+    }
+
+    #[test]
+    fn errors_are_typed_and_name_the_step() {
+        assert_eq!(Program::new(vec![]).unwrap_err(), ProgramError::Empty);
+        assert_eq!(
+            Program::new(vec![Step::Halt, Step::Goto(5)]).unwrap_err(),
+            ProgramError::TargetOutOfRange {
+                step: 1,
+                target: 5,
+                len: 2
+            }
+        );
+        assert_eq!(
+            Program::new(vec![Step::SetRegConst(9, 0), Step::Halt]).unwrap_err(),
+            ProgramError::RegisterOutOfRange { step: 0, reg: 9 }
+        );
+        assert_eq!(
+            Program::new(vec![Step::Goto(0)]).unwrap_err(),
+            ProgramError::ControlOnlyCycle { from: 0 }
+        );
+        // Display carries the same detail for callers that just print.
+        let msg = ProgramError::TargetOutOfRange {
+            step: 3,
+            target: 9,
+            len: 4,
+        }
+        .to_string();
+        assert!(msg.contains("step 3") && msg.contains("target 9"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Determinism lint over the simulator sources.
+//!
+//! Scans `crates/{sim,core,topo}/src` (or the directories given as
+//! arguments) for wall-clock reads, hash-container iteration and
+//! ambient RNG — see [`bounce_verify::detlint`]. Exits nonzero when any
+//! finding survives the waiver comments.
+//!
+//! ```text
+//! cargo run -p bounce-verify --bin detlint
+//! cargo run -p bounce-verify --bin detlint -- crates/sim/src
+//! ```
+
+use bounce_verify::detlint::scan_tree;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let roots = if args.is_empty() {
+        // Default: the crates whose behavior feeds simulation results.
+        let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("verify crate lives under crates/")
+            .to_path_buf();
+        ["sim", "core", "topo"]
+            .iter()
+            .map(|c| ws.join(c).join("src"))
+            .collect()
+    } else {
+        args
+    };
+    match scan_tree(&roots) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "detlint: {} tree(s) clean (no wall-clock, hash-iteration or ambient-RNG use)",
+                roots.len()
+            );
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("detlint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Determinism lint: a lexical scan of simulator sources for
+//! constructs that break run-to-run reproducibility.
+//!
+//! The simulator's contract is that a `(workload, config, seed)` triple
+//! always produces the same report. Three construct families silently
+//! break that:
+//!
+//! * **wall-clock reads** — `std::time::Instant` / `SystemTime` leaking
+//!   into simulated time or seeds;
+//! * **unordered-container iteration** — `HashMap` / `HashSet` visit
+//!   order varies per process (`RandomState`), so any fold over it that
+//!   reaches simulation state or output is nondeterministic;
+//! * **ambient RNG** — `thread_rng()` draws from OS entropy instead of
+//!   the run's seed.
+//!
+//! The issue brief suggested a `syn`-based pass, but `syn` is not among
+//! the vendored dependencies and this environment cannot add crates, so
+//! the scanner is *lexical*: it strips comments, string literals and
+//! char literals (so prose and test fixtures can mention the banned
+//! names), then matches identifier tokens at word boundaries. For
+//! hash-container *iteration* — construction and keyed access are fine
+//! and used deliberately (e.g. the directory's line-intern table) — it
+//! tracks which local names are bound to `HashMap`/`HashSet` values and
+//! flags iteration-shaped uses of those names plus direct
+//! `.iter()`/`.keys()`/… chained on constructor calls.
+//!
+//! A deliberate use is waived by putting `detlint: allow(<rule>)` in a
+//! comment on the same line, e.g.
+//! `for (k, v) in map.iter() { // detlint: allow(hash-iteration): folded with a commutative op`.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `Instant` / `SystemTime`: wall-clock time in simulator code.
+    WallClock,
+    /// Iterating a `HashMap` / `HashSet` (unordered; order varies per
+    /// process).
+    HashIteration,
+    /// `thread_rng` / `from_entropy`: RNG not derived from the run seed.
+    AmbientRng,
+}
+
+impl Rule {
+    /// The waiver tag accepted in `detlint: allow(<tag>)` comments.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::HashIteration => "hash-iteration",
+            Rule::AmbientRng => "ambient-rng",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One determinism-lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in (as given to the scanner).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving line structure, and collect per-line waiver tags from
+/// `detlint: allow(<tag>)` comments.
+fn strip(source: &str) -> (String, Vec<(usize, String)>) {
+    let b = source.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut waivers = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    // Scan a comment's text for waiver tags before blanking it.
+    let note_waivers = |text: &str, line: usize, waivers: &mut Vec<(usize, String)>| {
+        let mut rest = text;
+        while let Some(p) = rest.find("detlint: allow(") {
+            let after = &rest[p + "detlint: allow(".len()..];
+            if let Some(close) = after.find(')') {
+                waivers.push((line, after[..close].trim().to_string()));
+                rest = &after[close..];
+            } else {
+                break;
+            }
+        }
+    };
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            out.push(b'\n');
+            line += 1;
+            i += 1;
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let end = source[i..].find('\n').map(|p| i + p).unwrap_or(b.len());
+            note_waivers(&source[i..end], line, &mut waivers);
+            out.extend(std::iter::repeat_n(b' ', end - i));
+            i = end;
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            // Block comment; handles nesting like rustc.
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            note_waivers(&source[start..i], start_line, &mut waivers);
+            for &bb in &b[start..i] {
+                out.push(if bb == b'\n' { b'\n' } else { b' ' });
+            }
+        } else if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.extend([b' ', b' ']);
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        } else if c == b'r' && i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') {
+            // Raw string r"..." / r#"..."# (any hash count).
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'"' {
+                j += 1;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let end = b[j..]
+                    .windows(closer.len().max(1))
+                    .position(|w| w == closer.as_slice())
+                    .map(|p| j + p + closer.len())
+                    .unwrap_or(b.len());
+                for &bb in &b[i..end] {
+                    out.push(if bb == b'\n' { b'\n' } else { b' ' });
+                    if bb == b'\n' {
+                        line += 1;
+                    }
+                }
+                i = end;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == b'\''
+            && i + 1 < b.len()
+            && !b[i + 1].is_ascii_alphabetic()
+            && b[i + 1] != b'_'
+        {
+            // Char literal (not a lifetime): '<something>' with escapes.
+            out.push(b' ');
+            i += 1;
+            while i < b.len() && b[i] != b'\'' {
+                if b[i] == b'\\' {
+                    i += 1;
+                }
+                out.push(b' ');
+                i += 1;
+            }
+            if i < b.len() {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if c == b'\'' && i + 2 < b.len() && b[i + 2] == b'\'' {
+            // Single-char literal like 'a'.
+            out.extend([b' ', b' ', b' ']);
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    (
+        String::from_utf8(out).expect("spaces preserve UTF-8"),
+        waivers,
+    )
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// All `(line, start-offset)` word-boundary occurrences of `word` in
+/// the stripped source.
+fn word_hits(stripped: &str, word: &str) -> Vec<(usize, usize)> {
+    let b = stripped.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(p) = stripped[from..].find(word) {
+        let at = from + p;
+        let before_ok = at == 0 || !is_ident_byte(b[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= b.len() || !is_ident_byte(b[end]);
+        if before_ok && after_ok {
+            let line = 1 + stripped[..at].bytes().filter(|&c| c == b'\n').count();
+            hits.push((line, at));
+        }
+        from = at + word.len();
+    }
+    hits
+}
+
+/// Identifier tokens of a stripped line, in order.
+fn idents(line: &str) -> Vec<&str> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if is_ident_byte(b[i]) && !b[i].is_ascii_digit() {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            out.push(&line[start..i]);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Scan one file's source text. `path` is used only for labeling
+/// findings.
+pub fn scan_file(path: &Path, source: &str) -> Vec<Finding> {
+    let (stripped, waivers) = strip(source);
+    let waived = |line: usize, rule: Rule| {
+        waivers
+            .iter()
+            .any(|(l, tag)| *l == line && tag == rule.tag())
+    };
+    let mut findings = Vec::new();
+    let mut push = |line: usize, rule: Rule, message: String| {
+        if !waived(line, rule) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // --- wall-clock and ambient RNG: any mention is a finding ---
+    for name in ["Instant", "SystemTime"] {
+        for (line, _) in word_hits(&stripped, name) {
+            push(
+                line,
+                Rule::WallClock,
+                format!(
+                    "`{name}` in simulator code: simulated time must come from the event clock"
+                ),
+            );
+        }
+    }
+    for name in ["thread_rng", "from_entropy"] {
+        for (line, _) in word_hits(&stripped, name) {
+            push(
+                line,
+                Rule::AmbientRng,
+                format!("`{name}`: randomness must be derived from the run seed"),
+            );
+        }
+    }
+
+    // --- hash-container iteration ---
+    // Pass 1: names bound or typed as HashMap/HashSet anywhere in the
+    // file (let bindings, struct fields, fn params — all look like
+    // `name ... : ... Hash{Map,Set}` or `name = Hash{Map,Set}::new()`
+    // within one logical neighborhood; a name-level over-approximation
+    // is fine at this codebase's size and keeps the scanner simple).
+    let mut hash_names: HashSet<String> = HashSet::new();
+    for l in stripped.lines() {
+        if !(l.contains("HashMap") || l.contains("HashSet")) {
+            continue;
+        }
+        let toks = idents(l);
+        for (i, t) in toks.iter().enumerate() {
+            if (*t == "HashMap" || *t == "HashSet") && i > 0 {
+                // The nearest preceding non-keyword identifier is the
+                // bound/typed name: `let counts: HashMap<..>`,
+                // `counts = HashMap::new()`, `pub index: HashMap<..>`.
+                for cand in toks[..i].iter().rev() {
+                    if ![
+                        "let",
+                        "mut",
+                        "pub",
+                        "crate",
+                        "super",
+                        "self",
+                        "std",
+                        "collections",
+                        "static",
+                        "const",
+                        "ref",
+                        "box",
+                        "dyn",
+                        "in",
+                    ]
+                    .contains(cand)
+                    {
+                        hash_names.insert((*cand).to_string());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: iteration-shaped uses. Direct chains on constructors are
+    // caught textually; name-based uses via the collected set.
+    for (lineno, l) in stripped.lines().enumerate() {
+        let lineno = lineno + 1;
+        let toks = idents(l);
+        for (i, t) in toks.iter().enumerate() {
+            let is_iter_method = ITER_METHODS.contains(t);
+            if is_iter_method && i > 0 {
+                let recv = toks[i - 1];
+                let flagged = recv == "HashMap" || recv == "HashSet" || hash_names.contains(recv);
+                // `for x in map` (no explicit method) is handled below.
+                if flagged && l.contains(&format!(".{t}")) {
+                    push(
+                        lineno,
+                        Rule::HashIteration,
+                        format!(
+                            "iteration over hash container `{recv}.{t}()`: visit order \
+                             is unordered — use a BTree container or sort first"
+                        ),
+                    );
+                }
+            }
+            // `for pat in name` / `for pat in &name`.
+            if *t == "in" && i + 1 < toks.len() && toks[..i].first() == Some(&"for") {
+                let target = toks[i + 1];
+                let has_method = toks
+                    .get(i + 2)
+                    .map(|m| ITER_METHODS.contains(m))
+                    .unwrap_or(false);
+                if hash_names.contains(target) && !has_method {
+                    push(
+                        lineno,
+                        Rule::HashIteration,
+                        format!(
+                            "`for .. in {target}` iterates a hash container: visit order \
+                             is unordered — use a BTree container or sort first"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively scan every `*.rs` file under `roots`, in sorted path
+/// order. I/O errors surface as `Err`.
+pub fn scan_tree(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for root in roots {
+        collect_rs(root, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in files {
+        let source = std::fs::read_to_string(&f)?;
+        findings.extend(scan_file(&f, &source));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        scan_file(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn flags_wall_clock_and_rng() {
+        let f = scan("fn f() { let t = Instant::now(); let r = thread_rng(); }");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, Rule::WallClock);
+        assert_eq!(f[1].rule, Rule::AmbientRng);
+    }
+
+    #[test]
+    fn comments_and_strings_are_ignored() {
+        let f = scan(
+            "// Instant is fine in prose\n\
+             /* SystemTime too */\n\
+             fn f() { let s = \"thread_rng\"; let c = 'I'; }\n\
+             fn g() { let r = r#\"Instant\"#; }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        // `InstantReplay` and `my_thread_rng_helper` are different
+        // identifiers.
+        let f = scan("struct InstantReplay; fn my_thread_rng_helper() {}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_hash_iteration_via_binding() {
+        let src = "\
+            use std::collections::HashMap;\n\
+            fn f() {\n\
+                let mut counts: HashMap<u32, u32> = HashMap::new();\n\
+                for (k, v) in counts.iter() { }\n\
+            }\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HashIteration);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn flags_bare_for_loop_over_hash_binding() {
+        let src = "\
+            fn f() {\n\
+                let seen = std::collections::HashSet::new();\n\
+                for x in &seen { }\n\
+            }\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HashIteration);
+    }
+
+    #[test]
+    fn keyed_access_is_fine() {
+        let src = "\
+            fn f() {\n\
+                let mut m = std::collections::HashMap::new();\n\
+                m.insert(1, 2);\n\
+                let v = m.get(&1);\n\
+                let n = m.len();\n\
+            }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_suppresses() {
+        let src = "\
+            fn f() {\n\
+                let m = std::collections::HashMap::new();\n\
+                for k in m.keys() { } // detlint: allow(hash-iteration): summed commutatively\n\
+                let t = Instant::now(); // detlint: allow(wall-clock)\n\
+            }\n";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn waiver_only_matches_its_rule() {
+        let src = "let t = Instant::now(); // detlint: allow(hash-iteration)\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn btree_iteration_is_fine() {
+        let src = "\
+            fn f() {\n\
+                let m = std::collections::BTreeMap::new();\n\
+                for (k, v) in m.iter() { }\n\
+            }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn simulator_sources_are_clean() {
+        // The real gate lives in the `detlint` binary and CI; this test
+        // keeps the guarantee local to `cargo test`.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let roots: Vec<PathBuf> = ["sim", "core", "topo"]
+            .iter()
+            .map(|c| here.parent().unwrap().join(c).join("src"))
+            .collect();
+        let findings = scan_tree(&roots).expect("scan simulator sources");
+        assert!(
+            findings.is_empty(),
+            "determinism lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| format!("  {f}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

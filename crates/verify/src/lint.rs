@@ -1,0 +1,96 @@
+//! Workload-IR lint driver: compile workloads to per-thread programs
+//! and run the [`bounce_sim::analyze`] control-flow / dataflow pass
+//! over each compilation.
+//!
+//! The engine itself refuses malformed workloads at `run` time; this
+//! driver is the *offline* version (`repro lint`), so a broken builder
+//! or experiment spec is caught in CI rather than at the first sweep
+//! that happens to exercise it.
+
+use bounce_sim::analyze::{analyze_workload, Diagnostic};
+use bounce_sim::Program;
+use bounce_workloads::Workload;
+use std::fmt;
+
+/// Thread counts a workload is compiled at for linting. Chosen to cover
+/// the degenerate single-thread case, the smallest contended case, and
+/// a count larger than any builder's special-cased role split (writers
+/// vs. readers, threads vs. lines).
+pub const LINT_THREAD_COUNTS: [usize; 3] = [1, 2, 16];
+
+/// Lint outcome of one workload: the diagnostics of every (thread
+/// count, thread) compilation, empty when clean.
+#[derive(Debug, Clone)]
+pub struct WorkloadLint {
+    /// The workload's display label.
+    pub label: String,
+    /// `(thread count, diagnostic)` pairs; empty for a clean workload.
+    pub diagnostics: Vec<(usize, Diagnostic)>,
+}
+
+impl WorkloadLint {
+    /// Whether the workload passed at every compiled thread count.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for WorkloadLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "{}: ok", self.label)
+        } else {
+            writeln!(f, "{}: {} finding(s)", self.label, self.diagnostics.len())?;
+            for (n, d) in &self.diagnostics {
+                writeln!(f, "  [n={n}] {d}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Lint one workload at every count in [`LINT_THREAD_COUNTS`].
+pub fn lint_workload(w: &Workload) -> WorkloadLint {
+    let mut diagnostics = Vec::new();
+    for &n in &LINT_THREAD_COUNTS {
+        let programs = w.sim_programs(n);
+        let refs: Vec<&Program> = programs.iter().collect();
+        for d in analyze_workload(&refs) {
+            diagnostics.push((n, d));
+        }
+    }
+    WorkloadLint {
+        label: w.label(),
+        diagnostics,
+    }
+}
+
+/// Lint a batch of workloads; returns every outcome (clean ones
+/// included, so callers can report coverage).
+pub fn lint_workloads<'a, I>(workloads: I) -> Vec<WorkloadLint>
+where
+    I: IntoIterator<Item = &'a Workload>,
+{
+    workloads.into_iter().map(lint_workload).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bounce_atomics::Primitive;
+
+    #[test]
+    fn standard_battery_is_clean() {
+        for lint in lint_workloads(&Workload::standard_battery()) {
+            assert!(lint.is_clean(), "{lint}");
+        }
+    }
+
+    #[test]
+    fn clean_workload_displays_ok() {
+        let lint = lint_workload(&Workload::HighContention {
+            prim: Primitive::Faa,
+        });
+        assert_eq!(format!("{lint}"), "hc-faa: ok");
+    }
+}
