@@ -1,0 +1,188 @@
+//! `BENCH_repro.json`: the repro campaign's wall-clock record.
+//!
+//! The file lives at the repo root and holds one entry per run-length
+//! mode, so the adaptive speedup is always read against the exact
+//! (fixed full-budget) baseline of the same machine:
+//!
+//! ```json
+//! {
+//!   "exact": { "command": "...", "wall_seconds": 1.62, ... },
+//!   "adaptive": { "command": "...", "wall_seconds": 0.58, ... }
+//! }
+//! ```
+//!
+//! A `--timings` run rewrites only its own mode's entry and preserves
+//! the other, so alternating `--exact` and default runs converge to a
+//! complete file. The merge is hand-rolled (the workspace carries no
+//! JSON parser dependency): a balanced-brace scan that is tolerant of
+//! unknown keys and whitespace.
+
+/// One campaign's timing record (one run-length mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// The command line that produced the entry.
+    pub command: String,
+    /// Worker thread count.
+    pub jobs: usize,
+    /// End-to-end campaign wall-clock, seconds.
+    pub wall_seconds: f64,
+    /// Total simulator events processed.
+    pub simulated_events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Number of experiments in the campaign.
+    pub experiments: usize,
+    /// Number of engine runs (simulation points).
+    pub runs: u64,
+    /// How many runs terminated early on convergence.
+    pub early_stop_runs: u64,
+    /// Total cycles actually simulated.
+    pub cycles_simulated: u64,
+    /// Total cycles budgeted (what fixed mode would have simulated).
+    pub cycles_budgeted: u64,
+}
+
+impl BenchEntry {
+    /// Render as a JSON object indented for nesting one level deep.
+    pub fn to_json(&self) -> String {
+        let saved_pct = if self.cycles_budgeted == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.cycles_simulated as f64 / self.cycles_budgeted as f64)
+        };
+        format!(
+            "{{\n    \"command\": \"{}\",\n    \"jobs\": {},\n    \"wall_seconds\": {:.3},\n    \"simulated_events\": {},\n    \"events_per_sec\": {:.0},\n    \"experiments\": {},\n    \"runs\": {},\n    \"early_stop_runs\": {},\n    \"cycles_simulated\": {},\n    \"cycles_budgeted\": {},\n    \"cycles_saved_pct\": {:.1}\n  }}",
+            self.command,
+            self.jobs,
+            self.wall_seconds,
+            self.simulated_events,
+            self.events_per_sec,
+            self.experiments,
+            self.runs,
+            self.early_stop_runs,
+            self.cycles_simulated,
+            self.cycles_budgeted,
+            saved_pct
+        )
+    }
+}
+
+/// Extract the balanced `{...}` object bound to top-level `key`, if any.
+/// String-aware: braces inside quoted strings don't count.
+fn extract_object(src: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = src.find(&needle)?;
+    let rest = &src[at + needle.len()..];
+    let open = rest.find('{')?;
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if b == b'\\' {
+                escape = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Merge `entry` into an existing `BENCH_repro.json` body under `mode`
+/// (`"exact"` or `"adaptive"`), preserving the other mode's entry.
+/// Renders `exact` first for a stable field order.
+pub fn merge_bench_json(existing: Option<&str>, mode: &str, entry: &BenchEntry) -> String {
+    let rendered = entry.to_json();
+    let pick = |m: &str| -> Option<String> {
+        if m == mode {
+            Some(rendered.clone())
+        } else {
+            existing.and_then(|s| extract_object(s, m))
+        }
+    };
+    let mut parts = Vec::new();
+    for m in ["exact", "adaptive"] {
+        if let Some(obj) = pick(m) {
+            parts.push(format!("  \"{m}\": {obj}"));
+        }
+    }
+    format!("{{\n{}\n}}\n", parts.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(wall: f64) -> BenchEntry {
+        BenchEntry {
+            command: "repro all --quick".into(),
+            jobs: 1,
+            wall_seconds: wall,
+            simulated_events: 1000,
+            events_per_sec: 1000.0 / wall,
+            experiments: 40,
+            runs: 10,
+            early_stop_runs: 4,
+            cycles_simulated: 600,
+            cycles_budgeted: 1000,
+        }
+    }
+
+    #[test]
+    fn first_write_has_only_its_mode() {
+        let s = merge_bench_json(None, "adaptive", &entry(0.5));
+        assert!(s.contains("\"adaptive\""));
+        assert!(!s.contains("\"exact\""));
+        assert!(s.contains("\"cycles_saved_pct\": 40.0"));
+    }
+
+    #[test]
+    fn merge_preserves_the_other_mode() {
+        let first = merge_bench_json(None, "exact", &entry(1.0));
+        let both = merge_bench_json(Some(&first), "adaptive", &entry(0.4));
+        assert!(both.contains("\"exact\""), "{both}");
+        assert!(both.contains("\"adaptive\""), "{both}");
+        // Exact renders first regardless of write order.
+        assert!(both.find("\"exact\"").unwrap() < both.find("\"adaptive\"").unwrap());
+        // And the exact entry's numbers survived the merge.
+        assert!(both.contains("\"wall_seconds\": 1.000"), "{both}");
+        assert!(both.contains("\"wall_seconds\": 0.400"), "{both}");
+    }
+
+    #[test]
+    fn rewriting_a_mode_replaces_it() {
+        let a = merge_bench_json(None, "adaptive", &entry(0.5));
+        let b = merge_bench_json(Some(&a), "adaptive", &entry(0.25));
+        assert!(b.contains("\"wall_seconds\": 0.250"));
+        assert!(!b.contains("\"wall_seconds\": 0.500"));
+    }
+
+    #[test]
+    fn extract_ignores_braces_in_strings() {
+        let src = r#"{ "exact": { "command": "weird {brace}", "jobs": 1 } }"#;
+        let obj = extract_object(src, "exact").unwrap();
+        assert!(obj.contains("weird {brace}"));
+        assert!(obj.ends_with('}'));
+    }
+
+    #[test]
+    fn extract_missing_key_is_none() {
+        assert!(extract_object("{}", "adaptive").is_none());
+    }
+}

@@ -19,8 +19,19 @@
 //! threads (default: all cores; `--jobs 1` is the serial baseline).
 //! Results are collected in sweep order, so the output is byte-identical
 //! at every job count. `repro all --timings` also writes
-//! `BENCH_repro.json` with the wall-clock, total simulated events and
-//! events/sec for the run.
+//! `BENCH_repro.json` (in the invocation directory) with the
+//! wall-clock, total simulated events and events/sec for the run, keyed
+//! by run-length mode.
+//!
+//! # Run length
+//!
+//! By default every simulation point uses *adaptive* run length: the
+//! engine terminates early once the batch-means CI of throughput
+//! converges (see DESIGN.md "Run-length control"), typically cutting
+//! campaign wall-clock by well over 2×. `--exact` restores fixed
+//! full-budget runs whose output is byte-identical to the historical
+//! campaign. The two modes produce slightly different numbers, so the
+//! output manifest records the mode and `--resume` refuses to mix them.
 //!
 //! # Resilience
 //!
@@ -48,6 +59,7 @@ struct Args {
     command: String,
     machine: Option<Machine>,
     quick: bool,
+    exact: bool,
     markdown: bool,
     plots: bool,
     timings: bool,
@@ -75,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         command: "all".into(),
         machine: None,
         quick: false,
+        exact: false,
         markdown: false,
         plots: false,
         timings: false,
@@ -92,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--exact" => args.exact = true,
             "--markdown" => args.markdown = true,
             "--plots" => args.plots = true,
             "--timings" => args.timings = true,
@@ -283,10 +297,11 @@ fn run_all(args: &Args, ctx: ExpCtx) -> ExitCode {
     // The manifest records the campaign configuration; resuming under a
     // different one would mix incompatible outputs in one directory.
     let config = format!(
-        "quick={},protocol={},plots={}",
+        "quick={},protocol={},plots={},mode={}",
         args.quick,
         args.protocol.map(|p| p.label()).unwrap_or("native"),
-        args.plots
+        args.plots,
+        if args.exact { "exact" } else { "adaptive" }
     );
     let manifest: Option<Mutex<Manifest>> = match &args.out {
         None => None,
@@ -358,6 +373,8 @@ fn run_all(args: &Args, ctx: ExpCtx) -> ExitCode {
     let wall = t0.elapsed();
     let events = bounce_sim::counters::total_events();
 
+    let tally = bounce_sim::counters::run_tally();
+
     if args.timings {
         eprintln!("--- timings ({} jobs) ---", bounce_harness::jobs());
         for ((id, _), (outcome, d)) in specs.iter().zip(&outcomes) {
@@ -372,25 +389,46 @@ fn run_all(args: &Args, ctx: ExpCtx) -> ExitCode {
             events,
             events as f64 / wall.as_secs_f64() / 1e6
         );
-        let bench_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
-        let bench_path = bench_dir.join("BENCH_repro.json");
-        let json = format!(
-            "{{\n  \"command\": \"repro all{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.3},\n  \"simulated_events\": {},\n  \"events_per_sec\": {:.0},\n  \"experiments\": {}\n}}\n",
-            if args.quick { " --quick" } else { "" },
-            bounce_harness::jobs(),
-            wall.as_secs_f64(),
-            events,
-            events as f64 / wall.as_secs_f64(),
-            specs.len()
+        eprintln!(
+            "run length ({}): {} of {} points stopped early; \
+             {} of {} Mcycles simulated ({:.1}% saved, \
+             mean {:.0} kcycles/point)",
+            if args.exact { "exact" } else { "adaptive" },
+            tally.early,
+            tally.runs,
+            tally.cycles_simulated / 1_000_000,
+            tally.cycles_budgeted / 1_000_000,
+            100.0 * tally.saved_fraction(),
+            tally.cycles_simulated as f64 / tally.runs.max(1) as f64 / 1e3
         );
-        if let Err(e) = std::fs::create_dir_all(&bench_dir)
-            .map_err(|e| format!("creating {}: {e}", bench_dir.display()))
-            .and_then(|()| {
-                std::fs::write(&bench_path, json)
-                    .map_err(|e| format!("writing {}: {e}", bench_path.display()))
-            })
-        {
-            eprintln!("error: {e}");
+        // BENCH_repro.json lives in the invocation directory (the repo
+        // root under `just repro-quick`), keyed by run-length mode so
+        // the adaptive entry is always read next to its exact baseline.
+        let bench_path = PathBuf::from("BENCH_repro.json");
+        let entry = bounce_bench::bench_json::BenchEntry {
+            command: format!(
+                "repro all{}{}",
+                if args.quick { " --quick" } else { "" },
+                if args.exact { " --exact" } else { "" }
+            ),
+            jobs: bounce_harness::jobs(),
+            wall_seconds: wall.as_secs_f64(),
+            simulated_events: events,
+            events_per_sec: events as f64 / wall.as_secs_f64(),
+            experiments: specs.len(),
+            runs: tally.runs,
+            early_stop_runs: tally.early,
+            cycles_simulated: tally.cycles_simulated,
+            cycles_budgeted: tally.cycles_budgeted,
+        };
+        let existing = std::fs::read_to_string(&bench_path).ok();
+        let merged = bounce_bench::bench_json::merge_bench_json(
+            existing.as_deref(),
+            if args.exact { "exact" } else { "adaptive" },
+            &entry,
+        );
+        if let Err(e) = std::fs::write(&bench_path, merged) {
+            eprintln!("error: writing {}: {e}", bench_path.display());
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", bench_path.display());
@@ -474,11 +512,12 @@ fn main() -> ExitCode {
     if let Some(p) = args.protocol {
         ctx = ctx.with_protocol(p);
     }
+    ctx = ctx.with_exact(args.exact);
     bounce_harness::set_jobs(args.jobs);
     match args.command.as_str() {
         "help" => {
             eprintln!(
-                "usage: repro [predict|fit|validate|topo|list|lint|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
+                "usage: repro [predict|fit|validate|topo|list|lint|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--exact] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
                 EXPERIMENT_IDS.join("|"),
                 protocol_names().replace(", ", "|")
             );

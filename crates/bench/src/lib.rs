@@ -4,6 +4,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod manifest;
 
 use bounce_harness::report::Table;

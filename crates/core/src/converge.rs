@@ -1,0 +1,228 @@
+//! Batch-means convergence detection for steady-state simulations.
+//!
+//! The engine's adaptive run-length controller (see
+//! `bounce-sim`'s `RunLength::Adaptive`) feeds one sample per batch —
+//! e.g. ops retired in each fixed-length slice of simulated time — into
+//! a [`BatchMeans`] accumulator and stops the run once the relative
+//! confidence-interval half-width of the batch mean drops below a
+//! target. The warmup transient is removed with MSER-style truncation
+//! (White's Marginal Standard Error Rule): pick the truncation point
+//! that minimises the marginal standard error of the remaining series,
+//! so a slow-starting run discards exactly as many leading batches as
+//! its own data says are unrepresentative.
+//!
+//! Everything here is plain deterministic arithmetic on the sample
+//! vector; the same series always yields the same decision, which is
+//! what lets adaptive runs stay byte-identical at any `--jobs N`.
+
+/// z-value of the normal 97.5th percentile: a ~95% two-sided CI.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Verdict of one convergence check over the batches seen so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Whether the series has converged to the requested precision.
+    pub converged: bool,
+    /// Batches discarded from the front by MSER truncation.
+    pub truncated: usize,
+    /// Batches retained after truncation.
+    pub used: usize,
+    /// Mean of the retained batches.
+    pub mean: f64,
+    /// Relative 95% CI half-width of the retained mean
+    /// (`z·s/(√n·mean)`); `f64::INFINITY` when undefined (fewer than
+    /// two retained batches, or zero mean).
+    pub rel_half_width: f64,
+}
+
+/// A batch-means series: one sample per completed batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchMeans {
+    samples: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one batch sample.
+    pub fn push(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    /// Batches recorded so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no batches have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// MSER truncation point: the prefix length `d` minimising the
+    /// marginal standard error `Σ(x_i − x̄_d)² / (n−d)²` of the
+    /// retained suffix, searched over `d ≤ n/2` (the customary bound —
+    /// never throw away more than half the data). Ties resolve to the
+    /// smallest `d`.
+    pub fn mser_truncation(&self) -> usize {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0;
+        }
+        let mut best = (f64::INFINITY, 0usize);
+        for d in 0..=(n / 2) {
+            let tail = &self.samples[d..];
+            let m = tail.len() as f64;
+            let mean = tail.iter().sum::<f64>() / m;
+            let ss: f64 = tail.iter().map(|x| (x - mean) * (x - mean)).sum();
+            let mser = ss / (m * m);
+            if mser < best.0 {
+                best = (mser, d);
+            }
+        }
+        best.1
+    }
+
+    /// Check convergence: MSER-truncate, then require at least
+    /// `min_batches` retained batches whose relative 95% CI half-width
+    /// is at most `rel_ci`. A zero or negative mean never converges
+    /// (precision relative to nothing is meaningless).
+    pub fn decide(&self, rel_ci: f64, min_batches: usize) -> Decision {
+        let truncated = self.mser_truncation();
+        let tail = &self.samples[truncated..];
+        let used = tail.len();
+        let mut d = Decision {
+            converged: false,
+            truncated,
+            used,
+            mean: 0.0,
+            rel_half_width: f64::INFINITY,
+        };
+        if used < 2 {
+            return d;
+        }
+        let n = used as f64;
+        let mean = tail.iter().sum::<f64>() / n;
+        d.mean = mean;
+        if mean <= 0.0 {
+            return d;
+        }
+        let ss: f64 = tail.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let var = ss / (n - 1.0);
+        let half = Z_95 * (var / n).sqrt();
+        d.rel_half_width = half / mean;
+        d.converged = used >= min_batches.max(2) && d.rel_half_width <= rel_ci;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_never_converge() {
+        let mut b = BatchMeans::new();
+        assert!(b.is_empty());
+        assert!(!b.decide(0.5, 1).converged);
+        b.push(10.0);
+        let d = b.decide(0.5, 1);
+        assert!(!d.converged);
+        assert!(d.rel_half_width.is_infinite());
+    }
+
+    #[test]
+    fn constant_series_converges_immediately() {
+        let mut b = BatchMeans::new();
+        for _ in 0..4 {
+            b.push(100.0);
+        }
+        let d = b.decide(0.01, 4);
+        assert!(d.converged, "{d:?}");
+        assert_eq!(d.truncated, 0);
+        assert_eq!(d.used, 4);
+        assert!((d.mean - 100.0).abs() < 1e-12);
+        assert_eq!(d.rel_half_width, 0.0);
+    }
+
+    #[test]
+    fn min_batches_gates_convergence() {
+        let mut b = BatchMeans::new();
+        for _ in 0..4 {
+            b.push(100.0);
+        }
+        assert!(!b.decide(0.01, 8).converged, "only 4 of 8 batches");
+        for _ in 0..4 {
+            b.push(100.0);
+        }
+        assert!(b.decide(0.01, 8).converged);
+    }
+
+    #[test]
+    fn noisy_series_needs_looser_target() {
+        let mut b = BatchMeans::new();
+        // Deterministic ±10% alternation around 100.
+        for i in 0..16 {
+            b.push(if i % 2 == 0 { 90.0 } else { 110.0 });
+        }
+        let strict = b.decide(0.001, 4);
+        assert!(!strict.converged);
+        let loose = b.decide(0.2, 4);
+        assert!(loose.converged, "{loose:?}");
+        assert!(loose.rel_half_width > strict.rel_half_width * 0.99);
+    }
+
+    #[test]
+    fn mser_discards_warmup_transient() {
+        let mut b = BatchMeans::new();
+        // A cold start (two tiny batches) followed by steady state.
+        for x in [1.0, 2.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0] {
+            b.push(x);
+        }
+        let d = b.mser_truncation();
+        assert_eq!(d, 2, "the two transient batches go");
+        let dec = b.decide(0.05, 4);
+        assert!(dec.converged, "{dec:?}");
+        assert!((dec.mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mser_never_discards_more_than_half() {
+        let mut b = BatchMeans::new();
+        for x in [1.0, 2.0, 3.0, 100.0] {
+            b.push(x);
+        }
+        assert!(b.mser_truncation() <= 2);
+    }
+
+    #[test]
+    fn zero_mean_never_converges() {
+        let mut b = BatchMeans::new();
+        for _ in 0..8 {
+            b.push(0.0);
+        }
+        let d = b.decide(0.5, 2);
+        assert!(!d.converged);
+        assert!(d.rel_half_width.is_infinite());
+    }
+
+    #[test]
+    fn decision_is_deterministic() {
+        let mut a = BatchMeans::new();
+        let mut b = BatchMeans::new();
+        for i in 0..12 {
+            let x = 50.0 + (i % 3) as f64;
+            a.push(x);
+            b.push(x);
+        }
+        assert_eq!(a.decide(0.03, 6), b.decide(0.03, 6));
+    }
+}

@@ -37,10 +37,14 @@
 //! * [`validate`] — prediction-vs-measurement error metrics (MAPE);
 //! * [`sensitivity`] — parameter elasticities (how robust the
 //!   predictions are to errors in Θ);
-//! * [`stats`] — the small statistics toolbox used throughout.
+//! * [`stats`] — the small statistics toolbox used throughout;
+//! * [`converge`] — batch-means convergence detection (MSER warmup
+//!   truncation + CI half-width), driving the simulator's adaptive
+//!   run-length control.
 
 #![warn(missing_docs)]
 
+pub mod converge;
 pub mod fairness;
 pub mod fit;
 pub mod mixture;

@@ -153,6 +153,10 @@ pub struct ExpCtx {
     /// each machine's native one (`None` = native; this is what
     /// `repro --protocol` sets).
     pub protocol: Option<CoherenceKind>,
+    /// Fixed full-budget run lengths everywhere (`repro --exact`):
+    /// byte-identical to the historical output. The default is adaptive
+    /// run lengths — early termination on batch-means convergence.
+    pub exact: bool,
 }
 
 impl ExpCtx {
@@ -161,6 +165,7 @@ impl ExpCtx {
         ExpCtx {
             quick: false,
             protocol: None,
+            exact: false,
         }
     }
 
@@ -169,12 +174,19 @@ impl ExpCtx {
         ExpCtx {
             quick: true,
             protocol: None,
+            exact: false,
         }
     }
 
     /// Override the coherence protocol for every run in this context.
     pub fn with_protocol(mut self, protocol: CoherenceKind) -> Self {
         self.protocol = Some(protocol);
+        self
+    }
+
+    /// Force fixed full-budget run lengths (the `--exact` mode).
+    pub fn with_exact(mut self, exact: bool) -> Self {
+        self.exact = exact;
         self
     }
 
@@ -189,6 +201,9 @@ impl ExpCtx {
         // a pinned home slice (the paper's NUMA-node-0 allocation).
         cfg.params.arbitration = ArbitrationPolicy::Fifo;
         cfg.params.home_policy = bounce_sim::HomePolicy::Fixed(0);
+        if !self.exact {
+            cfg.params.run_length = bounce_sim::RunLength::adaptive();
+        }
         if let Some(p) = self.protocol {
             cfg.params.protocol = p;
         }
@@ -1292,6 +1307,11 @@ pub fn fault_injection(ctx: ExpCtx, machine: Machine) -> ExpResult {
         };
         let mut cfg = ctx.run_cfg(machine, &topo).with_faults(faults);
         cfg.params.arbitration = ArbitrationPolicy::Random;
+        // Preemption transients are the point of this experiment — the
+        // run is deliberately non-steady-state, so adaptive run-length
+        // convergence would cut it short mid-transient. Always run the
+        // full fixed budget here.
+        cfg.params.run_length = bounce_sim::RunLength::default();
         let faa = measure(
             &topo,
             &Workload::HighContention {

@@ -1,7 +1,7 @@
 //! The simulator backend: workload → engine → [`Measurement`].
 
 use crate::measurement::{Backend, Measurement};
-use bounce_sim::{Engine, FaultConfig, SimConfig, SimError, SimParams};
+use bounce_sim::{Engine, FaultConfig, RunLength, SimConfig, SimError, SimParams};
 use bounce_topo::{HwThreadId, MachineTopology, Placement};
 use bounce_workloads::Workload;
 
@@ -52,6 +52,14 @@ impl SimRunConfig {
     /// else runs fault-free).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.params.faults = faults;
+        self
+    }
+
+    /// Override the run-length policy (`Fixed` replays the historical
+    /// full-budget behaviour; `Adaptive` terminates early on batch-means
+    /// convergence).
+    pub fn with_run_length(mut self, run_length: RunLength) -> Self {
+        self.params.run_length = run_length;
         self
     }
 }
@@ -158,6 +166,10 @@ pub struct SeededSummary {
 }
 
 /// Run `workload` once per seed and summarise throughput stability.
+///
+/// # Panics
+/// Panics if any seeded run trips the forward-progress watchdog; use
+/// [`try_sim_measure_seeds`] for the non-panicking form.
 pub fn sim_measure_seeds(
     topo: &MachineTopology,
     workload: &Workload,
@@ -165,20 +177,35 @@ pub fn sim_measure_seeds(
     cfg: &SimRunConfig,
     seeds: &[u64],
 ) -> SeededSummary {
+    try_sim_measure_seeds(topo, workload, n, cfg, seeds)
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// Like [`sim_measure_seeds`] but surfacing the first failing seed's
+/// [`SimError`] instead of panicking mid-sweep.
+pub fn try_sim_measure_seeds(
+    topo: &MachineTopology,
+    workload: &Workload,
+    n: usize,
+    cfg: &SimRunConfig,
+    seeds: &[u64],
+) -> Result<SeededSummary, SimError> {
     assert!(!seeds.is_empty(), "need at least one seed");
     let runs: Vec<Measurement> = crate::parallel::par_map(seeds, |&seed| {
         let mut c = cfg.clone();
         c.params.seed = seed;
-        sim_measure(topo, workload, n, &c)
-    });
+        try_sim_measure(topo, workload, n, &c)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let xs: Vec<f64> = runs.iter().map(|m| m.throughput_ops_per_sec).collect();
     let js: Vec<f64> = runs.iter().map(|m| m.jain).collect();
-    SeededSummary {
+    Ok(SeededSummary {
         mean_throughput: bounce_core::stats::mean(&xs),
         throughput_cv: bounce_core::stats::cv(&xs),
         mean_jain: bounce_core::stats::mean(&js),
         runs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -259,6 +286,41 @@ mod tests {
         // Random winner selection barely moves total throughput.
         assert!(s.throughput_cv < 0.1, "cv {:.3}", s.throughput_cv);
         assert!(s.mean_jain > 0.9);
+    }
+
+    #[test]
+    fn adaptive_run_length_still_measures() {
+        let topo = presets::tiny_test_machine();
+        let cfg = SimRunConfig::for_machine(&topo)
+            .quick()
+            .with_run_length(RunLength::adaptive());
+        let m = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            4,
+            &cfg,
+        );
+        assert!(m.throughput_ops_per_sec > 0.0);
+        assert!(m.mean_latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn try_seeded_runs_return_ok() {
+        let topo = presets::tiny_test_machine();
+        let cfg = SimRunConfig::for_machine(&topo).quick();
+        let s = try_sim_measure_seeds(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            2,
+            &cfg,
+            &[1, 2],
+        )
+        .expect("healthy config must not error");
+        assert_eq!(s.runs.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Golden-output regression test for `--exact` mode: the fixed
+//! full-budget run must keep producing byte-identical experiment TSVs
+//! across refactors of the engine internals (event queue, run-length
+//! plumbing). The fixtures under `tests/golden/` were captured from the
+//! pre-calendar-queue BinaryHeap engine, so any drift here means the
+//! scheduler swap changed simulation semantics.
+//!
+//! To re-bless after an *intentional* semantic change:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p bounce-harness --test exact_golden
+//! ```
+
+use bounce_harness::experiments::{self, ExpCtx, Machine};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn check_golden(name: &str, tsv: &str) {
+    let path = golden_dir().join(format!("{name}.tsv"));
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, tsv).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); bless it first", path.display()));
+    assert!(
+        tsv == want,
+        "{name}: --exact output drifted from the golden fixture.\n\
+         If the change is intentional, re-bless with BLESS_GOLDEN=1.\n\
+         --- got ---\n{tsv}\n--- want ---\n{want}"
+    );
+}
+
+#[test]
+fn exact_fig1_e5_matches_golden() {
+    let ctx = ExpCtx::quick().with_exact(true);
+    let t = experiments::fig1(ctx, Machine::E5).expect("fig1 must run");
+    check_golden("fig1-e5", &t.to_tsv());
+}
+
+#[test]
+fn exact_fig4_e5_matches_golden() {
+    let ctx = ExpCtx::quick().with_exact(true);
+    let t = experiments::fig4(ctx, Machine::E5).expect("fig4 must run");
+    check_golden("fig4-e5", &t.to_tsv());
+}

@@ -43,6 +43,115 @@ impl ArbitrationPolicy {
     }
 }
 
+/// Run-length control: how long one simulation runs.
+///
+/// `Fixed` is the historical behaviour — simulate the full cycle budget
+/// regardless of how quickly the statistics settle — and remains the
+/// default (it is what `repro --exact` and every byte-identity test
+/// rely on). `Adaptive` terminates the run early once the throughput
+/// batch-means series has provably converged: batches of
+/// `budget / BATCHES_PER_BUDGET` cycles are collected after warmup,
+/// MSER-truncated, and the run stops at the first batch boundary where
+/// the relative 95% CI half-width of the batch mean drops to
+/// `rel_ci` (see [`bounce_core::converge`]). The decision is a pure
+/// function of the (deterministic) event stream, so adaptive runs are
+/// just as reproducible as fixed ones — they simply end sooner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RunLength {
+    /// Simulate a fixed cycle budget. `cycles = 0` (the default) means
+    /// "use [`SimConfig::duration_cycles`]"; non-zero overrides it.
+    Fixed {
+        /// Cycle budget; 0 = use the config's duration.
+        cycles: u64,
+    },
+    /// Terminate early once throughput batch-means converge; never run
+    /// past `max_cycles`.
+    Adaptive {
+        /// Target relative 95% CI half-width of throughput (e.g. 0.05
+        /// = ±5%).
+        rel_ci: f64,
+        /// Minimum retained (post-truncation) batches before a run may
+        /// stop.
+        min_batches: u32,
+        /// Hard cycle ceiling; 0 = use [`SimConfig::duration_cycles`].
+        max_cycles: u64,
+    },
+}
+
+impl Default for RunLength {
+    fn default() -> Self {
+        RunLength::Fixed { cycles: 0 }
+    }
+}
+
+impl RunLength {
+    /// Batches per full cycle budget: batch length is
+    /// `budget / BATCHES_PER_BUDGET`, so a run that converges at the
+    /// default `min_batches` of [`RunLength::adaptive`] simulates
+    /// roughly `(2 + 8) / 64` ≈ 16% of its budget.
+    pub const BATCHES_PER_BUDGET: u64 = 64;
+
+    /// The adaptive preset used by sweeps and the repro campaign:
+    /// ±5% throughput CI, at least 8 retained batches, ceiling at the
+    /// config's duration.
+    pub fn adaptive() -> Self {
+        RunLength::Adaptive {
+            rel_ci: 0.05,
+            min_batches: 8,
+            max_cycles: 0,
+        }
+    }
+
+    /// Whether this is the adaptive mode.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, RunLength::Adaptive { .. })
+    }
+
+    /// Short label for manifests and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunLength::Fixed { .. } => "exact",
+            RunLength::Adaptive { .. } => "adaptive",
+        }
+    }
+
+    /// The cycle budget of a run, resolving 0 to the config's duration.
+    pub fn budget_cycles(&self, cfg_duration: u64) -> u64 {
+        let explicit = match self {
+            RunLength::Fixed { cycles } => *cycles,
+            RunLength::Adaptive { max_cycles, .. } => *max_cycles,
+        };
+        if explicit > 0 {
+            explicit
+        } else {
+            cfg_duration
+        }
+    }
+
+    /// Adaptive batch length for a budget (at least 1 cycle).
+    pub fn batch_cycles(budget: u64) -> u64 {
+        (budget / Self::BATCHES_PER_BUDGET).max(1)
+    }
+
+    /// Sanity-check the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if let RunLength::Adaptive {
+            rel_ci,
+            min_batches,
+            ..
+        } = self
+        {
+            if !rel_ci.is_finite() || *rel_ci <= 0.0 {
+                return Err(format!("adaptive rel_ci {rel_ci} must be finite and > 0"));
+            }
+            if *min_batches < 2 {
+                return Err("adaptive min_batches must be >= 2".into());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// How a line's home directory slice is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HomePolicy {
@@ -160,6 +269,9 @@ pub struct SimParams {
     /// Fault injection (preemption windows, frequency jitter). The
     /// default injects nothing and leaves all outputs bit-identical.
     pub faults: FaultConfig,
+    /// Run-length control: fixed budget (default, byte-identical
+    /// outputs) or adaptive early termination on converged throughput.
+    pub run_length: RunLength,
 }
 
 impl SimParams {
@@ -187,6 +299,7 @@ impl SimParams {
             energy: EnergyParams::e5(),
             seed: 0x1CC9_2019,
             faults: FaultConfig::default(),
+            run_length: RunLength::default(),
         }
     }
 
@@ -215,6 +328,7 @@ impl SimParams {
             energy: EnergyParams::knl(),
             seed: 0x1CC9_2019,
             faults: FaultConfig::default(),
+            run_length: RunLength::default(),
         }
     }
 
@@ -255,6 +369,7 @@ impl SimParams {
             return Err("negative static power".into());
         }
         self.faults.validate()?;
+        self.run_length.validate()?;
         Ok(())
     }
 }
@@ -343,12 +458,22 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// A config with the given parameters and a `duration` measurement
-    /// window preceded by 10% warmup.
+    /// window. Fixed run length keeps the historical 10% warmup;
+    /// adaptive run length uses two batch lengths of warmup (the MSER
+    /// truncation in [`bounce_core::converge`] absorbs any remaining
+    /// transient), so early termination is not defeated by a warmup
+    /// proportional to the full budget.
     pub fn new(params: SimParams, duration_cycles: u64) -> Self {
+        let budget = params.run_length.budget_cycles(duration_cycles);
+        let warmup_cycles = if params.run_length.is_adaptive() {
+            2 * RunLength::batch_cycles(budget)
+        } else {
+            duration_cycles / 10
+        };
         SimConfig {
             params,
             duration_cycles,
-            warmup_cycles: duration_cycles / 10,
+            warmup_cycles,
             collect_latency: true,
             watchdog: Watchdog::default(),
         }
@@ -427,6 +552,55 @@ mod tests {
         };
         assert_eq!(explicit.resolved_max_events(64, 1 << 40), 42);
         assert_eq!(explicit.resolved_epoch_cycles(1 << 40), 7);
+    }
+
+    #[test]
+    fn run_length_budget_resolution() {
+        let rl = RunLength::default();
+        assert_eq!(
+            rl.budget_cycles(2_000_000),
+            2_000_000,
+            "0 = config duration"
+        );
+        assert_eq!(rl.label(), "exact");
+        assert!(!rl.is_adaptive());
+        let rl = RunLength::Fixed { cycles: 500 };
+        assert_eq!(rl.budget_cycles(2_000_000), 500, "explicit override wins");
+        let rl = RunLength::adaptive();
+        assert!(rl.is_adaptive());
+        assert_eq!(rl.label(), "adaptive");
+        assert_eq!(rl.budget_cycles(2_000_000), 2_000_000);
+        assert_eq!(RunLength::batch_cycles(640_000), 10_000);
+        assert_eq!(RunLength::batch_cycles(10), 1, "never zero");
+    }
+
+    #[test]
+    fn run_length_validation() {
+        let mut p = SimParams::e5();
+        p.run_length = RunLength::Adaptive {
+            rel_ci: 0.0,
+            min_batches: 8,
+            max_cycles: 0,
+        };
+        assert!(p.validate().is_err(), "zero rel_ci");
+        p.run_length = RunLength::Adaptive {
+            rel_ci: 0.05,
+            min_batches: 1,
+            max_cycles: 0,
+        };
+        assert!(p.validate().is_err(), "min_batches below 2");
+        p.run_length = RunLength::adaptive();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn adaptive_warmup_is_two_batches() {
+        let mut p = SimParams::e5();
+        p.run_length = RunLength::adaptive();
+        let c = SimConfig::new(p, 640_000);
+        assert_eq!(c.warmup_cycles, 20_000, "2 × budget/64");
+        let c = SimConfig::new(SimParams::e5(), 640_000);
+        assert_eq!(c.warmup_cycles, 64_000, "fixed mode keeps 10%");
     }
 
     #[test]

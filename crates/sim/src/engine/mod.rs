@@ -37,20 +37,21 @@
 //! succeed or fail against the interleaving the simulation produced.
 
 use crate::cache::{LineId, LineState, SetAssocCache, WordAddr};
-use crate::config::SimConfig;
+use crate::config::{RunLength, SimConfig};
 use crate::directory::{Directory, Request};
+use crate::equeue::CalendarQueue;
 use crate::error::{LineDiag, SimError, StuckThread};
 use crate::faults::FaultState;
 use crate::program::{Program, SpinPred, Step, NUM_REGS};
 use crate::protocol::CoherenceKind;
-use crate::report::{EnergyBreakdown, SimReport, ThreadReport};
+use crate::report::{EnergyBreakdown, RunLengthSummary, SimReport, ThreadReport};
 use crate::trace::{Trace, TraceEvent};
 use bounce_atomics::{OpOutcome, Primitive};
 use bounce_topo::{HwThreadId, MachineTopology, TileId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BinaryHeap;
 
+mod adaptive;
 mod arb;
 mod interp;
 mod service;
@@ -80,41 +81,6 @@ enum Ev {
     ServiceDone(u32, Request),
     /// An op finishes at the requester (accounting + continue).
     OpComplete(usize),
-}
-
-/// A scheduled event. Ordering is by `(time, seq)` **reversed**, so the
-/// std max-heap pops the earliest event first; `seq` makes the order a
-/// deterministic FIFO among same-cycle events (identical to the old
-/// payload-slot engine's `(time, seq, slot)` key, which never compared
-/// slots because seq is unique).
-#[derive(Debug, Clone, Copy)]
-struct EventEntry {
-    time: u64,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for EventEntry {}
-
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,7 +156,6 @@ pub struct Engine {
     topo: MachineTopology,
     cfg: SimConfig,
     now: u64,
-    seq: u64,
     n_cores: usize,
     n_tiles: usize,
     /// Line-state transition policy tag (`cfg.params.protocol`).
@@ -199,8 +164,9 @@ pub struct Engine {
     /// consulted only on the miss path (the L1-hit fast path never
     /// dispatches).
     protocol: CoherenceKind,
-    /// Event queue with payloads stored inline in the heap entries.
-    events: BinaryHeap<EventEntry>,
+    /// Event queue: a calendar queue popping in `(time, seq)` order
+    /// with payloads inline in the buckets (see [`crate::equeue`]).
+    events: CalendarQueue<Ev>,
     threads: Vec<ThreadSt>,
     caches: Vec<SetAssocCache>,
     dir: Directory,
@@ -296,11 +262,10 @@ impl Engine {
         Engine {
             topo: topo.clone(),
             now: 0,
-            seq: 0,
             n_cores,
             n_tiles: nt,
             protocol: cfg.params.protocol,
-            events: BinaryHeap::new(),
+            events: CalendarQueue::new(),
             threads: Vec::new(),
             caches,
             dir,
@@ -445,12 +410,7 @@ impl Engine {
 
     #[inline]
     fn schedule(&mut self, time: u64, ev: Ev) {
-        self.seq += 1;
-        self.events.push(EventEntry {
-            time,
-            seq: self.seq,
-            ev,
-        });
+        self.events.push(time, ev);
     }
 
     #[inline]
@@ -546,7 +506,29 @@ impl Engine {
                 self.n_cores,
             ));
         }
-        let duration = self.cfg.duration_cycles;
+        // The effective cycle budget: the run-length config may override
+        // the config duration (`Fixed{cycles:0}` resolves to it, keeping
+        // the historical behaviour byte-identical).
+        let duration = self
+            .cfg
+            .params
+            .run_length
+            .budget_cycles(self.cfg.duration_cycles);
+        let mut ctl = match self.cfg.params.run_length {
+            RunLength::Adaptive {
+                rel_ci,
+                min_batches,
+                ..
+            } => Some(adaptive::AdaptiveCtl::new(
+                rel_ci,
+                min_batches,
+                RunLength::batch_cycles(duration),
+                self.cfg.warmup_cycles,
+                self.threads.len(),
+            )),
+            RunLength::Fixed { .. } => None,
+        };
+        let mut stopped_at: Option<u64> = None;
         let wd = self.cfg.watchdog;
         let budget = wd.resolved_max_events(self.threads.len(), duration);
         let epoch_cycles = wd.resolved_epoch_cycles(duration);
@@ -556,11 +538,24 @@ impl Engine {
         let counted_before = self.events_processed;
         let mut processed: u64 = 0;
         let result = loop {
-            let Some(EventEntry { time, ev, .. }) = self.events.pop() else {
+            let Some((time, ev)) = self.events.pop() else {
                 break Ok(());
             };
             if time > duration {
                 break Ok(());
+            }
+            // Adaptive run-length: when the popped time crosses a batch
+            // boundary, close the batch(es) and check convergence —
+            // *before* processing the event, so an early stop cuts the
+            // run exactly at the boundary (everything at or after it is
+            // left unprocessed).
+            if let Some(c) = ctl.as_mut() {
+                if time >= c.next_end {
+                    if let Some(b) = self.adaptive_boundaries(c, time) {
+                        stopped_at = Some(b);
+                        break Ok(());
+                    }
+                }
             }
             processed += 1;
             if processed > budget {
@@ -600,7 +595,14 @@ impl Engine {
             }
         };
         crate::counters::add_events(self.events_processed - counted_before);
-        result.map(|()| self.finish())
+        result.map(|()| {
+            let summary = match &ctl {
+                Some(c) => c.summary(duration, stopped_at),
+                None => RunLengthSummary::fixed(duration),
+            };
+            crate::counters::add_run(&summary);
+            self.finish(summary)
+        })
     }
 
     /// Assemble the `NoProgress` diagnostic: every non-halted thread's

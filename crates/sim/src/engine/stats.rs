@@ -2,20 +2,20 @@
 //! and report assembly.
 
 use super::Engine;
-use crate::report::{SimReport, ThreadReport};
+use crate::report::{RunLengthSummary, SimReport, ThreadReport};
 
 impl Engine {
-    pub(super) fn finish(&mut self) -> SimReport {
+    pub(super) fn finish(&mut self, run: RunLengthSummary) -> SimReport {
         debug_assert!(
             self.dir
                 .check_all_invariants(self.cfg.params.protocol)
                 .is_ok(),
             "directory invariants broken at end of run"
         );
-        let window = self
-            .cfg
-            .duration_cycles
-            .saturating_sub(self.cfg.warmup_cycles);
+        // The measurement window ends where the run did: at the budget
+        // for fixed-length runs (even if events ran out earlier — the
+        // historical convention), or at the early-stop batch boundary.
+        let window = run.ended_at_cycles.saturating_sub(self.cfg.warmup_cycles);
         let window_secs = window as f64 / (self.topo.freq_ghz * 1e9);
         // Static energy: active cores × window.
         let active_cores: std::collections::HashSet<usize> =
@@ -28,7 +28,7 @@ impl Engine {
             .map(|t| t.report.clone())
             .collect::<Vec<ThreadReport>>();
         SimReport {
-            duration_cycles: self.cfg.duration_cycles,
+            duration_cycles: run.budget_cycles,
             window_cycles: window,
             freq_ghz: self.topo.freq_ghz,
             threads,
@@ -40,6 +40,7 @@ impl Engine {
             preemptions: self.faults.as_ref().map(|f| f.preemptions).unwrap_or(0),
             energy: self.energy.clone(),
             queue_depth: self.queue_depth.clone(),
+            run_length: run,
         }
     }
 }

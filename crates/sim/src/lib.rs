@@ -43,6 +43,7 @@ pub mod config;
 pub mod counters;
 pub mod directory;
 pub mod engine;
+pub mod equeue;
 pub mod error;
 pub mod faults;
 pub mod program;
@@ -52,11 +53,14 @@ pub mod trace;
 
 pub use analyze::{analyze_program, analyze_steps, analyze_workload, AnalysisError, Diagnostic};
 pub use cache::{LineId, LineState, SetAssocCache, WordAddr};
-pub use config::{ArbitrationPolicy, EnergyParams, HomePolicy, SimConfig, SimParams, Watchdog};
+pub use config::{
+    ArbitrationPolicy, EnergyParams, HomePolicy, RunLength, SimConfig, SimParams, Watchdog,
+};
 pub use engine::Engine;
+pub use equeue::CalendarQueue;
 pub use error::{LineDiag, SimError, StuckThread};
 pub use faults::FaultConfig;
 pub use program::{Operand, Program, ProgramError, SpinPred, Step};
 pub use protocol::{CoherenceKind, CoherenceProtocol, DataSource};
-pub use report::{EnergyBreakdown, SimReport, ThreadReport};
+pub use report::{EnergyBreakdown, RunLengthSummary, SimReport, ThreadReport};
 pub use trace::{Trace, TraceEvent};

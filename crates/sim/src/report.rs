@@ -151,6 +151,52 @@ impl EnergyBreakdown {
     }
 }
 
+/// How the run's length was decided (see
+/// [`RunLength`](crate::config::RunLength)): the budget, where the run
+/// actually ended, and the convergence diagnostics behind an early
+/// stop. Fixed-length runs report `ended_at_cycles == budget_cycles`,
+/// `early_stop == false` and zeroed batch statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunLengthSummary {
+    /// The run's cycle budget (what a fixed-length run would simulate).
+    pub budget_cycles: u64,
+    /// The instant the run actually ended (== `budget_cycles` without
+    /// early termination).
+    pub ended_at_cycles: u64,
+    /// Whether the adaptive controller stopped the run before its
+    /// budget.
+    pub early_stop: bool,
+    /// Batches collected by the adaptive controller.
+    pub batches: u32,
+    /// Batches discarded by MSER warmup truncation at the final check.
+    pub truncated: u32,
+    /// Relative 95% CI half-width of batch throughput at the end
+    /// (infinite when undecidable).
+    pub rel_ci_throughput: f64,
+    /// Relative 95% CI half-width of batch mean latency at the end
+    /// (diagnostic only; the stop decision uses throughput).
+    pub rel_ci_latency: f64,
+    /// Relative 95% CI half-width of per-batch Jain fairness at the
+    /// end (diagnostic only).
+    pub rel_ci_fairness: f64,
+}
+
+impl RunLengthSummary {
+    /// Summary of a fixed-length run over `budget` cycles.
+    pub fn fixed(budget: u64) -> Self {
+        RunLengthSummary {
+            budget_cycles: budget,
+            ended_at_cycles: budget,
+            ..Default::default()
+        }
+    }
+
+    /// Cycles saved by early termination.
+    pub fn cycles_saved(&self) -> u64 {
+        self.budget_cycles.saturating_sub(self.ended_at_cycles)
+    }
+}
+
 /// The full result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -181,6 +227,8 @@ pub struct SimReport {
     pub queue_depth: LatencyStats,
     /// Energy breakdown over the measurement window.
     pub energy: EnergyBreakdown,
+    /// Run-length outcome: budget, actual end, early-stop diagnostics.
+    pub run_length: RunLengthSummary,
 }
 
 impl SimReport {
@@ -443,6 +491,7 @@ mod tests {
                 ops_j: 0.5,
                 ..Default::default()
             },
+            run_length: RunLengthSummary::fixed(1_000_000),
         }
     }
 
@@ -460,6 +509,20 @@ mod tests {
         assert_eq!(r.total_transfers(), 10);
         assert_eq!(r.transfers(Domain::CrossSocket), 4);
         assert!((r.energy_per_op_nj() - 1.5e9 / 200.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn run_length_summary_savings() {
+        let fixed = RunLengthSummary::fixed(1000);
+        assert_eq!(fixed.cycles_saved(), 0);
+        assert!(!fixed.early_stop);
+        let early = RunLengthSummary {
+            budget_cycles: 1000,
+            ended_at_cycles: 250,
+            early_stop: true,
+            ..Default::default()
+        };
+        assert_eq!(early.cycles_saved(), 750);
     }
 
     #[test]
