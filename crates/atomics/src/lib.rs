@@ -31,7 +31,7 @@ pub mod seqlock;
 pub mod stack;
 
 pub use backoff::Backoff;
-pub use locks::{ClhLock, LockKind, McsLock, RawLock, TasLock, TicketLock, TtasLock};
+pub use locks::{ClhLock, LockKind, LockShape, McsLock, RawLock, TasLock, TicketLock, TtasLock};
 pub use padded::{CachePadded, PaddedAtomic};
 pub use primitive::{OpOutcome, Primitive};
 pub use seqlock::SeqLock;

@@ -20,7 +20,58 @@
 
 use crate::backoff::Backoff;
 use crate::padded::CachePadded;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+/// Lock algorithm *shape* as the analytical model and the workload layer
+/// see it: the four-rung ladder of experiment E10 (TAS → TTAS → ticket →
+/// MCS), each shape mapping to a distinct handoff-cost formula.
+///
+/// This is the model-facing sibling of [`LockKind`] (which identifies
+/// concrete native implementations, including CLH): the simulator
+/// workloads and the `predict` layer both key on `LockShape`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockShape {
+    /// Spin on TAS — every spin is an RMW on the lock line.
+    Tas,
+    /// Test-and-test-and-set — local spinning, RMW only when free.
+    Ttas,
+    /// Ticket lock — one FAA per acquisition, FIFO fair.
+    Ticket,
+    /// MCS queue lock — spin on a private node; one transfer per handoff.
+    Mcs,
+}
+
+impl LockShape {
+    /// All shapes.
+    pub const ALL: [LockShape; 4] = [
+        LockShape::Tas,
+        LockShape::Ttas,
+        LockShape::Ticket,
+        LockShape::Mcs,
+    ];
+
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LockShape::Tas => "tas",
+            LockShape::Ttas => "ttas",
+            LockShape::Ticket => "ticket",
+            LockShape::Mcs => "mcs",
+        }
+    }
+
+    /// Position of this shape in [`LockShape::ALL`] — the canonical
+    /// index used by shape-keyed tables.
+    pub fn index(&self) -> usize {
+        match self {
+            LockShape::Tas => 0,
+            LockShape::Ttas => 1,
+            LockShape::Ticket => 2,
+            LockShape::Mcs => 3,
+        }
+    }
+}
 
 /// Opaque per-acquisition state returned by [`RawLock::lock`].
 #[derive(Debug)]

@@ -13,6 +13,8 @@
 //! repro --experiment e14 --machine e5   # preemption fault injection
 //! repro fig1 --protocol mesi      # any experiment under a non-native protocol
 //! repro lint                      # static-lint every registered workload
+//! repro validate [--quick]        # sim + model over every modeled scenario
+//!                                 # family → results/VALIDATION.json (CI gate)
 //! ```
 //!
 //! `--jobs N` fans independent simulation points across `N` host
@@ -401,6 +403,16 @@ fn run_all(args: &Args, ctx: ExpCtx) -> ExitCode {
             100.0 * tally.saved_fraction(),
             tally.cycles_simulated as f64 / tally.runs.max(1) as f64 / 1e3
         );
+        // Model evaluation is accounted separately from simulation:
+        // every prediction in the campaign flows through
+        // `bounce_harness::predict_timed`.
+        let mt = bounce_harness::modeltime::snapshot();
+        eprintln!(
+            "model evaluation: {} predictions in {:.4}s ({:.4}% of wall)",
+            mt.calls,
+            mt.seconds,
+            100.0 * mt.seconds / wall.as_secs_f64()
+        );
         // BENCH_repro.json lives in the invocation directory (the repo
         // root under `just repro-quick`), keyed by run-length mode so
         // the adaptive entry is always read next to its exact baseline.
@@ -524,37 +536,46 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "validate" => {
-            use bounce_harness::campaign::{default_cfg, try_fit_and_validate, TrainSplit};
-            for m in Machine::ALL {
-                let topo = m.topo();
-                let ns = if args.quick {
-                    vec![2, 4, 8]
-                } else {
-                    m.sweep_ns(false)
-                };
-                let c = match try_fit_and_validate(
-                    &topo,
-                    args.prim,
-                    &ns,
-                    &default_cfg(&topo, if args.quick { 300_000 } else { 2_000_000 }),
-                    &m.model_params(),
-                    TrainSplit::Alternate,
-                ) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("error: validate on {}: {e}", topo.name);
-                        return ExitCode::FAILURE;
-                    }
-                };
+            // Campaign-wide model-vs-sim validation: every modeled
+            // scenario family runs through both the simulator and the
+            // `Predictor` trait, reduced to one MAPE per experiment and
+            // serialized to VALIDATION.json (the file CI gates on).
+            let report = match bounce_harness::campaign_validation(ctx) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: validate: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for e in &report.entries {
                 println!(
-                    "{:<4} {}: throughput MAPE {:>6.2}%   latency MAPE {:>6.2}%   ({} points)",
-                    m.label(),
-                    args.prim,
-                    c.throughput_mape(),
-                    c.latency_mape(),
-                    c.throughput_rows.len()
+                    "{:<4} {:<12} {:<14} MAPE {:>7.2}%   max {:>7.2}%   ({} points)",
+                    e.machine,
+                    e.experiment,
+                    e.metric,
+                    e.mape_pct,
+                    e.max_ape_pct,
+                    e.rows.len()
                 );
             }
+            eprintln!(
+                "validate: {} entries; sim {:.1}s, model {:.4}s over {} predictions",
+                report.entries.len(),
+                report.sim_seconds,
+                report.model_seconds,
+                report.model_calls
+            );
+            let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("results"));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("error: creating {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let path = dir.join("VALIDATION.json");
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
             ExitCode::SUCCESS
         }
         "fit" => {
@@ -656,10 +677,11 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
-            let model = bounce_core::Model::new(topo.clone(), machine.model_params());
+            use bounce_core::{Predictor, Scenario};
+            let model = machine.model();
             let hw = args.placement.assign(&topo, args.threads);
-            let hc = model.predict_hc(&hw, args.prim);
-            let lc = model.predict_lc(args.threads, args.prim, 0.0);
+            let hc = model.predict(&Scenario::high_contention(&hw, args.prim));
+            let lc = model.predict(&Scenario::low_contention(args.threads, args.prim, 0.0));
             println!("machine     : {}", topo.name);
             println!(
                 "workload    : {} threads ({}), {} on one shared line",
@@ -688,11 +710,11 @@ fn main() -> ExitCode {
                 lc.energy_per_op_nj
             );
             if args.prim == bounce_atomics::Primitive::Cas {
-                let loop_pred = model.predict_cas_loop(&hw, 30.0);
+                let loop_pred = model.predict(&Scenario::cas_loop(&hw, 30.0));
                 println!(
                     "CAS loop    : success rate {:.3}, goodput {:.2} Mops/s (window 30cy)",
-                    loop_pred.success_rate,
-                    loop_pred.goodput_ops_per_sec / 1e6
+                    loop_pred.success_rate().expect("CAS-loop prediction"),
+                    loop_pred.throughput_ops_per_sec / 1e6
                 );
             }
             ExitCode::SUCCESS

@@ -4,6 +4,7 @@
 
 use crate::mixture::{domain_mixture, expected_transfer_cycles};
 use crate::params::{ModelParams, TransferCosts};
+use crate::scenario::Scenario;
 use bounce_atomics::Primitive;
 use bounce_topo::{HwThreadId, MachineTopology};
 
@@ -122,15 +123,23 @@ impl NelderMead {
     }
 }
 
-/// One measured sweep point for fitting.
+/// One measured scenario for fitting: what ran, and what it yielded.
 #[derive(Debug, Clone)]
-pub struct SweepObservation {
-    /// Hardware threads that contended.
-    pub threads: Vec<HwThreadId>,
-    /// Primitive used.
-    pub prim: Primitive,
+pub struct ScenarioObservation {
+    /// The scenario that was measured.
+    pub scenario: Scenario,
     /// Measured aggregate throughput, ops/second.
-    pub throughput_ops_per_sec: f64,
+    pub measured_ops_per_sec: f64,
+}
+
+impl ScenarioObservation {
+    /// Convenience constructor.
+    pub fn new(scenario: Scenario, measured_ops_per_sec: f64) -> Self {
+        ScenarioObservation {
+            scenario,
+            measured_ops_per_sec,
+        }
+    }
 }
 
 /// Result of a fit.
@@ -144,35 +153,44 @@ pub struct FitReport {
     pub iterations: usize,
 }
 
-/// Fit the four transfer costs to measured high-contention throughput
-/// observations, starting from `initial` (other parameters kept).
+/// Fit the four transfer costs to measured scenario observations,
+/// starting from `initial` (other parameters kept).
 ///
-/// The optimisation runs in log-space (costs stay positive) and
-/// minimises the mean squared *relative* error between `1/E[t]` and the
-/// measured throughput. Observations with fewer than two threads are
-/// ignored (they carry no transfer information).
+/// Only saturated high-contention scenarios carry transfer information
+/// (`X = 1/E[t]`), so the fit uses the
+/// [`Scenario::HighContention`] observations with at least two threads
+/// and ignores everything else. The optimisation runs in log-space
+/// (costs stay positive) and minimises the mean squared *relative*
+/// error between `1/E[t]` and the measured throughput.
 pub fn fit_transfer_costs(
     topo: &MachineTopology,
-    observations: &[SweepObservation],
+    observations: &[ScenarioObservation],
     initial: &ModelParams,
 ) -> FitReport {
-    let usable: Vec<&SweepObservation> = observations
+    let usable: Vec<(&[HwThreadId], Primitive, f64)> = observations
         .iter()
-        .filter(|o| o.threads.len() >= 2 && o.throughput_ops_per_sec > 0.0)
+        .filter_map(|o| match &o.scenario {
+            Scenario::HighContention { threads, prim }
+                if threads.len() >= 2 && o.measured_ops_per_sec > 0.0 =>
+            {
+                Some((threads.as_slice(), *prim, o.measured_ops_per_sec))
+            }
+            _ => None,
+        })
         .collect();
     assert!(
         !usable.is_empty(),
-        "need at least one multi-thread observation to fit transfer costs"
+        "need at least one multi-thread high-contention observation to fit transfer costs"
     );
     // Precompute mixtures once.
     let mixtures: Vec<[f64; 5]> = usable
         .iter()
-        .map(|o| domain_mixture(topo, &o.threads))
+        .map(|(threads, _, _)| domain_mixture(topo, threads))
         .collect();
     let freq = initial.freq_ghz * 1e9;
     let smt_floor_ln = usable
         .iter()
-        .map(|o| initial.issue(o.prim))
+        .map(|(_, prim, _)| initial.issue(*prim))
         .fold(f64::INFINITY, f64::min)
         .max(1.0)
         .ln();
@@ -191,10 +209,10 @@ pub fn fit_transfer_costs(
             logc[3].exp(),
         ];
         let mut sse = 0.0;
-        for (obs, mix) in usable.iter().zip(&mixtures) {
+        for ((_, _, measured), mix) in usable.iter().zip(&mixtures) {
             let e_t = expected_transfer_cycles(mix, &costs);
             let pred = freq / e_t;
-            let rel = (pred - obs.throughput_ops_per_sec) / obs.throughput_ops_per_sec;
+            let rel = (pred - measured) / measured;
             sse += rel * rel;
         }
         // Soft penalty for violating the cost ladder (smt<=tile<=socket<=cross).
@@ -287,11 +305,10 @@ mod tests {
             let threads: Vec<HwThreadId> = order[..n].to_vec();
             let mix = domain_mixture(&topo, &threads);
             let e_t = expected_transfer_cycles(&mix, &truth.transfer.as_array());
-            obs.push(SweepObservation {
-                threads,
-                prim: Primitive::Faa,
-                throughput_ops_per_sec: freq / e_t,
-            });
+            obs.push(ScenarioObservation::new(
+                Scenario::high_contention(&threads, Primitive::Faa),
+                freq / e_t,
+            ));
         }
         let mut start = truth.clone();
         start.transfer = TransferCosts {
@@ -327,16 +344,57 @@ mod tests {
         // Noisy observations must still give a monotone ladder.
         let topo = presets::tiny_test_machine();
         let order = Placement::Packed.full_order(&topo);
-        let obs: Vec<SweepObservation> = [2usize, 4, 8]
+        let obs: Vec<ScenarioObservation> = [2usize, 4, 8]
             .iter()
             .enumerate()
-            .map(|(i, &n)| SweepObservation {
-                threads: order[..n].to_vec(),
-                prim: Primitive::Faa,
-                throughput_ops_per_sec: 3.0e7 * (1.0 + 0.3 * (i as f64 - 1.0)),
+            .map(|(i, &n)| {
+                ScenarioObservation::new(
+                    Scenario::high_contention(&order[..n], Primitive::Faa),
+                    3.0e7 * (1.0 + 0.3 * (i as f64 - 1.0)),
+                )
             })
             .collect();
         let fit = fit_transfer_costs(&topo, &obs, &ModelParams::tiny_default());
         fit.params.validate().unwrap();
+    }
+
+    #[test]
+    fn fit_ignores_non_hc_scenarios() {
+        // LC observations carry no transfer information: mixing them in
+        // must leave the fitted costs untouched.
+        let topo = presets::tiny_test_machine();
+        let order = Placement::Packed.full_order(&topo);
+        let hc_only = vec![ScenarioObservation::new(
+            Scenario::high_contention(&order[..4], Primitive::Faa),
+            2.5e7,
+        )];
+        let mut mixed = hc_only.clone();
+        mixed.push(ScenarioObservation::new(
+            Scenario::low_contention(4, Primitive::Faa, 0.0),
+            9.9e8,
+        ));
+        mixed.push(ScenarioObservation::new(
+            Scenario::lock_handoff(&order[..4], 100.0),
+            1.0e6,
+        ));
+        let a = fit_transfer_costs(&topo, &hc_only, &ModelParams::tiny_default());
+        let b = fit_transfer_costs(&topo, &mixed, &ModelParams::tiny_default());
+        assert_eq!(a.params.transfer.as_array(), b.params.transfer.as_array());
+    }
+
+    #[test]
+    #[should_panic]
+    fn fit_rejects_observations_without_transfer_information() {
+        // Only single-thread / non-HC scenarios: nothing to fit on.
+        let topo = presets::tiny_test_machine();
+        let order = Placement::Packed.full_order(&topo);
+        let obs = vec![
+            ScenarioObservation::new(
+                Scenario::high_contention(&order[..1], Primitive::Faa),
+                1.0e8,
+            ),
+            ScenarioObservation::new(Scenario::low_contention(8, Primitive::Faa, 0.0), 5.0e8),
+        ];
+        let _ = fit_transfer_costs(&topo, &obs, &ModelParams::tiny_default());
     }
 }

@@ -30,7 +30,11 @@
 //! * [`params`] — the model's parameter set Θ (per-primitive issue costs
 //!   + four transfer costs) with defaults for the two paper machines;
 //! * [`mixture`] — the placement → transfer-domain mixture computation;
-//! * [`predict`] — the closed-form predictions ([`Model`]);
+//! * [`scenario`] — the scenario IR ([`Scenario`]), the unified
+//!   [`Prediction`] and the [`Predictor`] trait — the one entry point
+//!   everything downstream routes predictions through;
+//! * [`predict`] — the closed-form predictions
+//!   ([`BouncingModel`], the canonical `Predictor`);
 //! * [`fairness`] — the arbitration abstraction predicting Jain's index;
 //! * [`fit`] — parameter fitting (Nelder–Mead simplex) from measured
 //!   sweeps;
@@ -50,12 +54,14 @@ pub mod fit;
 pub mod mixture;
 pub mod params;
 pub mod predict;
+pub mod scenario;
 pub mod sensitivity;
 pub mod stats;
 pub mod validate;
 
-pub use fit::{fit_transfer_costs, FitReport, NelderMead};
+pub use fit::{fit_transfer_costs, FitReport, NelderMead, ScenarioObservation};
 pub use mixture::domain_mixture;
 pub use params::{ModelParams, TransferCosts};
-pub use predict::{HcPrediction, LcPrediction, MixedRwPrediction, Model, Regime};
-pub use validate::{mape, ValidationRow};
+pub use predict::{BouncingModel, Model, Regime};
+pub use scenario::{LockHandoffs, Prediction, PredictionDetail, Predictor, Scenario};
+pub use validate::{mape, max_ape, validated_rows, ValidationMetric, ValidationRow};

@@ -1,68 +1,18 @@
 //! The closed-form predictions of the cache-line-bouncing model.
+//!
+//! [`BouncingModel`] is the canonical [`Predictor`]: it maps every
+//! [`Scenario`] variant to the paper's closed forms. The per-regime
+//! `predict_*` methods remain available for direct use (and keep the
+//! formulas readable one regime at a time); [`Predictor::predict`] is
+//! the single entry point the harness routes through.
 
 use crate::mixture::{domain_mixture, expected_transfer_cycles};
 use crate::params::ModelParams;
+use crate::scenario::{LockHandoffs, Prediction, PredictionDetail, Predictor, Scenario};
 use bounce_atomics::Primitive;
 use bounce_topo::{HwThreadId, MachineTopology};
-use serde::{Deserialize, Serialize};
 
-/// Prediction for the high-contention setting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct HcPrediction {
-    /// Number of contending threads.
-    pub n: usize,
-    /// Transfer-domain mixture (aligned with `Domain::ALL`).
-    pub mixture: [f64; 5],
-    /// Placement-weighted mean transfer cost, cycles.
-    pub expected_transfer_cycles: f64,
-    /// Aggregate throughput, operations per second.
-    pub throughput_ops_per_sec: f64,
-    /// Mean per-operation latency, cycles.
-    pub latency_cycles: f64,
-    /// Energy per operation, nanojoules.
-    pub energy_per_op_nj: f64,
-}
-
-/// Prediction for the low-contention setting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LcPrediction {
-    /// Number of threads (each on its own line).
-    pub n: usize,
-    /// Aggregate throughput, operations per second.
-    pub throughput_ops_per_sec: f64,
-    /// Per-operation latency, cycles.
-    pub latency_cycles: f64,
-    /// Energy per operation, nanojoules.
-    pub energy_per_op_nj: f64,
-}
-
-/// Prediction for a CAS retry loop under high contention.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct CasLoopPrediction {
-    /// Number of contending threads.
-    pub n: usize,
-    /// Predicted success probability of one CAS attempt.
-    pub success_rate: f64,
-    /// Predicted *successful* increments per second (goodput).
-    pub goodput_ops_per_sec: f64,
-    /// Attempts (read + CAS pairs) per second.
-    pub attempt_rate_per_sec: f64,
-}
-
-/// Prediction for the read-mostly (1 writer + R readers) setting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct MixedRwPrediction {
-    /// Readers.
-    pub readers: usize,
-    /// Writer ops per second.
-    pub writer_ops_per_sec: f64,
-    /// Aggregate reader ops per second.
-    pub reader_ops_per_sec: f64,
-    /// Total ops per second.
-    pub total_ops_per_sec: f64,
-}
-
-/// Which resource bounds a configuration (see [`Model::classify`]).
+/// Which resource bounds a configuration (see [`BouncingModel::classify`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Regime {
     /// A single thread (or uncontended line): bounded by the
@@ -91,7 +41,7 @@ impl Regime {
 /// The model bound to a machine.
 ///
 /// ```
-/// use bounce_core::{Model, ModelParams};
+/// use bounce_core::{Model, ModelParams, Predictor, Scenario};
 /// use bounce_topo::{presets, Placement};
 /// use bounce_atomics::Primitive;
 ///
@@ -99,25 +49,28 @@ impl Regime {
 /// let model = Model::new(topo.clone(), ModelParams::e5_default());
 /// let threads = Placement::Packed.assign(&topo, 24);
 ///
-/// let p = model.predict_hc(&threads, Primitive::Faa);
+/// let p = model.predict(&Scenario::high_contention(&threads, Primitive::Faa));
 /// assert!(p.throughput_ops_per_sec > 1e6);
 /// assert!(p.latency_cycles > p.expected_transfer_cycles);
 ///
 /// // Low contention scales linearly instead.
-/// let lc = model.predict_lc(24, Primitive::Faa, 0.0);
+/// let lc = model.predict(&Scenario::low_contention(24, Primitive::Faa, 0.0));
 /// assert!(lc.throughput_ops_per_sec > p.throughput_ops_per_sec);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Model {
+pub struct BouncingModel {
     topo: MachineTopology,
     params: ModelParams,
 }
 
-impl Model {
+/// The historical name of [`BouncingModel`], kept for existing callers.
+pub type Model = BouncingModel;
+
+impl BouncingModel {
     /// Bind parameters to a machine.
     pub fn new(topo: MachineTopology, params: ModelParams) -> Self {
         params.validate().expect("invalid model parameters");
-        Model { topo, params }
+        BouncingModel { topo, params }
     }
 
     /// The bound machine.
@@ -153,45 +106,50 @@ impl Model {
     /// * `X(N≥2) = 1/E[t]` — flat in N,
     /// * `L(N) = N·E[t] + c_p`,
     /// * `E/op = N·P_static/X + e_op + e_transfer`.
-    pub fn predict_hc(&self, threads: &[HwThreadId], prim: Primitive) -> HcPrediction {
+    pub fn predict_hc(&self, threads: &[HwThreadId], prim: Primitive) -> Prediction {
         let n = threads.len();
         let c_p = self.params.issue(prim);
         let mix = domain_mixture(&self.topo, threads);
         if n <= 1 {
             let x_cyc = 1.0 / c_p;
             let x = x_cyc * self.cycles_per_sec();
-            return HcPrediction {
+            return Prediction {
                 n,
                 mixture: mix,
                 expected_transfer_cycles: 0.0,
                 throughput_ops_per_sec: x,
                 latency_cycles: c_p,
                 energy_per_op_nj: self.energy_per_op_nj(n.max(1), x),
+                detail: PredictionDetail::None,
             };
         }
         let e_t = expected_transfer_cycles(&mix, &self.params.transfer.as_array());
         let x = self.cycles_per_sec() / e_t;
-        HcPrediction {
+        Prediction {
             n,
             mixture: mix,
             expected_transfer_cycles: e_t,
             throughput_ops_per_sec: x,
             latency_cycles: n as f64 * e_t + c_p,
             energy_per_op_nj: self.energy_per_op_nj(n, x) + self.params.dynamic_nj_per_transfer,
+            detail: PredictionDetail::None,
         }
     }
 
     /// Low-contention prediction: `n` threads, each hammering its *own*
     /// line, `work` local cycles between ops.
-    pub fn predict_lc(&self, n: usize, prim: Primitive, work: f64) -> LcPrediction {
+    pub fn predict_lc(&self, n: usize, prim: Primitive, work: f64) -> Prediction {
         let c_p = self.params.issue(prim);
         let per_op = c_p + work;
         let x = n as f64 / per_op * self.cycles_per_sec();
-        LcPrediction {
+        Prediction {
             n,
+            mixture: [0.0; 5],
+            expected_transfer_cycles: 0.0,
             throughput_ops_per_sec: x,
             latency_cycles: c_p,
             energy_per_op_nj: self.energy_per_op_nj(n, x),
+            detail: PredictionDetail::None,
         }
     }
 
@@ -208,7 +166,7 @@ impl Model {
         threads: &[HwThreadId],
         prim: Primitive,
         work: f64,
-    ) -> HcPrediction {
+    ) -> Prediction {
         let n = threads.len();
         if n <= 1 || work == 0.0 {
             let mut p = self.predict_hc(threads, prim);
@@ -227,13 +185,14 @@ impl Model {
         let service = 1.0 / e_t;
         let x_cyc = demand.min(service);
         let x = x_cyc * self.cycles_per_sec();
-        HcPrediction {
+        Prediction {
             n,
             mixture: mix,
             expected_transfer_cycles: e_t,
             throughput_ops_per_sec: x,
             latency_cycles: (n as f64 * e_t).min(work + c_p + e_t) + c_p,
             energy_per_op_nj: self.energy_per_op_nj(n, x) + self.params.dynamic_nj_per_transfer,
+            detail: PredictionDetail::None,
         }
     }
 
@@ -245,19 +204,31 @@ impl Model {
     /// other threads' *successful* CASes arrive Poisson-like at rate
     /// `s/(2·E[t])` (each attempt costs two transfers: the read and the
     /// CAS); `s = exp(−rate · span)` is solved by fixed point.
-    pub fn predict_cas_loop(&self, threads: &[HwThreadId], window: f64) -> CasLoopPrediction {
+    ///
+    /// The prediction's throughput is the *goodput* (successful CASes
+    /// per second); attempts and the success probability ride in
+    /// [`PredictionDetail::CasLoop`]. Latency and energy are unmodeled
+    /// (zero).
+    pub fn predict_cas_loop(&self, threads: &[HwThreadId], window: f64) -> Prediction {
         let n = threads.len();
         if n <= 1 {
             let c = self.params.issue(Primitive::Cas) + self.params.issue(Primitive::Load) + window;
             let x = self.cycles_per_sec() / c;
-            return CasLoopPrediction {
+            return Prediction {
                 n,
-                success_rate: 1.0,
-                goodput_ops_per_sec: x,
-                attempt_rate_per_sec: x,
+                mixture: [0.0; 5],
+                expected_transfer_cycles: 0.0,
+                throughput_ops_per_sec: x,
+                latency_cycles: 0.0,
+                energy_per_op_nj: 0.0,
+                detail: PredictionDetail::CasLoop {
+                    success_rate: 1.0,
+                    attempt_rate_per_sec: x,
+                },
             };
         }
-        let e_t = self.expected_transfer(threads);
+        let mix = domain_mixture(&self.topo, threads);
+        let e_t = expected_transfer_cycles(&mix, &self.params.transfer.as_array());
         let span = window + e_t * (n as f64 - 1.0) / 2.0;
         let mut s: f64 = 0.5;
         for _ in 0..64 {
@@ -272,11 +243,17 @@ impl Model {
         // Attempts are paced by the two transfers each costs.
         let attempts_cyc = 1.0 / (2.0 * e_t);
         let attempts = attempts_cyc * self.cycles_per_sec();
-        CasLoopPrediction {
+        Prediction {
             n,
-            success_rate: s,
-            goodput_ops_per_sec: attempts * s,
-            attempt_rate_per_sec: attempts,
+            mixture: mix,
+            expected_transfer_cycles: e_t,
+            throughput_ops_per_sec: attempts * s,
+            latency_cycles: 0.0,
+            energy_per_op_nj: 0.0,
+            detail: PredictionDetail::CasLoop {
+                success_rate: s,
+                attempt_rate_per_sec: attempts,
+            },
         }
     }
 
@@ -292,7 +269,7 @@ impl Model {
         threads: &[HwThreadId],
         prim: Primitive,
         lines: usize,
-    ) -> HcPrediction {
+    ) -> Prediction {
         assert!(lines >= 1);
         let n = threads.len();
         if lines == 1 || n <= 1 {
@@ -326,13 +303,14 @@ impl Model {
         // Demand cap: n threads can't exceed one op per c_p each.
         x_cyc = x_cyc.min(n as f64 / c_p);
         let x = x_cyc * self.cycles_per_sec();
-        HcPrediction {
+        Prediction {
             n,
             mixture,
             expected_transfer_cycles: e_t_weighted,
             throughput_ops_per_sec: x,
             latency_cycles: (n as f64 / lines as f64) * e_t_weighted.max(c_p) + c_p,
             energy_per_op_nj: self.energy_per_op_nj(n, x) + self.params.dynamic_nj_per_transfer,
+            detail: PredictionDetail::None,
         }
     }
 
@@ -347,44 +325,62 @@ impl Model {
     /// run at `min(1/T_w, 1/(c_load + gap + t_s))` each (saturated by
     /// the writer, or by their own re-fetch pace when `gap` is large),
     /// and the writer at `1/T_w`.
+    ///
+    /// The prediction's throughput is the combined reader+writer rate;
+    /// the split rides in [`PredictionDetail::MixedRw`]. Latency and
+    /// energy are unmodeled (zero).
     pub fn predict_mixed_rw(
         &self,
         writer: HwThreadId,
         readers: &[HwThreadId],
         reader_gap: f64,
-    ) -> MixedRwPrediction {
+    ) -> Prediction {
         let c_load = self.params.issue(Primitive::Load);
         let r = readers.len();
         if r == 0 {
             let x = self.cycles_per_sec() / self.params.issue(Primitive::Faa);
-            return MixedRwPrediction {
-                readers: 0,
-                writer_ops_per_sec: x,
-                reader_ops_per_sec: 0.0,
-                total_ops_per_sec: x,
+            return Prediction {
+                n: 1,
+                mixture: [0.0; 5],
+                expected_transfer_cycles: 0.0,
+                throughput_ops_per_sec: x,
+                latency_cycles: 0.0,
+                energy_per_op_nj: 0.0,
+                detail: PredictionDetail::MixedRw {
+                    writer_ops_per_sec: x,
+                    reader_ops_per_sec: 0.0,
+                },
             };
         }
         // The writer's exclusivity transfer crosses to the "average"
         // reader; the reader re-fetch crosses back.
         let mut all = readers.to_vec();
         all.push(writer);
-        let t_x = self.expected_transfer(&all);
+        let mix = domain_mixture(&self.topo, &all);
+        let t_x = expected_transfer_cycles(&mix, &self.params.transfer.as_array());
         let t_s = t_x; // shared fetch crosses the same distance class
         let t_w = t_x + t_s;
         let per_reader_cyc = (1.0 / t_w).min(1.0 / (c_load + reader_gap + t_s));
         let writer_x = self.cycles_per_sec() / t_w;
         let reader_x = r as f64 * per_reader_cyc * self.cycles_per_sec();
-        MixedRwPrediction {
-            readers: r,
-            writer_ops_per_sec: writer_x,
-            reader_ops_per_sec: reader_x,
-            total_ops_per_sec: writer_x + reader_x,
+        Prediction {
+            n: r + 1,
+            mixture: mix,
+            expected_transfer_cycles: t_x,
+            throughput_ops_per_sec: writer_x + reader_x,
+            latency_cycles: 0.0,
+            energy_per_op_nj: 0.0,
+            detail: PredictionDetail::MixedRw {
+                writer_ops_per_sec: writer_x,
+                reader_ops_per_sec: reader_x,
+            },
         }
     }
 
     /// Coarse closed-form handoff rates for the lock ladder under
     /// contention (`n ≥ 2` spinners, critical section `cs` cycles).
-    /// Returns handoffs per second for `(tas, ttas, ticket, mcs)`.
+    /// Returns handoffs per second keyed by [`bounce_atomics::LockShape`]
+    /// (see [`LockHandoffs`]).
     ///
     /// Assembly per handoff (each term one line transfer ≈ E\[t\]):
     ///
@@ -397,20 +393,20 @@ impl Model {
     ///   — period ≈ `cs + 3·E[t]`, independent of n.
     /// * **MCS**: one SWAP amortised + the private-flag handoff —
     ///   period ≈ `cs + 2·E[t]`, independent of n.
-    pub fn predict_lock_handoffs(&self, threads: &[HwThreadId], cs: f64) -> (f64, f64, f64, f64) {
+    pub fn predict_lock_handoffs(&self, threads: &[HwThreadId], cs: f64) -> LockHandoffs {
         let n = threads.len() as f64;
         let f = self.cycles_per_sec();
         if threads.len() < 2 {
             let c = self.params.issue(Primitive::Tas);
             let x = f / (cs + 2.0 * c);
-            return (x, x, x, x);
+            return LockHandoffs::uniform(x);
         }
         let e_t = self.expected_transfer(threads);
         let tas = f / (cs + n * e_t);
         let ttas = f / (cs + 2.0 * e_t + 0.5 * (n - 1.0) * e_t);
         let ticket = f / (cs + 3.0 * e_t);
         let mcs = f / (cs + 2.0 * e_t);
-        (tas, ttas, ticket, mcs)
+        LockHandoffs::new([tas, ttas, ticket, mcs])
     }
 
     /// Classify which resource bounds a configuration — the
@@ -448,12 +444,7 @@ impl Model {
 
     /// Sweep helper: HC predictions for every thread count in `ns`,
     /// using the placement's first-`n` prefixes.
-    pub fn hc_sweep(
-        &self,
-        order: &[HwThreadId],
-        prim: Primitive,
-        ns: &[usize],
-    ) -> Vec<HcPrediction> {
+    pub fn hc_sweep(&self, order: &[HwThreadId], prim: Primitive, ns: &[usize]) -> Vec<Prediction> {
         ns.iter()
             .map(|&n| {
                 assert!(n <= order.len(), "sweep point {n} exceeds placement");
@@ -463,14 +454,63 @@ impl Model {
     }
 }
 
+impl Predictor for BouncingModel {
+    /// Dispatch a [`Scenario`] to the matching closed form. Pure
+    /// delegation — the per-regime methods compute exactly what they
+    /// always did, so routing through the trait changes no numbers.
+    fn predict(&self, scenario: &Scenario) -> Prediction {
+        match scenario {
+            Scenario::HighContention { threads, prim } => self.predict_hc(threads, *prim),
+            Scenario::LowContention { n, prim, work } => self.predict_lc(*n, *prim, *work),
+            Scenario::Diluted {
+                threads,
+                prim,
+                work,
+            } => self.predict_dilution(threads, *prim, *work),
+            Scenario::CasLoop { threads, window } => self.predict_cas_loop(threads, *window),
+            Scenario::MultiLine {
+                threads,
+                prim,
+                lines,
+            } => self.predict_multiline(threads, *prim, *lines),
+            Scenario::MixedRw {
+                writer,
+                readers,
+                reader_gap,
+            } => self.predict_mixed_rw(*writer, readers, *reader_gap),
+            Scenario::LockHandoff { threads, cs } => {
+                let handoffs = self.predict_lock_handoffs(threads, *cs);
+                let n = threads.len();
+                let (mixture, e_t) = if n >= 2 {
+                    let mix = domain_mixture(&self.topo, threads);
+                    let e_t = expected_transfer_cycles(&mix, &self.params.transfer.as_array());
+                    (mix, e_t)
+                } else {
+                    ([0.0; 5], 0.0)
+                };
+                Prediction {
+                    n,
+                    mixture,
+                    expected_transfer_cycles: e_t,
+                    throughput_ops_per_sec: 0.0,
+                    latency_cycles: 0.0,
+                    energy_per_op_nj: 0.0,
+                    detail: PredictionDetail::Locks(handoffs),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::ModelParams;
+    use bounce_atomics::LockShape;
     use bounce_topo::{presets, Placement};
 
-    fn e5_model() -> Model {
-        Model::new(presets::xeon_e5_2695_v4(), ModelParams::e5_default())
+    fn e5_model() -> BouncingModel {
+        BouncingModel::new(presets::xeon_e5_2695_v4(), ModelParams::e5_default())
     }
 
     #[test]
@@ -560,9 +600,18 @@ mod tests {
     fn cas_loop_success_decreases_with_n() {
         let m = e5_model();
         let order = Placement::Packed.full_order(m.topo());
-        let s2 = m.predict_cas_loop(&order[..2], 30.0).success_rate;
-        let s16 = m.predict_cas_loop(&order[..16], 30.0).success_rate;
-        let s36 = m.predict_cas_loop(&order[..36], 30.0).success_rate;
+        let s2 = m
+            .predict_cas_loop(&order[..2], 30.0)
+            .success_rate()
+            .unwrap();
+        let s16 = m
+            .predict_cas_loop(&order[..16], 30.0)
+            .success_rate()
+            .unwrap();
+        let s36 = m
+            .predict_cas_loop(&order[..36], 30.0)
+            .success_rate()
+            .unwrap();
         assert!(
             s2 > s16 && s16 > s36,
             "s2={s2:.3} s16={s16:.3} s36={s36:.3}"
@@ -574,8 +623,11 @@ mod tests {
     fn cas_loop_success_decreases_with_window() {
         let m = e5_model();
         let order = Placement::Packed.full_order(m.topo());
-        let narrow = m.predict_cas_loop(&order[..8], 5.0).success_rate;
-        let wide = m.predict_cas_loop(&order[..8], 500.0).success_rate;
+        let narrow = m.predict_cas_loop(&order[..8], 5.0).success_rate().unwrap();
+        let wide = m
+            .predict_cas_loop(&order[..8], 500.0)
+            .success_rate()
+            .unwrap();
         assert!(narrow > wide, "narrow={narrow:.3} wide={wide:.3}");
     }
 
@@ -583,8 +635,9 @@ mod tests {
     fn cas_loop_single_thread_never_fails() {
         let m = e5_model();
         let p = m.predict_cas_loop(&[HwThreadId(0)], 100.0);
-        assert_eq!(p.success_rate, 1.0);
-        assert_eq!(p.goodput_ops_per_sec, p.attempt_rate_per_sec);
+        assert_eq!(p.success_rate(), Some(1.0));
+        // Goodput (the top-level throughput) equals the attempt rate.
+        assert_eq!(p.throughput_ops_per_sec, p.attempt_rate_per_sec().unwrap());
     }
 
     #[test]
@@ -650,17 +703,18 @@ mod tests {
         let order = Placement::Packed.full_order(m.topo());
         let p4 = m.predict_mixed_rw(order[0], &order[1..5], 8.0);
         let p16 = m.predict_mixed_rw(order[0], &order[1..17], 8.0);
-        assert!(p16.reader_ops_per_sec > 2.0 * p4.reader_ops_per_sec);
-        assert!(p16.total_ops_per_sec > p16.writer_ops_per_sec);
+        assert!(p16.reader_ops_per_sec().unwrap() > 2.0 * p4.reader_ops_per_sec().unwrap());
+        assert!(p16.throughput_ops_per_sec > p16.writer_ops_per_sec().unwrap());
     }
 
     #[test]
     fn mixed_rw_no_readers_degenerates_to_writer() {
         let m = e5_model();
         let p = m.predict_mixed_rw(HwThreadId(0), &[], 0.0);
-        assert_eq!(p.reader_ops_per_sec, 0.0);
-        assert!(p.writer_ops_per_sec > 0.0);
-        assert_eq!(p.total_ops_per_sec, p.writer_ops_per_sec);
+        assert_eq!(p.reader_ops_per_sec(), Some(0.0));
+        assert!(p.writer_ops_per_sec().unwrap() > 0.0);
+        // Total (the top-level throughput) is just the writer.
+        assert_eq!(p.throughput_ops_per_sec, p.writer_ops_per_sec().unwrap());
     }
 
     #[test]
@@ -690,26 +744,77 @@ mod tests {
     fn lock_prediction_ranks_queue_locks_above_tas_at_scale() {
         let m = e5_model();
         let order = Placement::Packed.assign(m.topo(), 36);
-        let (tas, ttas, ticket, mcs) = m.predict_lock_handoffs(&order, 100.0);
+        let h = m.predict_lock_handoffs(&order, 100.0);
+        let (tas, ttas, ticket, mcs) = (
+            h.get(LockShape::Tas),
+            h.get(LockShape::Ttas),
+            h.get(LockShape::Ticket),
+            h.get(LockShape::Mcs),
+        );
         assert!(ticket > 2.0 * tas, "ticket {ticket:.0} vs tas {tas:.0}");
         assert!(mcs >= ticket, "mcs {mcs:.0} vs ticket {ticket:.0}");
         assert!(ttas > tas, "ttas {ttas:.0} vs tas {tas:.0} at scale");
         // Queue locks are ~flat in n.
         let small = Placement::Packed.assign(m.topo(), 4);
-        let (_, _, ticket4, mcs4) = m.predict_lock_handoffs(&small, 100.0);
-        assert!((ticket4 / ticket) < 2.0, "ticket ~flat in n");
-        assert!((mcs4 / mcs) < 2.0, "mcs ~flat in n");
+        let h4 = m.predict_lock_handoffs(&small, 100.0);
+        assert!(
+            (h4.get(LockShape::Ticket) / ticket) < 2.0,
+            "ticket ~flat in n"
+        );
+        assert!((h4.get(LockShape::Mcs) / mcs) < 2.0, "mcs ~flat in n");
     }
 
     #[test]
     fn lock_prediction_uncontended_degenerates() {
         let m = e5_model();
         let one = Placement::Packed.assign(m.topo(), 1);
-        let (a, b, c, d) = m.predict_lock_handoffs(&one, 50.0);
-        assert_eq!(a, b);
-        assert_eq!(c, d);
-        assert_eq!(a, c);
-        assert!(a > 0.0);
+        let h = m.predict_lock_handoffs(&one, 50.0);
+        let rates: Vec<f64> = h.iter().map(|(_, r)| r).collect();
+        assert!(rates.iter().all(|&r| r == rates[0]));
+        assert!(rates[0] > 0.0);
+    }
+
+    #[test]
+    fn predictor_trait_matches_direct_methods() {
+        let m = e5_model();
+        let order = Placement::Packed.full_order(m.topo());
+        let threads = &order[..12];
+        // Every Scenario variant must route to its closed form with
+        // identical numbers — bit-for-bit.
+        let pairs: Vec<(Prediction, Prediction)> = vec![
+            (
+                m.predict(&Scenario::high_contention(threads, Primitive::Faa)),
+                m.predict_hc(threads, Primitive::Faa),
+            ),
+            (
+                m.predict(&Scenario::low_contention(12, Primitive::Cas, 20.0)),
+                m.predict_lc(12, Primitive::Cas, 20.0),
+            ),
+            (
+                m.predict(&Scenario::diluted(threads, Primitive::Faa, 200.0)),
+                m.predict_dilution(threads, Primitive::Faa, 200.0),
+            ),
+            (
+                m.predict(&Scenario::cas_loop(threads, 30.0)),
+                m.predict_cas_loop(threads, 30.0),
+            ),
+            (
+                m.predict(&Scenario::multi_line(threads, Primitive::Faa, 4)),
+                m.predict_multiline(threads, Primitive::Faa, 4),
+            ),
+            (
+                m.predict(&Scenario::mixed_rw(threads[0], &threads[1..], 8.0)),
+                m.predict_mixed_rw(threads[0], &threads[1..], 8.0),
+            ),
+        ];
+        for (via_trait, direct) in pairs {
+            assert_eq!(via_trait, direct);
+        }
+        let via_trait = m.predict(&Scenario::lock_handoff(threads, 100.0));
+        assert_eq!(
+            via_trait.lock_handoffs(),
+            Some(&m.predict_lock_handoffs(threads, 100.0))
+        );
     }
 
     #[test]
@@ -728,7 +833,7 @@ mod tests {
     #[test]
     fn knl_slower_than_e5_under_hc() {
         let e5 = e5_model();
-        let knl = Model::new(presets::xeon_phi_7290(), ModelParams::knl_default());
+        let knl = BouncingModel::new(presets::xeon_phi_7290(), ModelParams::knl_default());
         let oe5 = Placement::Packed.assign(e5.topo(), 16);
         let oknl = Placement::Packed.assign(knl.topo(), 16);
         let xe5 = e5.predict_hc(&oe5, Primitive::Faa).throughput_ops_per_sec;

@@ -1,7 +1,65 @@
 //! Prediction-vs-measurement comparison: per-point rows and aggregate
 //! error metrics (experiment E9 / "model validation" figure).
+//!
+//! The campaign-wide validation path hands this module
+//! `(Scenario, Prediction, measured)` triples; [`validated_rows`]
+//! projects them onto a [`ValidationMetric`] to produce the flat
+//! [`ValidationRow`]s the aggregate metrics consume.
 
+use crate::scenario::{Prediction, Scenario};
+use bounce_atomics::LockShape;
 use serde::{Deserialize, Serialize};
+
+/// Which predicted quantity a validation compares against the
+/// measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValidationMetric {
+    /// The prediction's top-level throughput (ops/s; goodput for CAS
+    /// loops, combined rate for mixed read/write).
+    Throughput,
+    /// Per-operation latency in cycles.
+    LatencyCycles,
+    /// Handoffs per second for one lock shape.
+    Handoffs(LockShape),
+}
+
+impl ValidationMetric {
+    /// Extract this metric from a prediction. Lock-handoff rates are 0
+    /// when the prediction is not a lock prediction.
+    pub fn of(&self, p: &Prediction) -> f64 {
+        match self {
+            ValidationMetric::Throughput => p.throughput_ops_per_sec,
+            ValidationMetric::LatencyCycles => p.latency_cycles,
+            ValidationMetric::Handoffs(shape) => p.lock_handoffs().map_or(0.0, |h| h.get(*shape)),
+        }
+    }
+
+    /// Short label, e.g. `throughput` or `handoffs-mcs`.
+    pub fn label(&self) -> String {
+        match self {
+            ValidationMetric::Throughput => "throughput".to_string(),
+            ValidationMetric::LatencyCycles => "latency".to_string(),
+            ValidationMetric::Handoffs(shape) => format!("handoffs-{}", shape.label()),
+        }
+    }
+}
+
+/// Project `(Scenario, Prediction, measured)` triples onto `metric`,
+/// producing one [`ValidationRow`] per triple (keyed by the scenario's
+/// thread count).
+pub fn validated_rows(
+    triples: &[(Scenario, Prediction, f64)],
+    metric: ValidationMetric,
+) -> Vec<ValidationRow> {
+    triples
+        .iter()
+        .map(|(s, p, measured)| ValidationRow {
+            n: s.n(),
+            predicted: metric.of(p),
+            measured: *measured,
+        })
+        .collect()
+}
 
 /// One prediction-vs-measurement comparison point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -106,5 +164,76 @@ mod tests {
     #[test]
     fn empty_rows() {
         assert_eq!(mape(&[]), 0.0);
+        assert_eq!(max_ape(&[]), 0.0);
+    }
+
+    #[test]
+    fn rel_error_zero_measured_is_zero() {
+        // A dead point must not poison the aggregate with inf/NaN.
+        let r = ValidationRow {
+            n: 4,
+            predicted: 123.0,
+            measured: 0.0,
+        };
+        assert_eq!(r.rel_error(), 0.0);
+        assert_eq!(r.ape_pct(), 0.0);
+    }
+
+    #[test]
+    fn all_zero_experiment_reports_zero_error() {
+        // An experiment where every measurement is zero (e.g. a sim
+        // failure swallowed upstream) has no comparable points at all.
+        let rows: Vec<ValidationRow> = (1..=8)
+            .map(|n| ValidationRow {
+                n,
+                predicted: n as f64 * 10.0,
+                measured: 0.0,
+            })
+            .collect();
+        assert_eq!(mape(&rows), 0.0);
+        assert_eq!(max_ape(&rows), 0.0);
+        assert!(rows.iter().all(|r| r.rel_error() == 0.0));
+    }
+
+    #[test]
+    fn validated_rows_project_triples() {
+        use crate::params::ModelParams;
+        use crate::predict::BouncingModel;
+        use crate::scenario::Predictor;
+        use bounce_atomics::Primitive;
+        use bounce_topo::{presets, Placement};
+
+        let topo = presets::xeon_e5_2695_v4();
+        let m = BouncingModel::new(topo.clone(), ModelParams::e5_default());
+        let threads = Placement::Packed.assign(&topo, 8);
+        let s = Scenario::high_contention(&threads, Primitive::Faa);
+        let p = m.predict(&s);
+        let triples = vec![(s, p, 1.0e7)];
+
+        let tput = validated_rows(&triples, ValidationMetric::Throughput);
+        assert_eq!(tput.len(), 1);
+        assert_eq!(tput[0].n, 8);
+        assert_eq!(tput[0].predicted, p.throughput_ops_per_sec);
+        assert_eq!(tput[0].measured, 1.0e7);
+
+        let lat = validated_rows(&triples, ValidationMetric::LatencyCycles);
+        assert_eq!(lat[0].predicted, p.latency_cycles);
+
+        // A non-lock prediction projected onto a lock metric is 0.
+        let h = validated_rows(&triples, ValidationMetric::Handoffs(LockShape::Mcs));
+        assert_eq!(h[0].predicted, 0.0);
+    }
+
+    #[test]
+    fn metric_labels_distinct() {
+        let mut labels: Vec<String> = vec![
+            ValidationMetric::Throughput.label(),
+            ValidationMetric::LatencyCycles.label(),
+        ];
+        for s in LockShape::ALL {
+            labels.push(ValidationMetric::Handoffs(s).label());
+        }
+        let set: std::collections::BTreeSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
     }
 }

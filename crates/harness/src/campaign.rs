@@ -3,12 +3,13 @@
 //! latency on the full sweep — as a reusable API.
 
 use crate::measurement::Measurement;
+use crate::modeltime::predict_timed;
 use crate::simrun::SimRunConfig;
 use bounce_atomics::Primitive;
-use bounce_core::fit::{fit_transfer_costs, FitReport, SweepObservation};
-use bounce_core::validate::{mape, ValidationRow};
-use bounce_core::{Model, ModelParams};
-use bounce_topo::{HwThreadId, MachineTopology, Placement};
+use bounce_core::fit::{fit_transfer_costs, FitReport, ScenarioObservation};
+use bounce_core::validate::{mape, validated_rows, ValidationMetric, ValidationRow};
+use bounce_core::{Model, ModelParams, Prediction, Scenario};
+use bounce_topo::{MachineTopology, Placement, PlacementOrder};
 use bounce_workloads::Workload;
 
 /// Which sweep points train the fit.
@@ -74,47 +75,54 @@ pub fn try_fit_and_validate(
     initial: &ModelParams,
     split: TrainSplit,
 ) -> Result<Campaign, bounce_sim::SimError> {
-    let order = cfg.placement.full_order(topo);
-    let measurements: Vec<Measurement> = crate::parallel::par_map(ns, |&n| {
-        crate::simrun::try_sim_measure(topo, &Workload::HighContention { prim }, n, cfg)
-    })
-    .into_iter()
-    .collect::<Result<_, _>>()?;
+    let w = Workload::HighContention { prim };
+    let order = PlacementOrder::new(cfg.placement, topo);
+    let measurements: Vec<Measurement> =
+        crate::parallel::par_map(ns, |&n| crate::simrun::try_sim_measure(topo, &w, n, cfg))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     let multi: Vec<&Measurement> = measurements.iter().filter(|m| m.n >= 2).collect();
-    let train: Vec<SweepObservation> = multi
+    // Each point's model input is the scenario the workload itself
+    // derives — the same source of truth the simulator programs come
+    // from.
+    let scenario_of = |m: &Measurement| -> Scenario {
+        w.scenario(order.threads_of(m.n))
+            .expect("high contention maps to a scenario")
+    };
+    let train: Vec<ScenarioObservation> = multi
         .iter()
         .enumerate()
         .filter(|(i, _)| match split {
             TrainSplit::All => true,
             TrainSplit::Alternate => i % 2 == 0,
         })
-        .map(|(_, m)| SweepObservation {
-            threads: order[..m.n].to_vec(),
-            prim,
-            throughput_ops_per_sec: m.throughput_ops_per_sec,
-        })
+        .map(|(_, m)| ScenarioObservation::new(scenario_of(m), m.throughput_ops_per_sec))
         .collect();
     let fit = fit_transfer_costs(topo, &train, initial);
     let model = Model::new(topo.clone(), fit.params.clone());
-    let threads_of = |n: usize| -> Vec<HwThreadId> { order[..n].to_vec() };
-    let throughput_rows: Vec<ValidationRow> = multi
+    let predicted: Vec<(Scenario, Prediction)> = multi
         .iter()
-        .map(|m| ValidationRow {
-            n: m.n,
-            predicted: model
-                .predict_hc(&threads_of(m.n), prim)
-                .throughput_ops_per_sec,
-            measured: m.throughput_ops_per_sec,
+        .map(|m| {
+            let s = scenario_of(m);
+            let p = predict_timed(&model, &s);
+            (s, p)
         })
         .collect();
-    let latency_rows: Vec<ValidationRow> = multi
-        .iter()
-        .map(|m| ValidationRow {
-            n: m.n,
-            predicted: model.predict_hc(&threads_of(m.n), prim).latency_cycles,
-            measured: m.mean_latency_cycles,
-        })
-        .collect();
+    let triples = |measured: &dyn Fn(&Measurement) -> f64| -> Vec<(Scenario, Prediction, f64)> {
+        predicted
+            .iter()
+            .zip(&multi)
+            .map(|((s, p), m)| (s.clone(), *p, measured(m)))
+            .collect()
+    };
+    let throughput_rows = validated_rows(
+        &triples(&|m| m.throughput_ops_per_sec),
+        ValidationMetric::Throughput,
+    );
+    let latency_rows = validated_rows(
+        &triples(&|m| m.mean_latency_cycles),
+        ValidationMetric::LatencyCycles,
+    );
     Ok(Campaign {
         fit,
         throughput_rows,

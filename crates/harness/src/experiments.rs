@@ -7,13 +7,14 @@
 //! for tests; the `repro` binary runs the full versions.
 
 use crate::measurement::Measurement;
+use crate::modeltime::predict_timed;
 use crate::report::{fmt_f64, Table};
 use crate::simrun::{try_sim_measure, try_sim_measure_pinned, SimRunConfig};
 use bounce_atomics::Primitive;
 use bounce_core::fairness::{predict_jain, ArbitrationKind};
-use bounce_core::{Model, ModelParams};
+use bounce_core::{BouncingModel, ModelParams, Scenario};
 use bounce_sim::{ArbitrationPolicy, CoherenceKind, FaultConfig, SimError, SimParams};
-use bounce_topo::{presets, HwThreadId, Interconnect, MachineTopology, Placement};
+use bounce_topo::{presets, HwThreadId, Interconnect, MachineTopology, Placement, PlacementOrder};
 use bounce_workloads::{LockShape, Workload};
 use std::fmt;
 
@@ -61,7 +62,7 @@ impl std::error::Error for ExpError {
 pub type ExpResult = Result<Table, ExpError>;
 
 /// [`try_sim_measure`] with the failing point's config attached.
-fn measure(
+pub(crate) fn measure(
     topo: &MachineTopology,
     w: &Workload,
     n: usize,
@@ -131,6 +132,12 @@ impl Machine {
         }
     }
 
+    /// The analytic model over this machine's topology preset and
+    /// default parameters — the one every experiment predicts through.
+    pub fn model(&self) -> BouncingModel {
+        BouncingModel::new(self.topo(), self.model_params())
+    }
+
     /// The thread-count sweep used by the contention figures.
     pub fn sweep_ns(&self, quick: bool) -> Vec<usize> {
         if quick {
@@ -190,7 +197,7 @@ impl ExpCtx {
         self
     }
 
-    fn run_cfg(&self, machine: Machine, _topo: &MachineTopology) -> SimRunConfig {
+    pub(crate) fn run_cfg(&self, machine: Machine, _topo: &MachineTopology) -> SimRunConfig {
         let mut cfg = SimRunConfig {
             params: machine.sim_params(),
             duration_cycles: if self.quick { 300_000 } else { 2_000_000 },
@@ -331,8 +338,8 @@ pub fn fig2(ctx: ExpCtx, machine: Machine) -> ExpResult {
 pub fn fig3(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
-    let model = Model::new(topo.clone(), machine.model_params());
-    let order = Placement::Packed.full_order(&topo);
+    let model = machine.model();
+    let order = PlacementOrder::new(Placement::Packed, &topo);
     let window = 30u64;
     let mut t = Table::new(
         format!(
@@ -348,14 +355,18 @@ pub fn fig3(ctx: ExpCtx, machine: Machine) -> ExpResult {
         ],
     );
     for n in machine.sweep_ns(ctx.quick) {
-        let meas = measure(&topo, &Workload::CasRetryLoop { window, work: 0 }, n, &cfg)?;
-        let pred = model.predict_cas_loop(&order[..n], window as f64);
+        let w = Workload::CasRetryLoop { window, work: 0 };
+        let meas = measure(&topo, &w, n, &cfg)?;
+        let scenario = w
+            .scenario(order.threads_of(n))
+            .expect("plain CAS retry loop maps to a scenario");
+        let pred = predict_timed(&model, &scenario);
         t.push(vec![
             n.to_string(),
             mops(meas.cond_attempts_per_sec),
             mops(meas.goodput_ops_per_sec),
             fmt_f64(meas.failure_rate),
-            fmt_f64(1.0 - pred.success_rate),
+            fmt_f64(1.0 - pred.success_rate().expect("CAS-loop prediction")),
         ]);
     }
     Ok(t)
@@ -366,7 +377,7 @@ pub fn fig3(ctx: ExpCtx, machine: Machine) -> ExpResult {
 /// the locality-biased policy.
 pub fn fig4(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
-    let order = Placement::Scattered.full_order(&topo);
+    let order = PlacementOrder::new(Placement::Scattered, &topo);
     let mut t = Table::new(
         format!(
             "Fig 4 (E6): fairness vs threads (FAA, scattered) — {}",
@@ -387,12 +398,12 @@ pub fn fig4(ctx: ExpCtx, machine: Machine) -> ExpResult {
                 &Workload::HighContention {
                     prim: Primitive::Faa,
                 },
-                &order[..n],
+                order.threads_of(n),
                 &cfg,
             )?;
             row.push(fmt_f64(meas.jain));
         }
-        let pred = predict_jain(&topo, &order[..n], ArbitrationKind::NearestFirst);
+        let pred = predict_jain(&topo, order.threads_of(n), ArbitrationKind::NearestFirst);
         row.push(fmt_f64(pred));
         t.push(row);
     }
@@ -404,21 +415,17 @@ pub fn fig4(ctx: ExpCtx, machine: Machine) -> ExpResult {
 pub fn fig5(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
-    let model = Model::new(topo.clone(), machine.model_params());
-    let order = Placement::Packed.full_order(&topo);
+    let model = machine.model();
+    let order = PlacementOrder::new(Placement::Packed, &topo);
     let mut t = Table::new(
         format!("Fig 5 (E7): energy per op vs threads (HC) — {}", topo.name),
         &["n", "faa_nj", "cas_nj", "model_faa_nj", "lc_faa_nj"],
     );
     for n in machine.sweep_ns(ctx.quick) {
-        let faa = measure(
-            &topo,
-            &Workload::HighContention {
-                prim: Primitive::Faa,
-            },
-            n,
-            &cfg,
-        )?;
+        let w_faa = Workload::HighContention {
+            prim: Primitive::Faa,
+        };
+        let faa = measure(&topo, &w_faa, n, &cfg)?;
         let cas = measure(
             &topo,
             &Workload::HighContention {
@@ -436,7 +443,10 @@ pub fn fig5(ctx: ExpCtx, machine: Machine) -> ExpResult {
             n,
             &cfg,
         )?;
-        let pred = model.predict_hc(&order[..n], Primitive::Faa);
+        let scenario = w_faa
+            .scenario(order.threads_of(n))
+            .expect("high contention maps to a scenario");
+        let pred = predict_timed(&model, &scenario);
         t.push(vec![
             n.to_string(),
             fmt_f64(faa.energy_per_op_nj.unwrap_or(0.0)),
@@ -459,7 +469,7 @@ pub fn fig6(ctx: ExpCtx, machine: Machine) -> ExpResult {
         ),
         &["n", "swap", "tas", "faa", "cas", "ideal_faa"],
     );
-    let model = Model::new(topo.clone(), machine.model_params());
+    let model = machine.model();
     for n in machine.sweep_ns(ctx.quick) {
         let mut row = vec![n.to_string()];
         for prim in Primitive::RMW {
@@ -467,8 +477,7 @@ pub fn fig6(ctx: ExpCtx, machine: Machine) -> ExpResult {
             row.push(mops(meas.throughput_ops_per_sec));
         }
         row.push(mops(
-            model
-                .predict_lc(n, Primitive::Faa, 0.0)
+            predict_timed(&model, &Scenario::low_contention(n, Primitive::Faa, 0.0))
                 .throughput_ops_per_sec,
         ));
         t.push(row);
@@ -549,7 +558,7 @@ pub fn fig7(ctx: ExpCtx, machine: Machine) -> ExpResult {
 pub fn fig8(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
-    let model = Model::new(topo.clone(), machine.model_params());
+    let model = machine.model();
     let n = if ctx.quick {
         4
     } else {
@@ -572,15 +581,12 @@ pub fn fig8(ctx: ExpCtx, machine: Machine) -> ExpResult {
     );
     for placement in Placement::ALL {
         let hw = placement.assign(&topo, n);
-        let meas = measure_pinned(
-            &topo,
-            &Workload::HighContention {
-                prim: Primitive::Faa,
-            },
-            &hw,
-            &cfg,
-        )?;
-        let pred = model.predict_hc(&hw, Primitive::Faa);
+        let w = Workload::HighContention {
+            prim: Primitive::Faa,
+        };
+        let meas = measure_pinned(&topo, &w, &hw, &cfg)?;
+        let scenario = w.scenario(&hw).expect("high contention maps to a scenario");
+        let pred = predict_timed(&model, &scenario);
         t.push(vec![
             placement.label().into(),
             mops(meas.throughput_ops_per_sec),
@@ -602,7 +608,7 @@ pub fn fig8(ctx: ExpCtx, machine: Machine) -> ExpResult {
 pub fn fig9(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
-    let model = Model::new(topo.clone(), machine.model_params());
+    let model = machine.model();
     let n = if ctx.quick { 4 } else { 16 };
     let order = Placement::Packed.assign(&topo, n);
     let works: &[u64] = if ctx.quick {
@@ -623,16 +629,13 @@ pub fn fig9(ctx: ExpCtx, machine: Machine) -> ExpResult {
         ],
     );
     for &work in works {
-        let meas = measure(
-            &topo,
-            &Workload::Diluted {
-                prim: Primitive::Faa,
-                work,
-            },
-            n,
-            &cfg,
-        )?;
-        let pred = model.predict_dilution(&order, Primitive::Faa, work as f64);
+        let w = Workload::Diluted {
+            prim: Primitive::Faa,
+            work,
+        };
+        let meas = measure(&topo, &w, n, &cfg)?;
+        let scenario = w.scenario(&order).expect("dilution maps to a scenario");
+        let pred = predict_timed(&model, &scenario);
         t.push(vec![
             work.to_string(),
             mops(meas.throughput_ops_per_sec),
@@ -675,7 +678,8 @@ pub fn fig10(ctx: ExpCtx, machine: Machine) -> ExpResult {
             "ticket_jain",
         ],
     );
-    let model = Model::new(topo.clone(), machine.model_params());
+    let model = machine.model();
+    let order = PlacementOrder::new(Placement::Packed, &topo);
     for n in ns {
         let mut row = vec![n.to_string()];
         let mut ticket_jain = 1.0;
@@ -690,38 +694,24 @@ pub fn fig10(ctx: ExpCtx, machine: Machine) -> ExpResult {
                 n,
                 &cfg,
             )?;
-            // Handoffs = successful acquisitions. TAS/TTAS: the
-            // successful-TAS count. Ticket: two FAAs per handoff (take
-            // ticket + advance serving). MCS: exactly one SWAP per
-            // acquisition (its release CAS only succeeds when
-            // uncontended, so goodput would undercount).
-            let handoffs = match shape {
-                LockShape::Ticket => meas.goodput_ops_per_sec / 2.0,
-                LockShape::Mcs => {
-                    let total: u64 = meas.per_thread_ops.iter().sum();
-                    let swaps = meas.ops_by_prim.map_or(0, |o| {
-                        o[Primitive::ALL
-                            .iter()
-                            .position(|p| *p == Primitive::Swap)
-                            .unwrap()]
-                    });
-                    if total == 0 {
-                        0.0
-                    } else {
-                        meas.throughput_ops_per_sec * swaps as f64 / total as f64
-                    }
-                }
-                _ => meas.goodput_ops_per_sec,
-            };
-            row.push(mops(handoffs));
+            row.push(mops(meas.lock_handoffs_per_sec(shape)));
             if shape == LockShape::Ticket {
                 ticket_jain = meas.jain;
             }
         }
-        let threads = Placement::Packed.assign(&topo, n);
-        let (m_tas, _m_ttas, _m_ticket, m_mcs) = model.predict_lock_handoffs(&threads, 100.0);
-        row.push(mops(m_tas));
-        row.push(mops(m_mcs));
+        // One lock scenario covers the whole shape ladder (the model's
+        // handoff prediction is keyed by shape, not one call per lock).
+        let scenario = Workload::LockHandoff {
+            shape: LockShape::Tas,
+            cs: 100,
+            noncs: 100,
+        }
+        .scenario(order.threads_of(n))
+        .expect("lock handoff maps to a scenario");
+        let pred = predict_timed(&model, &scenario);
+        let handoffs = pred.lock_handoffs().expect("lock prediction");
+        row.push(mops(handoffs.get(LockShape::Tas)));
+        row.push(mops(handoffs.get(LockShape::Mcs)));
         row.push(fmt_f64(ticket_jain));
         t.push(row);
     }
@@ -779,8 +769,8 @@ pub fn fig11(ctx: ExpCtx, machine: Machine) -> ExpResult {
 /// invalidation burst.
 pub fn fig12(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
-    let model = Model::new(topo.clone(), machine.model_params());
-    let order = Placement::Packed.full_order(&topo);
+    let model = machine.model();
+    let order = PlacementOrder::new(Placement::Packed, &topo);
     let mut t = Table::new(
         format!(
             "Fig 12 (E14): 1 writer + readers, MESIF vs MESI (total Mops/s) — {}",
@@ -798,31 +788,29 @@ pub fn fig12(ctx: ExpCtx, machine: Machine) -> ExpResult {
         if n > topo.num_threads() {
             continue;
         }
+        let w = Workload::MixedReadWrite {
+            writers: 1,
+            prim: Primitive::Faa,
+        };
         let run = |protocol: CoherenceKind| -> Result<f64, ExpError> {
             let mut cfg = ctx.run_cfg(machine, &topo);
             cfg.params.protocol = protocol;
-            Ok(measure(
-                &topo,
-                &Workload::MixedReadWrite {
-                    writers: 1,
-                    prim: Primitive::Faa,
-                },
-                n,
-                &cfg,
-            )?
-            .throughput_ops_per_sec)
+            Ok(measure(&topo, &w, n, &cfg)?.throughput_ops_per_sec)
         };
         let with = run(CoherenceKind::Mesif)?;
         let without = run(CoherenceKind::Mesi)?;
-        // The reader loop in the workload inserts 8 cycles of local
-        // work per read (see `bounce_workloads::spec::reader_loop`).
-        let pred = model.predict_mixed_rw(order[0], &order[1..n], 8.0);
+        // The derived scenario carries the reader gap the reader loop
+        // actually runs (`bounce_workloads::READER_GAP_CYCLES`).
+        let scenario = w
+            .scenario(order.threads_of(n))
+            .expect("1-writer mixed read/write maps to a scenario");
+        let pred = predict_timed(&model, &scenario);
         t.push(vec![
             readers.to_string(),
             mops(with),
             mops(without),
             fmt_f64(with / without.max(1.0)),
-            mops(pred.total_ops_per_sec),
+            mops(pred.throughput_ops_per_sec),
         ]);
     }
     Ok(t)
@@ -834,7 +822,7 @@ pub fn fig12(ctx: ExpCtx, machine: Machine) -> ExpResult {
 pub fn fig13(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
-    let model = Model::new(topo.clone(), machine.model_params());
+    let model = machine.model();
     let n = if ctx.quick { 4 } else { 16 };
     let order = Placement::Packed.assign(&topo, n);
     let stripes: Vec<usize> = if ctx.quick {
@@ -851,16 +839,15 @@ pub fn fig13(ctx: ExpCtx, machine: Machine) -> ExpResult {
     );
     let mut base = 0.0;
     for lines in stripes {
-        let meas = measure(
-            &topo,
-            &Workload::MultiLine {
-                prim: Primitive::Faa,
-                lines,
-            },
-            n,
-            &cfg,
-        )?;
-        let pred = model.predict_multiline(&order, Primitive::Faa, lines);
+        let w = Workload::MultiLine {
+            prim: Primitive::Faa,
+            lines,
+        };
+        let meas = measure(&topo, &w, n, &cfg)?;
+        let scenario = w
+            .scenario(&order)
+            .expect("line striping maps to a scenario");
+        let pred = predict_timed(&model, &scenario);
         if lines == 1 {
             base = meas.throughput_ops_per_sec;
         }
@@ -1168,7 +1155,7 @@ pub fn latency_hist(ctx: ExpCtx, machine: Machine) -> ExpResult {
 pub fn fig14(ctx: ExpCtx, machine: Machine) -> ExpResult {
     let topo = machine.topo();
     let cfg = ctx.run_cfg(machine, &topo);
-    let model = Model::new(topo.clone(), machine.model_params());
+    let model = machine.model();
     let n = if ctx.quick { 4 } else { 16 };
     let lines = 8;
     let order = Placement::Packed.assign(&topo, n);
@@ -1202,8 +1189,8 @@ pub fn fig14(ctx: ExpCtx, machine: Machine) -> ExpResult {
             &cfg,
         )?;
         let p0 = bounce_workloads::Zipf::new(lines, theta).pmf(0);
-        let hc = model.predict_hc(&order, Primitive::Faa);
-        let lc = model.predict_lc(n, Primitive::Faa, 0.0);
+        let hc = predict_timed(&model, &Scenario::high_contention(&order, Primitive::Faa));
+        let lc = predict_timed(&model, &Scenario::low_contention(n, Primitive::Faa, 0.0));
         let bound = (hc.throughput_ops_per_sec / p0).min(lc.throughput_ops_per_sec);
         t.push(vec![
             format!("{theta:.1}"),
@@ -1222,7 +1209,7 @@ pub fn fig14(ctx: ExpCtx, machine: Machine) -> ExpResult {
 pub fn sensitivity(ctx: ExpCtx, machine: Machine) -> ExpResult {
     use bounce_core::sensitivity::hc_sensitivities;
     let topo = machine.topo();
-    let model = Model::new(topo.clone(), machine.model_params());
+    let model = machine.model();
     let configs: Vec<(&str, usize)> = if ctx.quick {
         vec![("small", 4)]
     } else {

@@ -1,5 +1,6 @@
 //! The unified result type both backends produce.
 
+use bounce_atomics::{LockShape, Primitive};
 use serde::{Deserialize, Serialize};
 
 /// Which backend produced a measurement.
@@ -77,6 +78,35 @@ impl Measurement {
     pub fn total_transfers(&self) -> Option<u64> {
         self.transfers_by_domain.map(|t| t.iter().sum())
     }
+
+    /// Critical-section handoffs per second, for a measurement of a
+    /// lock-handoff workload of the given `shape`.
+    ///
+    /// Handoffs = successful acquisitions. TAS/TTAS: the
+    /// successful-TAS count. Ticket: two FAAs per handoff (take
+    /// ticket + advance serving). MCS: exactly one SWAP per
+    /// acquisition (its release CAS only succeeds when uncontended,
+    /// so goodput would undercount).
+    pub fn lock_handoffs_per_sec(&self, shape: LockShape) -> f64 {
+        match shape {
+            LockShape::Ticket => self.goodput_ops_per_sec / 2.0,
+            LockShape::Mcs => {
+                let total: u64 = self.per_thread_ops.iter().sum();
+                let swaps = self.ops_by_prim.map_or(0, |o| {
+                    o[Primitive::ALL
+                        .iter()
+                        .position(|p| *p == Primitive::Swap)
+                        .unwrap()]
+                });
+                if total == 0 {
+                    0.0
+                } else {
+                    self.throughput_ops_per_sec * swaps as f64 / total as f64
+                }
+            }
+            _ => self.goodput_ops_per_sec,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +145,28 @@ mod tests {
     fn backend_labels() {
         assert_eq!(Backend::Sim.label(), "sim");
         assert_eq!(Backend::Native.label(), "native");
+    }
+
+    #[test]
+    fn lock_handoff_accounting_by_shape() {
+        let mut m = mk();
+        m.goodput_ops_per_sec = 2e6;
+        m.throughput_ops_per_sec = 3e6;
+        m.per_thread_ops = vec![30, 30];
+        let mut by_prim = [0u64; 6];
+        by_prim[Primitive::ALL
+            .iter()
+            .position(|p| *p == Primitive::Swap)
+            .unwrap()] = 20;
+        m.ops_by_prim = Some(by_prim);
+        // TAS/TTAS report goodput; ticket halves it (two FAAs per
+        // handoff); MCS scales total throughput by the SWAP share.
+        assert_eq!(m.lock_handoffs_per_sec(LockShape::Tas), 2e6);
+        assert_eq!(m.lock_handoffs_per_sec(LockShape::Ttas), 2e6);
+        assert_eq!(m.lock_handoffs_per_sec(LockShape::Ticket), 1e6);
+        assert_eq!(m.lock_handoffs_per_sec(LockShape::Mcs), 1e6);
+        m.per_thread_ops = vec![0, 0];
+        assert_eq!(m.lock_handoffs_per_sec(LockShape::Mcs), 0.0);
     }
 
     #[test]

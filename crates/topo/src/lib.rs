@@ -44,6 +44,6 @@ pub use machine::{
     CacheLevel, CacheSharing, Core, CoreId, HwThread, HwThreadId, Interconnect, MachineTopology,
     MeshPos, Socket, SocketId, Tile, TileId,
 };
-pub use placement::Placement;
+pub use placement::{Placement, PlacementOrder};
 pub use protocol::CoherenceKind;
 pub use route::Link;

@@ -125,6 +125,52 @@ impl Placement {
     }
 }
 
+/// A placement's full assignment order, precomputed once, with cheap
+/// "first `n` threads" prefix access.
+///
+/// Sweeps ask for the same placement's prefixes over and over; this is
+/// the one shared helper for that pattern (previously copy-pasted as
+/// ad-hoc `threads_of` closures at every sweep site).
+///
+/// ```
+/// use bounce_topo::{presets, Placement, PlacementOrder};
+///
+/// let topo = presets::xeon_e5_2695_v4();
+/// let order = PlacementOrder::new(Placement::Packed, &topo);
+/// assert_eq!(order.threads_of(4), &order.full()[..4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementOrder {
+    order: Vec<HwThreadId>,
+}
+
+impl PlacementOrder {
+    /// Precompute `placement`'s full order over `topo`.
+    pub fn new(placement: Placement, topo: &MachineTopology) -> Self {
+        PlacementOrder {
+            order: placement.full_order(topo),
+        }
+    }
+
+    /// The first `n` threads of the placement order.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the machine's hardware-thread count.
+    pub fn threads_of(&self, n: usize) -> &[HwThreadId] {
+        assert!(
+            n <= self.order.len(),
+            "cannot take {n} threads from a {}-thread placement order",
+            self.order.len()
+        );
+        &self.order[..n]
+    }
+
+    /// The complete order.
+    pub fn full(&self) -> &[HwThreadId] {
+        &self.order
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +234,25 @@ mod tests {
                 assert_eq!(&p.assign(&topo, n)[..], &full[..n]);
             }
         }
+    }
+
+    #[test]
+    fn placement_order_prefixes_match_assign() {
+        let topo = tiny_test_machine();
+        for p in Placement::ALL {
+            let order = PlacementOrder::new(p, &topo);
+            assert_eq!(order.full(), &p.full_order(&topo)[..]);
+            for n in 0..=topo.num_threads() {
+                assert_eq!(order.threads_of(n), &p.assign(&topo, n)[..]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn placement_order_rejects_oversubscription() {
+        let topo = tiny_test_machine();
+        let order = PlacementOrder::new(Placement::Packed, &topo);
+        let _ = order.threads_of(topo.num_threads() + 1);
     }
 }

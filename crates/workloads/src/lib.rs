@@ -27,5 +27,5 @@ pub mod spec;
 pub mod zipf;
 
 pub use addr::AddressMap;
-pub use spec::{LockShape, Workload};
+pub use spec::{LockShape, Workload, READER_GAP_CYCLES};
 pub use zipf::{zipf_program, Zipf};

@@ -3,41 +3,16 @@
 
 use crate::addr::AddressMap;
 use bounce_atomics::Primitive;
+use bounce_core::Scenario;
 use bounce_sim::program::{builders, Operand, Program, Step};
+use bounce_topo::HwThreadId;
 use serde::{Deserialize, Serialize};
 
-/// Lock algorithm used by [`Workload::LockHandoff`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LockShape {
-    /// Spin on TAS — every spin is an RMW on the lock line.
-    Tas,
-    /// Test-and-test-and-set — local spinning, RMW only when free.
-    Ttas,
-    /// Ticket lock — one FAA per acquisition, FIFO fair.
-    Ticket,
-    /// MCS queue lock — spin on a private node; one transfer per handoff.
-    Mcs,
-}
-
-impl LockShape {
-    /// All shapes.
-    pub const ALL: [LockShape; 4] = [
-        LockShape::Tas,
-        LockShape::Ttas,
-        LockShape::Ticket,
-        LockShape::Mcs,
-    ];
-
-    /// Short label.
-    pub fn label(&self) -> &'static str {
-        match self {
-            LockShape::Tas => "tas",
-            LockShape::Ttas => "ttas",
-            LockShape::Ticket => "ticket",
-            LockShape::Mcs => "mcs",
-        }
-    }
-}
+// `LockShape` (the lock algorithm used by [`Workload::LockHandoff`]) now
+// lives in `bounce_atomics` next to the concrete lock implementations, so
+// the model layer can key on it without depending on this crate. Kept as
+// a re-export for existing importers.
+pub use bounce_atomics::LockShape;
 
 /// A complete workload description — what each of `n` threads does.
 ///
@@ -268,6 +243,45 @@ impl Workload {
             .collect()
     }
 
+    /// Derive the model-facing [`Scenario`] this workload realises when
+    /// run on `threads` — the one source of truth tying the simulator
+    /// program (from [`Workload::sim_programs`]) to the model input.
+    ///
+    /// Returns `None` for workloads the analytical model does not cover:
+    /// `ReadScan` (an L1-eviction stressor for the coherence protocols),
+    /// `CasRetryLoopBackoff` (backoff is deliberately outside the
+    /// model), `Zipf` (skewed multi-line access), CAS loops with extra
+    /// non-window work, and multi-writer mixes. Notably `FalseSharing`
+    /// *is* covered: distinct words on one line bounce exactly like one
+    /// shared word, so it maps to the high-contention scenario.
+    pub fn scenario(&self, threads: &[HwThreadId]) -> Option<Scenario> {
+        match *self {
+            Workload::HighContention { prim } => Some(Scenario::high_contention(threads, prim)),
+            Workload::LowContention { prim, work } => {
+                Some(Scenario::low_contention(threads.len(), prim, work as f64))
+            }
+            Workload::Diluted { prim, work } => Some(Scenario::diluted(threads, prim, work as f64)),
+            Workload::CasRetryLoop { window, work: 0 } => {
+                Some(Scenario::cas_loop(threads, window as f64))
+            }
+            Workload::MixedReadWrite { writers, .. } if writers == 1 && !threads.is_empty() => {
+                Some(Scenario::mixed_rw(
+                    threads[0],
+                    &threads[1..],
+                    READER_GAP_CYCLES as f64,
+                ))
+            }
+            Workload::LockHandoff { cs, .. } => Some(Scenario::lock_handoff(threads, cs as f64)),
+            Workload::FalseSharing { prim } => Some(Scenario::high_contention(threads, prim)),
+            Workload::MultiLine { prim, lines } => Some(Scenario::multi_line(threads, prim, lines)),
+            Workload::CasRetryLoop { .. }
+            | Workload::MixedReadWrite { .. }
+            | Workload::ReadScan { .. }
+            | Workload::CasRetryLoopBackoff { .. }
+            | Workload::Zipf { .. } => None,
+        }
+    }
+
     /// The standard workload battery every experiment sweep draws from.
     pub fn standard_battery() -> Vec<Workload> {
         let mut v: Vec<Workload> = Primitive::ALL
@@ -292,6 +306,12 @@ impl Workload {
     }
 }
 
+/// Cycles of local work between a [`Workload::MixedReadWrite`] reader's
+/// polls. Shared between the simulator's reader loop and the
+/// derived [`Scenario::MixedRw`] so the model always sees the gap the
+/// sim actually runs.
+pub const READER_GAP_CYCLES: u64 = 8;
+
 /// A pure-reader loop over the shared word with a tiny pause so that a
 /// reader never floods the event queue when the line is quiescent.
 fn reader_loop(map: AddressMap) -> Program {
@@ -302,7 +322,7 @@ fn reader_loop(map: AddressMap) -> Program {
             operand: Operand::Const(0),
             expected: Operand::Const(0),
         },
-        Step::Work(8),
+        Step::Work(READER_GAP_CYCLES),
         Step::Goto(0),
     ])
     .expect("reader loop is well-formed")
@@ -373,6 +393,155 @@ mod tests {
             }
         }
         assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn scenario_derivation_matches_workload_family() {
+        let hw: Vec<HwThreadId> = (0..4).map(HwThreadId).collect();
+        let cases: Vec<(Workload, Option<Scenario>)> = vec![
+            (
+                Workload::HighContention {
+                    prim: Primitive::Faa,
+                },
+                Some(Scenario::high_contention(&hw, Primitive::Faa)),
+            ),
+            (
+                Workload::LowContention {
+                    prim: Primitive::Cas,
+                    work: 50,
+                },
+                Some(Scenario::low_contention(4, Primitive::Cas, 50.0)),
+            ),
+            (
+                Workload::Diluted {
+                    prim: Primitive::Faa,
+                    work: 200,
+                },
+                Some(Scenario::diluted(&hw, Primitive::Faa, 200.0)),
+            ),
+            (
+                Workload::CasRetryLoop {
+                    window: 30,
+                    work: 0,
+                },
+                Some(Scenario::cas_loop(&hw, 30.0)),
+            ),
+            (
+                Workload::MixedReadWrite {
+                    writers: 1,
+                    prim: Primitive::Faa,
+                },
+                Some(Scenario::mixed_rw(
+                    hw[0],
+                    &hw[1..],
+                    READER_GAP_CYCLES as f64,
+                )),
+            ),
+            (
+                Workload::LockHandoff {
+                    shape: LockShape::Mcs,
+                    cs: 100,
+                    noncs: 100,
+                },
+                Some(Scenario::lock_handoff(&hw, 100.0)),
+            ),
+            (
+                Workload::FalseSharing {
+                    prim: Primitive::Faa,
+                },
+                Some(Scenario::high_contention(&hw, Primitive::Faa)),
+            ),
+            (
+                Workload::MultiLine {
+                    prim: Primitive::Faa,
+                    lines: 2,
+                },
+                Some(Scenario::multi_line(&hw, Primitive::Faa, 2)),
+            ),
+            // Unmodeled families derive no scenario.
+            (
+                Workload::CasRetryLoop {
+                    window: 30,
+                    work: 100,
+                },
+                None,
+            ),
+            (
+                Workload::MixedReadWrite {
+                    writers: 2,
+                    prim: Primitive::Faa,
+                },
+                None,
+            ),
+            (
+                Workload::ReadScan {
+                    writers: 1,
+                    writer_work: 2000,
+                },
+                None,
+            ),
+            (
+                Workload::CasRetryLoopBackoff {
+                    window: 30,
+                    backoff: [16, 64, 256],
+                },
+                None,
+            ),
+            (
+                Workload::Zipf {
+                    prim: Primitive::Faa,
+                    lines: 8,
+                    theta: 0.9,
+                    seed: 1,
+                },
+                None,
+            ),
+        ];
+        for (w, expect) in cases {
+            assert_eq!(w.scenario(&hw), expect, "workload {}", w.label());
+        }
+    }
+
+    #[test]
+    fn lock_scenario_is_shape_independent() {
+        // The model predicts the whole ladder at once, so every shape of
+        // the same cs derives the same scenario.
+        let hw: Vec<HwThreadId> = (0..4).map(HwThreadId).collect();
+        let scenarios: Vec<Option<Scenario>> = LockShape::ALL
+            .iter()
+            .map(|&shape| {
+                Workload::LockHandoff {
+                    shape,
+                    cs: 100,
+                    noncs: 100,
+                }
+                .scenario(&hw)
+            })
+            .collect();
+        assert!(scenarios.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn reader_gap_constant_is_what_the_reader_runs() {
+        // The derived scenario's reader gap must be the literal Work
+        // step in the compiled reader program.
+        let w = Workload::MixedReadWrite {
+            writers: 1,
+            prim: Primitive::Faa,
+        };
+        let progs = w.sim_programs(3);
+        let reader = &progs[1];
+        assert!(reader
+            .steps()
+            .iter()
+            .any(|s| matches!(s, Step::Work(g) if *g == READER_GAP_CYCLES)));
+        let hw: Vec<HwThreadId> = (0..3).map(HwThreadId).collect();
+        match w.scenario(&hw) {
+            Some(Scenario::MixedRw { reader_gap, .. }) => {
+                assert_eq!(reader_gap, READER_GAP_CYCLES as f64)
+            }
+            other => panic!("expected MixedRw scenario, got {other:?}"),
+        }
     }
 
     #[test]

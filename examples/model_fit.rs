@@ -7,11 +7,11 @@
 //! ```
 
 use bounce::harness::simrun::{sim_measure, SimRunConfig};
-use bounce::model::fit::{fit_transfer_costs, SweepObservation};
-use bounce::model::validate::{mape, ValidationRow};
-use bounce::model::{Model, ModelParams};
+use bounce::model::fit::{fit_transfer_costs, ScenarioObservation};
+use bounce::model::validate::{mape, validated_rows, ValidationMetric};
+use bounce::model::{Model, ModelParams, Predictor, Scenario};
 use bounce::sim::ArbitrationPolicy;
-use bounce::topo::{presets, Placement};
+use bounce::topo::{presets, Placement, PlacementOrder};
 use bounce::workloads::Workload;
 use bounce_atomics::Primitive;
 
@@ -19,35 +19,31 @@ fn main() {
     let topo = presets::xeon_phi_7290();
     let mut cfg = SimRunConfig::for_machine(&topo);
     cfg.params.arbitration = ArbitrationPolicy::Fifo;
-    let order = Placement::Packed.full_order(&topo);
+    let order = PlacementOrder::new(Placement::Packed, &topo);
+    let w = Workload::HighContention {
+        prim: Primitive::Faa,
+    };
 
-    // 1. Measure the sweep.
+    // 1. Measure the sweep. Each point's model input is the scenario
+    //    the workload itself derives — the same spec the simulator ran.
     println!("measuring HC FAA sweep on simulated {} ...", topo.name);
     let ns = [2usize, 4, 8, 16, 32, 64, 144, 288];
-    let measured: Vec<(usize, f64)> = ns
+    let measured: Vec<(Scenario, f64)> = ns
         .iter()
         .map(|&n| {
-            let m = sim_measure(
-                &topo,
-                &Workload::HighContention {
-                    prim: Primitive::Faa,
-                },
-                n,
-                &cfg,
-            );
-            (n, m.throughput_ops_per_sec)
+            let m = sim_measure(&topo, &w, n, &cfg);
+            let scenario = w
+                .scenario(order.threads_of(n))
+                .expect("high contention maps to a scenario");
+            (scenario, m.throughput_ops_per_sec)
         })
         .collect();
 
     // 2. Fit the four transfer costs on the even points.
-    let train: Vec<SweepObservation> = measured
+    let train: Vec<ScenarioObservation> = measured
         .iter()
         .step_by(2)
-        .map(|(n, x)| SweepObservation {
-            threads: order[..*n].to_vec(),
-            prim: Primitive::Faa,
-            throughput_ops_per_sec: *x,
-        })
+        .map(|(s, x)| ScenarioObservation::new(s.clone(), *x))
         .collect();
     let fit = fit_transfer_costs(&topo, &train, &ModelParams::knl_default());
     println!(
@@ -66,28 +62,23 @@ fn main() {
 
     // 3. Validate on the whole sweep (including held-out points).
     let model = Model::new(topo.clone(), fit.params.clone());
-    let mut rows = Vec::new();
+    let triples: Vec<_> = measured
+        .iter()
+        .map(|(s, x)| (s.clone(), model.predict(s), *x))
+        .collect();
+    let rows = validated_rows(&triples, ValidationMetric::Throughput);
     println!(
         "\n{:>5} {:>14} {:>14} {:>8}",
         "n", "measured Mops", "predicted Mops", "err %"
     );
-    for (n, x) in &measured {
-        let pred = model
-            .predict_hc(&order[..*n], Primitive::Faa)
-            .throughput_ops_per_sec;
-        let row = ValidationRow {
-            n: *n,
-            predicted: pred,
-            measured: *x,
-        };
+    for row in &rows {
         println!(
             "{:>5} {:>14.2} {:>14.2} {:>7.1}%",
-            n,
-            x / 1e6,
-            pred / 1e6,
+            row.n,
+            row.measured / 1e6,
+            row.predicted / 1e6,
             row.ape_pct()
         );
-        rows.push(row);
     }
     println!("\nMAPE over the sweep: {:.2}%", mape(&rows));
 }

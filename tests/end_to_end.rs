@@ -4,9 +4,9 @@
 
 use bounce::harness::experiments::{self, ExpCtx, Machine};
 use bounce::harness::simrun::{sim_measure, sim_measure_pinned, SimRunConfig};
-use bounce::model::fit::{fit_transfer_costs, SweepObservation};
+use bounce::model::fit::{fit_transfer_costs, ScenarioObservation};
 use bounce::model::validate::{mape, ValidationRow};
-use bounce::model::{Model, ModelParams};
+use bounce::model::{Model, ModelParams, Scenario};
 use bounce::sim::ArbitrationPolicy;
 use bounce::topo::{presets, Placement};
 use bounce::workloads::Workload;
@@ -42,12 +42,10 @@ fn fitted_model_predicts_hc_sweep() {
             (n, m.throughput_ops_per_sec)
         })
         .collect();
-    let obs: Vec<SweepObservation> = measured
+    let obs: Vec<ScenarioObservation> = measured
         .iter()
-        .map(|(n, x)| SweepObservation {
-            threads: order[..*n].to_vec(),
-            prim: Primitive::Faa,
-            throughput_ops_per_sec: *x,
+        .map(|(n, x)| {
+            ScenarioObservation::new(Scenario::high_contention(&order[..*n], Primitive::Faa), *x)
         })
         .collect();
     let fit = fit_transfer_costs(&topo, &obs, &ModelParams::e5_default());

@@ -62,7 +62,9 @@ fn tas_lock_handoff_formula_tracks_sim() {
             &c,
         );
         let threads = Placement::Packed.assign(&topo, n);
-        let (pred_tas, _, _, _) = model.predict_lock_handoffs(&threads, 100.0);
+        let pred_tas = model
+            .predict_lock_handoffs(&threads, 100.0)
+            .get(bounce::workloads::LockShape::Tas);
         let rel = (pred_tas - meas.goodput_ops_per_sec).abs() / meas.goodput_ops_per_sec;
         assert!(
             rel < 0.15,
