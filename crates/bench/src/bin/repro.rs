@@ -10,8 +10,14 @@
 //! repro fig1 --machine knl       # one experiment, one machine
 //! repro table2 --markdown        # markdown instead of TSV on stdout
 //! repro predict --machine e5 --threads 24 --prim faa [--placement packed]
+//! repro sweep --machine e5 --prim faa --quick
+//!                                 # high-contention thread sweep as JSON
+//!                                 # (throughput, jain, p50/p99 latency)
 //! repro --experiment e14 --machine e5   # preemption fault injection
+//! repro --experiment e15 --machine e5   # degraded fabric (NACK + congestion)
 //! repro fig1 --protocol mesi      # any experiment under a non-native protocol
+//! repro fig1 --fabric-faults moderate --retry-policy patient
+//!                                 # any experiment on a degraded interconnect
 //! repro lint                      # static-lint every registered workload
 //! repro validate [--quick]        # sim + model over every modeled scenario
 //!                                 # family → results/VALIDATION.json (CI gate)
@@ -73,6 +79,8 @@ struct Args {
     prim: bounce_atomics::Primitive,
     placement: bounce_topo::Placement,
     protocol: Option<bounce_sim::CoherenceKind>,
+    fabric: Option<bounce_sim::FabricFaultConfig>,
+    retry: Option<bounce_sim::RetryPolicy>,
 }
 
 /// Comma-joined protocol labels for help/error text.
@@ -82,6 +90,16 @@ fn protocol_names() -> String {
         .map(|k| k.label())
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// Comma-joined fabric-fault preset labels for help/error text.
+fn fabric_names() -> String {
+    bounce_sim::FabricFaultConfig::LABELS.join(", ")
+}
+
+/// Comma-joined retry-policy preset labels for help/error text.
+fn retry_names() -> String {
+    bounce_sim::RetryPolicy::LABELS.join(", ")
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -101,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
         prim: bounce_atomics::Primitive::Faa,
         placement: bounce_topo::Placement::Packed,
         protocol: None,
+        fabric: None,
+        retry: None,
     };
     let mut it = std::env::args().skip(1);
     let mut saw_command = false;
@@ -138,6 +158,27 @@ fn parse_args() -> Result<Args, String> {
                     Some(bounce_sim::CoherenceKind::from_label(&v).ok_or_else(|| {
                         format!("unknown protocol '{v}'; known: {}", protocol_names())
                     })?);
+            }
+            "--fabric-faults" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--fabric-faults needs a value ({})", fabric_names()))?;
+                args.fabric = Some(bounce_sim::FabricFaultConfig::from_label(&v).ok_or_else(
+                    || {
+                        format!(
+                            "unknown fabric-fault preset '{v}'; known: {}",
+                            fabric_names()
+                        )
+                    },
+                )?);
+            }
+            "--retry-policy" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--retry-policy needs a value ({})", retry_names()))?;
+                args.retry = Some(bounce_sim::RetryPolicy::from_label(&v).ok_or_else(|| {
+                    format!("unknown retry policy '{v}'; known: {}", retry_names())
+                })?);
             }
             "--experiment" | "-e" => {
                 let v = it.next().ok_or("--experiment needs an experiment id")?;
@@ -196,7 +237,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const EXPERIMENT_IDS: [&str; 21] = [
+const EXPERIMENT_IDS: [&str; 22] = [
     "table1",
     "table2",
     "fig1",
@@ -215,6 +256,7 @@ const EXPERIMENT_IDS: [&str; 21] = [
     "fig14",
     "e13",
     "e14",
+    "e15",
     "ablations",
     "sensitivity",
     "latency-hist",
@@ -240,6 +282,7 @@ fn run_one(id: &str, ctx: ExpCtx, machine: Machine) -> Option<experiments::ExpRe
         "fig14" => experiments::fig14(ctx, machine),
         "e13" => experiments::protocol_ablation(ctx, machine),
         "e14" => experiments::fault_injection(ctx, machine),
+        "e15" => experiments::degraded_fabric(ctx, machine),
         "ablations" => experiments::ablations(ctx, machine),
         "sensitivity" => experiments::sensitivity(ctx, machine),
         "latency-hist" => experiments::latency_hist(ctx, machine),
@@ -299,11 +342,13 @@ fn run_all(args: &Args, ctx: ExpCtx) -> ExitCode {
     // The manifest records the campaign configuration; resuming under a
     // different one would mix incompatible outputs in one directory.
     let config = format!(
-        "quick={},protocol={},plots={},mode={}",
+        "quick={},protocol={},plots={},mode={},fabric={},retry={}",
         args.quick,
         args.protocol.map(|p| p.label()).unwrap_or("native"),
         args.plots,
-        if args.exact { "exact" } else { "adaptive" }
+        if args.exact { "exact" } else { "adaptive" },
+        args.fabric.map(|f| f.label()).unwrap_or("none"),
+        args.retry.map(|r| r.label()).unwrap_or("backoff"),
     );
     let manifest: Option<Mutex<Manifest>> = match &args.out {
         None => None,
@@ -524,14 +569,22 @@ fn main() -> ExitCode {
     if let Some(p) = args.protocol {
         ctx = ctx.with_protocol(p);
     }
+    if let Some(f) = args.fabric {
+        ctx = ctx.with_fabric_faults(f);
+    }
+    if let Some(r) = args.retry {
+        ctx = ctx.with_retry_policy(r);
+    }
     ctx = ctx.with_exact(args.exact);
     bounce_harness::set_jobs(args.jobs);
     match args.command.as_str() {
         "help" => {
             eprintln!(
-                "usage: repro [predict|fit|validate|topo|list|lint|all|{}] [--machine e5|knl] [--protocol {}] [--quick] [--exact] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
+                "usage: repro [predict|fit|validate|sweep|topo|list|lint|all|{}] [--machine e5|knl] [--protocol {}] [--fabric-faults {}] [--retry-policy {}] [--quick] [--exact] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
                 EXPERIMENT_IDS.join("|"),
-                protocol_names().replace(", ", "|")
+                protocol_names().replace(", ", "|"),
+                fabric_names().replace(", ", "|"),
+                retry_names().replace(", ", "|")
             );
             ExitCode::SUCCESS
         }
@@ -718,6 +771,23 @@ fn main() -> ExitCode {
                 );
             }
             ExitCode::SUCCESS
+        }
+        "sweep" => {
+            // Machine-readable counterpart of the TSV tables: a
+            // high-contention thread sweep as JSON, carrying the
+            // first-class p50/p99 latency percentiles (and honoring
+            // --fabric-faults / --retry-policy), for downstream tooling.
+            let machine = args.machine.unwrap_or(Machine::E5);
+            match experiments::sweep_json(ctx, machine, args.prim) {
+                Ok(json) => {
+                    print!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: sweep: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         "all" => run_all(&args, ctx),
         id => {

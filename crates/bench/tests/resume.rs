@@ -78,6 +78,44 @@ fn resume_rejects_mismatched_configuration() {
     fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The manifest also records the fault-injection configuration: a
+/// campaign written on a healthy fabric must not be resumed under
+/// `--fabric-faults` (or a different `--retry-policy`) — the cached
+/// and fresh tables would disagree silently.
+#[test]
+fn resume_rejects_mismatched_fault_configuration() {
+    let dir = tmp_dir("faults");
+    let first = run_all(&dir, false);
+    assert!(first.status.success());
+    let out = repro()
+        .args([
+            "all",
+            "--quick",
+            "--filter",
+            "table1",
+            "--fabric-faults",
+            "moderate",
+            "--retry-policy",
+            "patient",
+            "--resume",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("fabric=none") && err.contains("fabric=moderate"),
+        "stderr should show both fabric configurations: {err}"
+    );
+    assert!(
+        err.contains("retry=backoff") && err.contains("retry=patient"),
+        "stderr should show both retry policies: {err}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Vandalised partial state — one output deleted, one tampered with —
 /// is detected by the manifest hashes; `--resume` reruns exactly those
 /// experiments and the directory ends up byte-identical to an

@@ -13,7 +13,10 @@ use crate::simrun::{try_sim_measure, try_sim_measure_pinned, SimRunConfig};
 use bounce_atomics::Primitive;
 use bounce_core::fairness::{predict_jain, ArbitrationKind};
 use bounce_core::{BouncingModel, ModelParams, Scenario};
-use bounce_sim::{ArbitrationPolicy, CoherenceKind, FaultConfig, SimError, SimParams};
+use bounce_sim::{
+    ArbitrationPolicy, CoherenceKind, FabricFaultConfig, FaultConfig, RetryPolicy, SimError,
+    SimParams,
+};
 use bounce_topo::{presets, HwThreadId, Interconnect, MachineTopology, Placement, PlacementOrder};
 use bounce_workloads::{LockShape, Workload};
 use std::fmt;
@@ -164,6 +167,15 @@ pub struct ExpCtx {
     /// byte-identical to the historical output. The default is adaptive
     /// run lengths — early termination on batch-means convergence.
     pub exact: bool,
+    /// Inject this fabric fault config into every run (`None` = the
+    /// all-zero default, bit-identical to fault-free; this is what
+    /// `repro --fabric-faults` sets). The degraded-fabric experiment
+    /// (e15) sweeps its own severity axis regardless of this override.
+    pub fabric: Option<FabricFaultConfig>,
+    /// NACK retry policy for every run (`None` = the default backoff
+    /// ladder; `repro --retry-policy` sets this). Only consulted when
+    /// fabric faults actually refuse requests.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ExpCtx {
@@ -173,6 +185,8 @@ impl ExpCtx {
             quick: false,
             protocol: None,
             exact: false,
+            fabric: None,
+            retry: None,
         }
     }
 
@@ -182,6 +196,8 @@ impl ExpCtx {
             quick: true,
             protocol: None,
             exact: false,
+            fabric: None,
+            retry: None,
         }
     }
 
@@ -194,6 +210,18 @@ impl ExpCtx {
     /// Force fixed full-budget run lengths (the `--exact` mode).
     pub fn with_exact(mut self, exact: bool) -> Self {
         self.exact = exact;
+        self
+    }
+
+    /// Inject fabric faults into every run in this context.
+    pub fn with_fabric_faults(mut self, fabric: FabricFaultConfig) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
+    /// Override the NACK retry policy for every run in this context.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
         self
     }
 
@@ -213,6 +241,12 @@ impl ExpCtx {
         }
         if let Some(p) = self.protocol {
             cfg.params.protocol = p;
+        }
+        if let Some(f) = self.fabric {
+            cfg.params.fabric = f;
+        }
+        if let Some(r) = self.retry {
+            cfg.params.retry = r;
         }
         cfg
     }
@@ -1328,6 +1362,139 @@ pub fn fault_injection(ctx: ExpCtx, machine: Machine) -> ExpResult {
     Ok(t)
 }
 
+/// One degraded-fabric severity level: the NACK rate and the bank
+/// occupancy limit it implies (severity 0 = fault-free).
+fn fabric_severity(nack_per_mille: u32, max_pending: u32) -> FabricFaultConfig {
+    if nack_per_mille == 0 && max_pending == 0 {
+        return FabricFaultConfig::default();
+    }
+    FabricFaultConfig {
+        nack_per_mille,
+        max_pending_per_bank: max_pending,
+        // Congestion severity rides the NACK axis: windows lengthen
+        // with the refusal rate (len must stay below the interval).
+        congestion_interval_cycles: 20_000,
+        congestion_len_cycles: (nack_per_mille as u64 * 10).clamp(500, 8_000),
+        congestion_multiplier: 3,
+        jitter_cycles: 0,
+    }
+}
+
+/// A measurement that tolerates a retry storm: the storm becomes `None`
+/// (a zeroed row cell) instead of failing the whole experiment — that
+/// collapse *is* the result e15 reports.
+fn measure_or_storm(
+    topo: &MachineTopology,
+    w: &Workload,
+    n: usize,
+    cfg: &SimRunConfig,
+) -> Result<Option<Measurement>, ExpError> {
+    match try_sim_measure(topo, w, n, cfg) {
+        Ok(m) => Ok(Some(m)),
+        Err(SimError::RetryStorm { .. }) => Ok(None),
+        Err(e) => Err(ExpError::Sim {
+            context: format!("{} n={} on {}", w.label(), n, topo.name),
+            source: Box::new(e),
+        }),
+    }
+}
+
+/// E15: degraded-fabric fault injection — directory NACKs plus link
+/// congestion, swept by severity. Compares hardware-arbitrated FAA, the
+/// bare CAS retry loop under an eager (zero-backoff) NACK retry policy,
+/// the same loop under the exponential backoff ladder, and the ticket
+/// lock. Expected shape: FAA and the ticket lock degrade smoothly with
+/// severity; the eager CAS loop hits a retry-storm knee (goodput
+/// collapses to 0 when a transaction exhausts its budget against a
+/// saturated bank) that the backoff ladder pushes to higher severities.
+pub fn degraded_fabric(ctx: ExpCtx, machine: Machine) -> ExpResult {
+    let topo = machine.topo();
+    let n = if ctx.quick { 4 } else { 16 };
+    // (nack_per_mille, max_pending_per_bank): refusal pressure rises
+    // while the modeled bank capacity shrinks.
+    let severities: &[(u32, u32)] = if ctx.quick {
+        &[(0, 0), (100, 4), (400, 2)]
+    } else {
+        &[(0, 0), (50, 8), (100, 6), (200, 4), (400, 2)]
+    };
+    let mut t = Table::new(
+        format!(
+            "E15: degraded fabric (NACK + congestion), n={n} — {}",
+            topo.name
+        ),
+        &[
+            "nack_per_mille",
+            "faa_mops",
+            "faa_jain",
+            "faa_p50",
+            "faa_p99",
+            "cas_eager_goodput_mops",
+            "cas_eager_p99",
+            "cas_backoff_goodput_mops",
+            "cas_backoff_p99",
+            "ticket_handoff_mops",
+            "ticket_p99",
+        ],
+    );
+    for &(nack, pending) in severities {
+        let fabric = fabric_severity(nack, pending);
+        let base = ctx.run_cfg(machine, &topo).with_fabric_faults(fabric);
+        // Fault transients are the point: adaptive run-length
+        // convergence would cut the run mid-transient, so e15 always
+        // runs the full fixed budget (same reasoning as e14).
+        let mk = |retry: RetryPolicy| {
+            let mut cfg = base.clone().with_retry_policy(retry);
+            cfg.params.run_length = bounce_sim::RunLength::default();
+            cfg
+        };
+        let backoff_cfg = mk(RetryPolicy::backoff());
+        let eager_cfg = mk(RetryPolicy::eager());
+        let faa = measure_or_storm(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            n,
+            &backoff_cfg,
+        )?;
+        let cas = Workload::CasRetryLoop {
+            window: 30,
+            work: 0,
+        };
+        let cas_eager = measure_or_storm(&topo, &cas, n, &eager_cfg)?;
+        let cas_backoff = measure_or_storm(&topo, &cas, n, &backoff_cfg)?;
+        let ticket = measure_or_storm(
+            &topo,
+            &Workload::LockHandoff {
+                shape: LockShape::Ticket,
+                cs: 100,
+                noncs: 100,
+            },
+            n,
+            &backoff_cfg,
+        )?;
+        let cell = |m: &Option<Measurement>, f: &dyn Fn(&Measurement) -> f64| {
+            fmt_f64(m.as_ref().map(f).unwrap_or(0.0))
+        };
+        t.push(vec![
+            nack.to_string(),
+            cell(&faa, &|m| m.throughput_ops_per_sec / 1e6),
+            cell(&faa, &|m| m.jain),
+            cell(&faa, &|m| m.p50_latency_cycles),
+            cell(&faa, &|m| m.p99_latency_cycles),
+            cell(&cas_eager, &|m| m.goodput_ops_per_sec / 1e6),
+            cell(&cas_eager, &|m| m.p99_latency_cycles),
+            cell(&cas_backoff, &|m| m.goodput_ops_per_sec / 1e6),
+            cell(&cas_backoff, &|m| m.p99_latency_cycles),
+            cell(&ticket, &|m| {
+                m.lock_handoffs_per_sec(LockShape::Ticket) / 1e6
+            }),
+            cell(&ticket, &|m| m.p99_latency_cycles),
+        ]);
+    }
+    Ok(t)
+}
+
 /// A deferred experiment: call it to run.
 pub type ExpThunk = Box<dyn Fn() -> ExpResult + Send + Sync>;
 
@@ -1340,7 +1507,7 @@ pub fn experiment_specs(ctx: ExpCtx) -> Vec<(String, ExpThunk)> {
         ("table2".to_string(), Box::new(move || table2(ctx))),
     ];
     for m in Machine::ALL {
-        let figs: [(&str, ExpThunk); 19] = [
+        let figs: [(&str, ExpThunk); 20] = [
             ("fig1", Box::new(move || fig1(ctx, m))),
             ("fig2", Box::new(move || fig2(ctx, m))),
             ("fig3", Box::new(move || fig3(ctx, m))),
@@ -1357,6 +1524,7 @@ pub fn experiment_specs(ctx: ExpCtx) -> Vec<(String, ExpThunk)> {
             ("fig14", Box::new(move || fig14(ctx, m))),
             ("e13", Box::new(move || protocol_ablation(ctx, m))),
             ("e14", Box::new(move || fault_injection(ctx, m))),
+            ("e15", Box::new(move || degraded_fabric(ctx, m))),
             ("ablations", Box::new(move || ablations(ctx, m))),
             ("sensitivity", Box::new(move || sensitivity(ctx, m))),
             ("latency-hist", Box::new(move || latency_hist(ctx, m))),
@@ -1366,6 +1534,27 @@ pub fn experiment_specs(ctx: ExpCtx) -> Vec<(String, ExpThunk)> {
         }
     }
     specs
+}
+
+/// Machine-readable thread sweep: the high-contention workload for
+/// `prim` across the machine's standard thread counts, serialized via
+/// [`crate::sweeps::measurements_json`] — the backend of `repro sweep`.
+/// Honors every context override, so `--fabric-faults`/`--retry-policy`
+/// sweeps export their p50/p99 latency percentiles without any TSV
+/// round-trip.
+pub fn sweep_json(ctx: ExpCtx, machine: Machine, prim: Primitive) -> Result<String, ExpError> {
+    let topo = machine.topo();
+    let ns = machine.sweep_ns(ctx.quick);
+    let cfg = ctx.run_cfg(machine, &topo);
+    let w = Workload::HighContention { prim };
+    let ms = crate::sweeps::try_sweep_threads(&topo, &w, &ns, &cfg).map_err(|e| ExpError::Sim {
+        context: format!("sweep {} on {}", w.label(), topo.name),
+        source: Box::new(e),
+    })?;
+    Ok(crate::sweeps::measurements_json(
+        &format!("hc-{}-{}", prim.label(), machine.label()),
+        &ms,
+    ))
 }
 
 /// Every distinct workload parameterization the experiment registry
@@ -1606,7 +1795,7 @@ mod tests {
     #[test]
     fn all_experiments_quick_runs() {
         let all = all_experiments(ExpCtx::quick());
-        assert_eq!(all.len(), 2 + 2 * 19);
+        assert_eq!(all.len(), 2 + 2 * 20);
         for (id, r) in &all {
             let t = r.as_ref().unwrap_or_else(|e| panic!("{id} failed: {e}"));
             assert!(!t.rows.is_empty(), "{id} produced no rows");
@@ -1652,6 +1841,55 @@ mod tests {
         assert!(
             *fail.last().unwrap() <= fail[0],
             "preemption thins contention; failure rate must not rise: {fail:?}"
+        );
+    }
+
+    #[test]
+    fn e15_is_deterministic() {
+        let a = degraded_fabric(ExpCtx::quick(), Machine::E5).unwrap();
+        let b = degraded_fabric(ExpCtx::quick(), Machine::E5).unwrap();
+        assert_eq!(a.rows, b.rows, "same seed must give identical tables");
+    }
+
+    #[test]
+    fn e15_fabric_degradation_has_paper_shape() {
+        let t = degraded_fabric(ExpCtx::quick(), Machine::E5).unwrap();
+        assert_eq!(t.rows.len(), 3, "quick severity axis");
+        let faa = t.column_f64("faa_mops").unwrap();
+        let eager = t.column_f64("cas_eager_goodput_mops").unwrap();
+        let backoff = t.column_f64("cas_backoff_goodput_mops").unwrap();
+        let ticket = t.column_f64("ticket_handoff_mops").unwrap();
+        // Severity 0 is healthy for every workload.
+        assert!(faa[0] > 0.0 && eager[0] > 0.0 && backoff[0] > 0.0 && ticket[0] > 0.0);
+        // FAA and the ticket lock degrade but survive the whole axis.
+        let last = faa.len() - 1;
+        assert!(
+            faa[last] > 0.0,
+            "FAA must survive the worst fabric: {faa:?}"
+        );
+        assert!(
+            faa[last] < faa[0],
+            "NACK/congestion pressure must cost FAA throughput: {faa:?}"
+        );
+        assert!(
+            ticket[last] > 0.0,
+            "ticket lock must survive the worst fabric: {ticket:?}"
+        );
+        // The retry dynamics contrast: under the harshest fabric the
+        // backoff ladder must do at least as well as eager retry (eager
+        // may have stormed to 0 — that collapse is the knee).
+        assert!(
+            backoff[last] >= eager[last],
+            "backoff must not lose to eager retry under pressure: \
+             backoff {backoff:?} vs eager {eager:?}"
+        );
+        // Relative degradation: bare CAS under eager retry loses more of
+        // its healthy-fabric goodput than hardware-arbitrated FAA does.
+        let ratio = |xs: &[f64]| xs[last] / xs[0].max(1e-12);
+        assert!(
+            ratio(&eager) <= ratio(&faa) + 1e-9,
+            "eager CAS must degrade at least as hard as FAA: \
+             eager {eager:?} vs faa {faa:?}"
         );
     }
 

@@ -1,7 +1,9 @@
 //! The simulator backend: workload → engine → [`Measurement`].
 
 use crate::measurement::{Backend, Measurement};
-use bounce_sim::{Engine, FaultConfig, RunLength, SimConfig, SimError, SimParams};
+use bounce_sim::{
+    Engine, FabricFaultConfig, FaultConfig, RetryPolicy, RunLength, SimConfig, SimError, SimParams,
+};
 use bounce_topo::{HwThreadId, MachineTopology, Placement};
 use bounce_workloads::Workload;
 
@@ -52,6 +54,21 @@ impl SimRunConfig {
     /// else runs fault-free).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.params.faults = faults;
+        self
+    }
+
+    /// Inject fabric faults — directory NACKs, link congestion windows,
+    /// message jitter (the degraded-fabric experiment sweeps this; the
+    /// default injects nothing and stays bit-identical).
+    pub fn with_fabric_faults(mut self, fabric: FabricFaultConfig) -> Self {
+        self.params.fabric = fabric;
+        self
+    }
+
+    /// Override the NACK retry policy (only consulted when fabric
+    /// faults actually refuse requests).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.params.retry = retry;
         self
     }
 
@@ -115,6 +132,11 @@ pub fn try_sim_measure_pinned(
     cfg: &SimRunConfig,
 ) -> Result<Measurement, SimError> {
     let n = hw.len();
+    // Typed validation before construction: `Engine::new` panics on a
+    // bad config, campaigns want the field-naming error instead.
+    cfg.params
+        .validate()
+        .map_err(|error| SimError::InvalidConfig { error })?;
     let sim_cfg = SimConfig::new(cfg.params.clone(), cfg.duration_cycles);
     let mut engine = Engine::new(topo, sim_cfg);
     let programs = workload.sim_programs(n);
@@ -122,7 +144,6 @@ pub fn try_sim_measure_pinned(
         engine.add_thread(h, p);
     }
     let report = engine.try_run()?;
-    let merged = report.merged_latency();
     Ok(Measurement {
         workload: workload.label(),
         machine: topo.name.clone(),
@@ -133,8 +154,8 @@ pub fn try_sim_measure_pinned(
         cond_attempts_per_sec: report.cond_attempts_per_sec(),
         failure_rate: report.failure_rate(),
         mean_latency_cycles: report.mean_latency_cycles(),
-        p50_latency_cycles: merged.quantile(0.5),
-        p99_latency_cycles: merged.quantile(0.99),
+        p50_latency_cycles: report.p50_latency_cycles,
+        p99_latency_cycles: report.p99_latency_cycles,
         jain: report.jain_fairness(),
         energy_per_op_nj: Some(report.energy_per_op_nj()),
         transfers_by_domain: Some(report.transfers_by_domain),
@@ -337,6 +358,43 @@ mod tests {
             &cfg,
             &[],
         );
+    }
+
+    #[test]
+    fn invalid_config_surfaces_typed_error() {
+        let topo = presets::tiny_test_machine();
+        let mut cfg = SimRunConfig::for_machine(&topo).quick();
+        cfg.params.fabric.nack_per_mille = 5000;
+        let err = try_sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            2,
+            &cfg,
+        )
+        .expect_err("out-of-range NACK rate must be rejected, not panic");
+        let msg = err.to_string();
+        assert!(msg.contains("fabric.nack_per_mille"), "{msg}");
+    }
+
+    #[test]
+    fn fabric_faults_flow_through_measurement() {
+        let topo = presets::tiny_test_machine();
+        let cfg = SimRunConfig::for_machine(&topo)
+            .quick()
+            .with_fabric_faults(FabricFaultConfig::moderate())
+            .with_retry_policy(RetryPolicy::patient());
+        let m = sim_measure(
+            &topo,
+            &Workload::HighContention {
+                prim: Primitive::Faa,
+            },
+            4,
+            &cfg,
+        );
+        assert!(m.throughput_ops_per_sec > 0.0);
+        assert!(m.p99_latency_cycles >= m.p50_latency_cycles);
     }
 
     #[test]

@@ -101,6 +101,46 @@ pub fn measurements_table(title: &str, measurements: &[Measurement]) -> Table {
     t
 }
 
+/// Serialize measurements as deterministic JSON — the machine-readable
+/// twin of [`measurements_table`]. Carries the full standard metric
+/// set, including the first-class p50/p99 latency percentiles the
+/// engine now reports directly ([`bounce_sim::SimReport`]), so
+/// downstream tooling consumes them from here instead of re-deriving
+/// percentiles from per-thread histograms or parsing TSV. Rendering is
+/// byte-deterministic: field order is fixed and floats go through the
+/// same [`fmt_f64`] as the tables.
+pub fn measurements_json(id: &str, measurements: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"id\": \"{id}\",\n"));
+    s.push_str("  \"points\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"machine\": \"{}\", \"backend\": \"{}\", \"n\": {}, \
+             \"throughput_mops\": {}, \"goodput_mops\": {}, \"fail_rate\": {}, \
+             \"mean_lat_cycles\": {}, \"p50_lat_cycles\": {}, \"p99_lat_cycles\": {}, \
+             \"jain\": {}, \"energy_nj_per_op\": {}}}{}\n",
+            m.workload,
+            m.machine,
+            m.backend.label(),
+            m.n,
+            fmt_f64(m.throughput_ops_per_sec / 1e6),
+            fmt_f64(m.goodput_ops_per_sec / 1e6),
+            fmt_f64(m.failure_rate),
+            fmt_f64(m.mean_latency_cycles),
+            fmt_f64(m.p50_latency_cycles),
+            fmt_f64(m.p99_latency_cycles),
+            fmt_f64(m.jain),
+            m.energy_per_op_nj
+                .map(fmt_f64)
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 == measurements.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Pair measurements with model predictions into validation rows (the
 /// Fig 7 workflow as a reusable step).
 pub fn compare_throughput(
@@ -201,6 +241,25 @@ mod tests {
     fn comparison_rejects_length_mismatch() {
         let rows: Vec<Measurement> = Vec::new();
         let _ = compare_throughput(&rows, &[1.0]);
+    }
+
+    #[test]
+    fn json_carries_latency_percentiles_and_is_deterministic() {
+        let topo = presets::tiny_test_machine();
+        let cfg = quick(&topo);
+        let w = Workload::HighContention {
+            prim: Primitive::Faa,
+        };
+        let ms = sweep_threads(&topo, &w, &[2, 4], &cfg);
+        let json = measurements_json("hc-faa", &ms);
+        assert!(json.contains("\"p50_lat_cycles\":"), "{json}");
+        assert!(json.contains("\"p99_lat_cycles\":"), "{json}");
+        assert!(json.contains("\"id\": \"hc-faa\""), "{json}");
+        // Two points, comma-separated, no trailing comma.
+        assert_eq!(json.matches("\"workload\"").count(), 2);
+        assert!(!json.contains("},\n  ]"), "trailing comma: {json}");
+        // Deterministic rendering: same measurements, same bytes.
+        assert_eq!(json, measurements_json("hc-faa", &ms));
     }
 
     #[test]

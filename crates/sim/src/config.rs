@@ -1,10 +1,154 @@
 //! Simulation parameters: protocol latencies, energy coefficients,
 //! arbitration and home-mapping policies, and per-machine presets.
 
-use crate::faults::FaultConfig;
+use crate::faults::{FabricFaultConfig, FaultConfig};
 use bounce_atomics::Primitive;
 use bounce_topo::{CoherenceKind, MachineTopology};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed configuration-validation failure naming the offending field,
+/// so an invalid config reports *which* parameter is out of range
+/// instead of panicking with a bare string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the parameter that failed validation
+    /// (e.g. `faults.freq_jitter`, `fabric.nack_per_mille`).
+    pub field: &'static str,
+    /// Why the value is out of range.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// An error flagging `field` with `reason`.
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// How the engine reacts when the fabric fault model NACKs a directory
+/// request: bounded retries with exponential backoff capped at
+/// [`backoff_cap_cycles`](RetryPolicy::backoff_cap_cycles). A
+/// transaction that is refused more than
+/// [`max_retries`](RetryPolicy::max_retries) times aborts the run with
+/// [`SimError::RetryStorm`](crate::SimError::RetryStorm).
+///
+/// Irrelevant (never consulted) unless
+/// [`SimParams::fabric`](crate::SimParams::fabric) injects NACKs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retry budget per transaction; exhausting it is a retry storm.
+    pub max_retries: u32,
+    /// Backoff before the first retry, cycles; doubles per retry.
+    /// 0 = resend immediately (the naive loop that storms).
+    pub backoff_base_cycles: u64,
+    /// Ceiling on the exponential backoff, cycles.
+    pub backoff_cap_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::backoff()
+    }
+}
+
+impl RetryPolicy {
+    /// Preset labels accepted by [`RetryPolicy::from_label`].
+    pub const LABELS: [&'static str; 3] = ["backoff", "eager", "patient"];
+
+    /// The default policy: exponential backoff 16 → 4096 cycles,
+    /// 64-retry budget.
+    pub fn backoff() -> Self {
+        RetryPolicy {
+            max_retries: 64,
+            backoff_base_cycles: 16,
+            backoff_cap_cycles: 4096,
+        }
+    }
+
+    /// Immediate resend on every NACK (no backoff) — the policy that
+    /// exhibits the retry-storm knee first.
+    pub fn eager() -> Self {
+        RetryPolicy {
+            max_retries: 64,
+            backoff_base_cycles: 0,
+            backoff_cap_cycles: 0,
+        }
+    }
+
+    /// Deep backoff ladder (64 → 16384 cycles) with a double budget.
+    pub fn patient() -> Self {
+        RetryPolicy {
+            max_retries: 128,
+            backoff_base_cycles: 64,
+            backoff_cap_cycles: 16_384,
+        }
+    }
+
+    /// Resolve a preset by label (see [`RetryPolicy::LABELS`]).
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "backoff" => Some(RetryPolicy::backoff()),
+            "eager" => Some(RetryPolicy::eager()),
+            "patient" => Some(RetryPolicy::patient()),
+            _ => None,
+        }
+    }
+
+    /// The preset label of this policy, or `"custom"`.
+    pub fn label(&self) -> &'static str {
+        if *self == RetryPolicy::backoff() {
+            "backoff"
+        } else if *self == RetryPolicy::eager() {
+            "eager"
+        } else if *self == RetryPolicy::patient() {
+            "patient"
+        } else {
+            "custom"
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential in
+    /// the attempt, capped. Attempt 1 waits the base, attempt 2 twice
+    /// that, and so on up to the cap.
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(62);
+        self.backoff_base_cycles
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_cycles.max(self.backoff_base_cycles))
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_retries == 0 {
+            return Err(ConfigError::new(
+                "retry.max_retries",
+                "must be >= 1 (a zero budget would storm on the first NACK)",
+            ));
+        }
+        if self.backoff_cap_cycles < self.backoff_base_cycles {
+            return Err(ConfigError::new(
+                "retry.backoff_cap_cycles",
+                format!(
+                    "cap {} below base {}",
+                    self.backoff_cap_cycles, self.backoff_base_cycles
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Order in which requests queued at a directory entry are served.
 ///
@@ -134,7 +278,7 @@ impl RunLength {
     }
 
     /// Sanity-check the parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if let RunLength::Adaptive {
             rel_ci,
             min_batches,
@@ -142,10 +286,16 @@ impl RunLength {
         } = self
         {
             if !rel_ci.is_finite() || *rel_ci <= 0.0 {
-                return Err(format!("adaptive rel_ci {rel_ci} must be finite and > 0"));
+                return Err(ConfigError::new(
+                    "run_length.rel_ci",
+                    format!("{rel_ci} must be finite and > 0"),
+                ));
             }
             if *min_batches < 2 {
-                return Err("adaptive min_batches must be >= 2".into());
+                return Err(ConfigError::new(
+                    "run_length.min_batches",
+                    "must be >= 2".to_string(),
+                ));
             }
         }
         Ok(())
@@ -269,6 +419,13 @@ pub struct SimParams {
     /// Fault injection (preemption windows, frequency jitter). The
     /// default injects nothing and leaves all outputs bit-identical.
     pub faults: FaultConfig,
+    /// Coherence-fabric fault injection (directory-bank NACKs, link
+    /// congestion windows, message jitter). The all-zero default
+    /// injects nothing and leaves all outputs bit-identical.
+    pub fabric: FabricFaultConfig,
+    /// NACK handling: bounded retries with capped exponential backoff.
+    /// Only consulted when [`SimParams::fabric`] injects NACKs.
+    pub retry: RetryPolicy,
     /// Run-length control: fixed budget (default, byte-identical
     /// outputs) or adaptive early termination on converged throughput.
     pub run_length: RunLength,
@@ -299,6 +456,8 @@ impl SimParams {
             energy: EnergyParams::e5(),
             seed: 0x1CC9_2019,
             faults: FaultConfig::default(),
+            fabric: FabricFaultConfig::default(),
+            retry: RetryPolicy::default(),
             run_length: RunLength::default(),
         }
     }
@@ -328,6 +487,8 @@ impl SimParams {
             energy: EnergyParams::knl(),
             seed: 0x1CC9_2019,
             faults: FaultConfig::default(),
+            fabric: FabricFaultConfig::default(),
+            retry: RetryPolicy::default(),
             run_length: RunLength::default(),
         }
     }
@@ -355,20 +516,31 @@ impl SimParams {
     }
 
     /// Sanity-check parameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.l1_sets.is_power_of_two() {
-            return Err(format!("l1_sets {} not a power of two", self.l1_sets));
+            return Err(ConfigError::new(
+                "l1_sets",
+                format!("{} is not a power of two", self.l1_sets),
+            ));
         }
         if self.l1_ways == 0 {
-            return Err("l1_ways must be >= 1".into());
+            return Err(ConfigError::new("l1_ways", "must be >= 1".to_string()));
         }
         if self.mem_latency == 0 {
-            return Err("mem_latency must be positive".into());
+            return Err(ConfigError::new(
+                "mem_latency",
+                "must be positive".to_string(),
+            ));
         }
         if self.energy.static_w_per_core < 0.0 {
-            return Err("negative static power".into());
+            return Err(ConfigError::new(
+                "energy.static_w_per_core",
+                "must not be negative".to_string(),
+            ));
         }
         self.faults.validate()?;
+        self.fabric.validate()?;
+        self.retry.validate()?;
         self.run_length.validate()?;
         Ok(())
     }
@@ -610,6 +782,61 @@ mod tests {
         assert!(p.validate().is_err(), "half-configured preemption");
         p.faults.preempt_len_cycles = 10;
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let mut p = SimParams::e5();
+        p.l1_sets = 48;
+        let e = p.validate().unwrap_err();
+        assert_eq!(e.field, "l1_sets");
+        assert!(e.to_string().contains("48"), "{e}");
+        let mut p = SimParams::e5();
+        p.faults.freq_jitter = 2.0;
+        let e = p.validate().unwrap_err();
+        assert_eq!(e.field, "faults.freq_jitter");
+        let mut p = SimParams::e5();
+        p.fabric.nack_per_mille = 1001;
+        let e = p.validate().unwrap_err();
+        assert_eq!(e.field, "fabric.nack_per_mille");
+        let mut p = SimParams::e5();
+        p.retry.max_retries = 0;
+        let e = p.validate().unwrap_err();
+        assert_eq!(e.field, "retry.max_retries");
+    }
+
+    #[test]
+    fn retry_policy_backoff_ladder() {
+        let p = RetryPolicy::backoff();
+        assert_eq!(p.backoff_cycles(1), 16);
+        assert_eq!(p.backoff_cycles(2), 32);
+        assert_eq!(p.backoff_cycles(5), 256);
+        assert_eq!(p.backoff_cycles(20), 4096, "capped");
+        assert_eq!(p.backoff_cycles(200), 4096, "shift saturates");
+        let e = RetryPolicy::eager();
+        assert_eq!(e.backoff_cycles(1), 0);
+        assert_eq!(e.backoff_cycles(40), 0);
+    }
+
+    #[test]
+    fn retry_policy_labels_round_trip() {
+        for l in RetryPolicy::LABELS {
+            assert_eq!(RetryPolicy::from_label(l).unwrap().label(), l);
+        }
+        assert!(RetryPolicy::from_label("nope").is_none());
+        let custom = RetryPolicy {
+            max_retries: 3,
+            backoff_base_cycles: 1,
+            backoff_cap_cycles: 2,
+        };
+        assert_eq!(custom.label(), "custom");
+        assert!(RetryPolicy {
+            max_retries: 1,
+            backoff_base_cycles: 10,
+            backoff_cap_cycles: 5,
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

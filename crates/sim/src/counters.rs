@@ -18,6 +18,8 @@ static RUNS_TOTAL: AtomicU64 = AtomicU64::new(0);
 static RUNS_EARLY: AtomicU64 = AtomicU64::new(0);
 static CYCLES_SIMULATED: AtomicU64 = AtomicU64::new(0);
 static CYCLES_BUDGETED: AtomicU64 = AtomicU64::new(0);
+static NACKS: AtomicU64 = AtomicU64::new(0);
+static RETRIES: AtomicU64 = AtomicU64::new(0);
 
 /// Fold `n` processed events into the global tally.
 pub fn add_events(n: u64) {
@@ -27,6 +29,27 @@ pub fn add_events(n: u64) {
 /// Total events processed by every engine in this process so far.
 pub fn total_events() -> u64 {
     EVENTS.load(Ordering::Relaxed)
+}
+
+/// Fold one run's fabric-fault bookkeeping (directory NACKs issued and
+/// transactions re-sent after backoff) into the global tallies.
+pub fn add_faults(nacks: u64, retries: u64) {
+    if nacks > 0 {
+        NACKS.fetch_add(nacks, Ordering::Relaxed);
+    }
+    if retries > 0 {
+        RETRIES.fetch_add(retries, Ordering::Relaxed);
+    }
+}
+
+/// Total directory NACKs injected by every engine in this process.
+pub fn total_nacks() -> u64 {
+    NACKS.load(Ordering::Relaxed)
+}
+
+/// Total post-NACK retries scheduled by every engine in this process.
+pub fn total_retries() -> u64 {
+    RETRIES.load(Ordering::Relaxed)
 }
 
 /// Fold one finished run's length accounting into the global tallies.
@@ -79,6 +102,8 @@ pub fn reset_events() {
     RUNS_EARLY.store(0, Ordering::Relaxed);
     CYCLES_SIMULATED.store(0, Ordering::Relaxed);
     CYCLES_BUDGETED.store(0, Ordering::Relaxed);
+    NACKS.store(0, Ordering::Relaxed);
+    RETRIES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -117,5 +142,14 @@ mod tests {
             cycles_budgeted: 2000,
         };
         assert!((t.saved_fraction() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_tallies_accumulate() {
+        let (n0, r0) = (total_nacks(), total_retries());
+        add_faults(3, 2);
+        add_faults(0, 0);
+        assert!(total_nacks() >= n0 + 3);
+        assert!(total_retries() >= r0 + 2);
     }
 }

@@ -41,7 +41,7 @@ use crate::config::{RunLength, SimConfig};
 use crate::directory::{Directory, Request};
 use crate::equeue::CalendarQueue;
 use crate::error::{LineDiag, SimError, StuckThread};
-use crate::faults::FaultState;
+use crate::faults::{FabricState, FaultState};
 use crate::program::{Program, SpinPred, Step, NUM_REGS};
 use crate::protocol::CoherenceKind;
 use crate::report::{EnergyBreakdown, RunLengthSummary, SimReport, ThreadReport};
@@ -210,6 +210,20 @@ pub struct Engine {
     /// Fault-injection state, built at run start when
     /// `cfg.params.faults.enabled()`.
     faults: Option<FaultState>,
+    /// Fabric fault-injection state (NACKs, congestion, jitter), built
+    /// at run start when `cfg.params.fabric.enabled()`. `None` keeps the
+    /// fault-free path bit-identical: no RNG stream is even seeded.
+    fabric: Option<FabricState>,
+    /// Transactions admitted (queued or in service) per directory bank
+    /// (= tile). Only maintained while `fabric` is `Some`; feeds the
+    /// modeled occupancy limit.
+    bank_pending: Vec<u32>,
+    /// Consecutive NACKs absorbed by each thread's *current*
+    /// transaction; reset to 0 on admission. Sized at run start.
+    retry_count: Vec<u32>,
+    /// Set by the admission path when a transaction exhausts its retry
+    /// budget; the main loop converts it into an error return.
+    retry_storm: Option<Box<SimError>>,
     energy: EnergyBreakdown,
     queue_depth: crate::report::LatencyStats,
     trace: Option<Trace>,
@@ -220,7 +234,7 @@ impl Engine {
     pub fn new(topo: &MachineTopology, cfg: SimConfig) -> Self {
         cfg.params
             .validate()
-            .expect("invalid simulation parameters");
+            .unwrap_or_else(|e| panic!("invalid simulation parameters: {e}"));
         topo.validate().expect("invalid topology");
         let n_cores = topo.num_cores();
         let caches = (0..n_cores)
@@ -290,6 +304,10 @@ impl Engine {
             events_processed: 0,
             retired_ops: 0,
             faults: None,
+            fabric: None,
+            bank_pending: Vec::new(),
+            retry_count: Vec::new(),
+            retry_storm: None,
             energy: EnergyBreakdown::default(),
             queue_depth: crate::report::LatencyStats::default(),
             trace: None,
@@ -430,11 +448,23 @@ impl Engine {
 
     /// Wire latency of one leg, charging hop energy and — under the
     /// link-bandwidth model — queueing the message behind earlier
-    /// traffic at its route's bottleneck link.
+    /// traffic at its route's bottleneck link. With fabric faults on,
+    /// transient congestion windows multiply the wire latency and
+    /// uniform jitter is added before the bandwidth model applies.
     fn charge_hops(&mut self, a: TileId, b: TileId) -> u32 {
         let h = self.hops(a, b);
         self.energy.network_j += h as f64 * self.cfg.params.energy.hop_nj * 1e-9;
         let mut lat = self.wire(a, b);
+        if a != b {
+            let pair = a.0 * self.n_tiles + b.0;
+            let now = self.now;
+            if let Some(fb) = self.fabric.as_mut() {
+                if fb.congested(pair, now) {
+                    lat = lat.saturating_mul(fb.multiplier());
+                }
+                lat = lat.saturating_add(fb.jitter());
+            }
+        }
         let occ = self.cfg.params.link_occupancy_cycles as u64;
         if occ > 0 && a != b {
             let route = &self.tile_routes[a.0 * self.n_tiles + b.0];
@@ -505,6 +535,17 @@ impl Engine {
                 self.threads.len(),
                 self.n_cores,
             ));
+        }
+        if self.cfg.params.fabric.enabled() && self.fabric.is_none() {
+            self.fabric = Some(FabricState::new(
+                &self.cfg.params.fabric,
+                self.cfg.params.seed,
+                self.n_tiles,
+            ));
+            self.bank_pending = vec![0; self.n_tiles];
+        }
+        if self.retry_count.len() < self.threads.len() {
+            self.retry_count.resize(self.threads.len(), 0);
         }
         // The effective cycle budget: the run-length config may override
         // the config duration (`Fixed{cycles:0}` resolves to it, keeping
@@ -593,8 +634,14 @@ impl Engine {
                 Ev::ServiceDone(line, req) => self.service_done(line, req),
                 Ev::OpComplete(tid) => self.op_complete(tid),
             }
+            if let Some(e) = self.retry_storm.take() {
+                break Err(*e);
+            }
         };
         crate::counters::add_events(self.events_processed - counted_before);
+        if let Some(fb) = self.fabric.as_ref() {
+            crate::counters::add_faults(fb.nacks, fb.retries);
+        }
         result.map(|()| {
             let summary = match &ctl {
                 Some(c) => c.summary(duration, stopped_at),
@@ -651,6 +698,33 @@ impl Engine {
             epoch_cycles,
             stuck,
             hottest_line,
+        }
+    }
+
+    /// Assemble the `RetryStorm` diagnostic for a transaction on interned
+    /// line `idx` that exhausted its retry budget: the refusing bank's
+    /// occupancy plus every thread currently backing off.
+    fn retry_storm_error(&self, idx: u32, bank_occupancy: u32) -> SimError {
+        let retrying = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(tid, _)| self.retry_count[*tid] > 0)
+            .take(SimError::MAX_STUCK_THREADS)
+            .map(|(tid, t)| StuckThread {
+                thread: tid,
+                hw_thread: t.hw.0,
+                pc: t.pc,
+                status: t.status.label(),
+            })
+            .collect();
+        SimError::RetryStorm {
+            at_cycle: self.now,
+            line: self.dir.line_at(idx).0,
+            home_tile: self.dir.home_of(idx).0,
+            bank_occupancy,
+            max_retries: self.cfg.params.retry.max_retries,
+            retrying,
         }
     }
 }

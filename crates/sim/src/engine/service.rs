@@ -20,8 +20,66 @@ use bounce_topo::TileId;
 impl Engine {
     pub(super) fn dir_arrival(&mut self, idx: u32, req: Request) {
         self.energy.directory_j += self.cfg.params.energy.dir_nj * 1e-9;
+        if self.fabric.is_some() && !self.fabric_admit(idx, &req) {
+            return;
+        }
         self.dir.entry_at(idx).queue.push_back(req);
         self.pump(idx);
+    }
+
+    /// Fabric fault model: decide whether the home bank admits an
+    /// arriving request. A refused request is NACKed back to the
+    /// requester, which re-sends it after the [`RetryPolicy`]
+    /// (crate::RetryPolicy) backoff — or, past the retry budget, the run
+    /// fails with [`SimError::RetryStorm`](crate::SimError). Only called
+    /// while `self.fabric` is `Some`, so the fault-free path never takes
+    /// the branch.
+    fn fabric_admit(&mut self, idx: u32, req: &Request) -> bool {
+        let bank = self.dir.home_of(idx).0;
+        let pending = self.bank_pending[bank];
+        let refused = {
+            let fb = self.fabric.as_mut().expect("fabric state present");
+            fb.refuses(bank, pending)
+        };
+        if !refused {
+            self.bank_pending[bank] += 1;
+            self.retry_count[req.thread] = 0;
+            return true;
+        }
+        let tid = req.thread;
+        if let Some(fb) = self.fabric.as_mut() {
+            fb.nacks += 1;
+        }
+        self.retry_count[tid] += 1;
+        let attempt = self.retry_count[tid];
+        let policy = self.cfg.params.retry;
+        if attempt > policy.max_retries {
+            self.retry_storm = Some(Box::new(self.retry_storm_error(idx, pending)));
+            return false;
+        }
+        if let Some(fb) = self.fabric.as_mut() {
+            fb.retries += 1;
+        }
+        if self.now >= self.cfg.warmup_cycles {
+            self.threads[tid].report.retries += 1;
+        }
+        let line = self.dir.line_at(idx);
+        self.trace(|at| TraceEvent::Nack {
+            at,
+            thread: tid,
+            line,
+            attempt,
+        });
+        // The NACK reply travels home→requester, then the re-sent
+        // request travels requester→home after the backoff wait; both
+        // legs pay wire latency and hop energy like any other message.
+        let home = self.dir.home_of(idx);
+        let req_tile = self.tile_of_core(req.core);
+        let nack_leg = self.charge_hops(home, req_tile) as u64;
+        let resend_leg = self.charge_hops(req_tile, home) as u64;
+        let delay = nack_leg + policy.backoff_cycles(attempt) + resend_leg;
+        self.schedule(self.now + delay.max(1), Ev::DirArrival(idx, *req));
+        false
     }
 
     /// Start every queued transaction the service discipline allows:
@@ -255,6 +313,12 @@ impl Engine {
                 debug_assert!(entry.shared_in_flight > 0);
                 entry.shared_in_flight -= 1;
             }
+        }
+        if self.fabric.is_some() {
+            // The transaction leaves the bank: release its occupancy
+            // slot (admitted in `fabric_admit`).
+            let bank = self.dir.home_of(idx).0;
+            self.bank_pending[bank] = self.bank_pending[bank].saturating_sub(1);
         }
         let tid = req.thread;
         // --- arrival transitions (departures already ran at service

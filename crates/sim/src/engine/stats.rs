@@ -2,7 +2,7 @@
 //! and report assembly.
 
 use super::Engine;
-use crate::report::{RunLengthSummary, SimReport, ThreadReport};
+use crate::report::{LatencyStats, RunLengthSummary, SimReport, ThreadReport};
 
 impl Engine {
     pub(super) fn finish(&mut self, run: RunLengthSummary) -> SimReport {
@@ -27,6 +27,16 @@ impl Engine {
             .iter()
             .map(|t| t.report.clone())
             .collect::<Vec<ThreadReport>>();
+        // First-class latency percentiles: merge the per-thread
+        // histograms once here so downstream consumers (sweep JSON,
+        // experiments) stop re-deriving them.
+        let merged = {
+            let mut all = LatencyStats::default();
+            for t in &threads {
+                all.merge(&t.latency);
+            }
+            all
+        };
         SimReport {
             duration_cycles: run.budget_cycles,
             window_cycles: window,
@@ -38,6 +48,10 @@ impl Engine {
             dir_transactions: self.dir_transactions,
             events: self.events_processed,
             preemptions: self.faults.as_ref().map(|f| f.preemptions).unwrap_or(0),
+            nacks: self.fabric.as_ref().map(|f| f.nacks).unwrap_or(0),
+            retries: self.fabric.as_ref().map(|f| f.retries).unwrap_or(0),
+            p50_latency_cycles: merged.quantile(0.5),
+            p99_latency_cycles: merged.quantile(0.99),
             energy: self.energy.clone(),
             queue_depth: self.queue_depth.clone(),
             run_length: run,

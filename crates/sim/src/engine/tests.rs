@@ -814,3 +814,186 @@ fn watchdog_tolerates_preempted_runs() {
     );
     assert!(rep.total_ops() > 0);
 }
+
+// --- fabric fault injection ---
+
+fn fabric_cfg(duration: u64, fabric: crate::FabricFaultConfig) -> SimConfig {
+    let mut c = cfg(duration);
+    c.params.fabric = fabric;
+    c
+}
+
+#[test]
+fn fabric_default_config_is_bit_identical_to_fault_free() {
+    // The all-zero fabric config must not change a single bit of any
+    // report: `enabled()` is false, so no state (not even an RNG
+    // stream) is ever built.
+    let topo = tiny();
+    let prog = builders::cas_increment_loop(addr(), 25, 0);
+    let hw = Placement::Packed.assign(&topo, 4);
+    let clean = run_uniform(&topo, cfg(300_000), &hw, &prog);
+    let explicit = run_uniform(
+        &topo,
+        fabric_cfg(300_000, crate::FabricFaultConfig::default()),
+        &hw,
+        &prog,
+    );
+    assert_eq!(format!("{clean:?}"), format!("{explicit:?}"));
+    assert_eq!(clean.nacks, 0);
+    assert_eq!(clean.retries, 0);
+}
+
+#[test]
+fn fabric_nacks_reduce_throughput_and_are_counted() {
+    let topo = tiny();
+    let prog = builders::op_loop(Primitive::Faa, addr(), 0);
+    let hw = Placement::Packed.assign(&topo, 4);
+    let clean = run_uniform(&topo, cfg(300_000), &hw, &prog);
+    let faulty = run_uniform(
+        &topo,
+        fabric_cfg(
+            300_000,
+            crate::FabricFaultConfig {
+                nack_per_mille: 300,
+                ..Default::default()
+            },
+        ),
+        &hw,
+        &prog,
+    );
+    assert!(faulty.nacks > 0, "NACKs must occur at 30%");
+    assert_eq!(faulty.nacks, faulty.retries, "no storm: every NACK retried");
+    assert!(
+        faulty.total_ops() < clean.total_ops(),
+        "retry round-trips cost throughput: {} vs {}",
+        faulty.total_ops(),
+        clean.total_ops()
+    );
+    let window_retries: u64 = faulty.threads.iter().map(|t| t.retries).sum();
+    assert!(window_retries > 0, "per-thread retry counters populate");
+    assert!(window_retries <= faulty.retries);
+}
+
+#[test]
+fn fabric_fault_injection_is_deterministic() {
+    let topo = tiny();
+    let mk = || {
+        run_uniform(
+            &topo,
+            fabric_cfg(300_000, crate::FabricFaultConfig::moderate()),
+            &Placement::Packed.assign(&topo, 4),
+            &builders::cas_increment_loop(addr(), 25, 0),
+        )
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert!(a.nacks > 0 || a.retries == 0);
+}
+
+#[test]
+fn fabric_congestion_slows_cross_tile_traffic() {
+    // Congestion multiplies hop latency inside its windows, so a
+    // line-bouncing workload (every op crosses tiles) must lose
+    // throughput; the NACK path stays off.
+    let topo = tiny();
+    let prog = builders::op_loop(Primitive::Faa, addr(), 0);
+    let hw = Placement::Scattered.assign(&topo, 4);
+    let clean = run_uniform(&topo, cfg(300_000), &hw, &prog);
+    let congested = run_uniform(
+        &topo,
+        fabric_cfg(
+            300_000,
+            crate::FabricFaultConfig {
+                congestion_interval_cycles: 10_000,
+                congestion_len_cycles: 5_000,
+                congestion_multiplier: 4,
+                ..Default::default()
+            },
+        ),
+        &hw,
+        &prog,
+    );
+    assert_eq!(congested.nacks, 0);
+    assert!(
+        congested.total_ops() < clean.total_ops(),
+        "congestion windows must cost throughput: {} vs {}",
+        congested.total_ops(),
+        clean.total_ops()
+    );
+}
+
+#[test]
+fn retry_storm_is_diagnosed_with_line_and_budget() {
+    // nack_per_mille = 1000 refuses every arrival: the very first
+    // transaction must exhaust its budget and fail the run.
+    let topo = tiny();
+    let mut c = fabric_cfg(
+        300_000,
+        crate::FabricFaultConfig {
+            nack_per_mille: 1000,
+            ..Default::default()
+        },
+    );
+    c.params.retry = crate::RetryPolicy {
+        max_retries: 5,
+        backoff_base_cycles: 4,
+        backoff_cap_cycles: 64,
+    };
+    let mut eng = Engine::new(&topo, c);
+    eng.add_thread(HwThreadId(0), builders::op_loop(Primitive::Faa, addr(), 0));
+    let err = eng.try_run().expect_err("guaranteed NACKs must storm");
+    match &err {
+        crate::SimError::RetryStorm {
+            line,
+            max_retries,
+            retrying,
+            ..
+        } => {
+            assert_eq!(*line, 0x4000);
+            assert_eq!(*max_retries, 5);
+            assert!(!retrying.is_empty(), "the storming thread is named");
+        }
+        other => panic!("expected RetryStorm, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("retry storm"), "{msg}");
+    assert!(msg.contains("0x4000"), "{msg}");
+}
+
+#[test]
+fn backoff_survives_occupancy_pressure_where_eager_storms() {
+    // Saturate a tiny bank occupancy limit with many contending
+    // threads: with zero backoff every refused thread re-sends almost
+    // immediately into the still-full bank and storms; the backoff
+    // ladder spreads the retries out and completes the run.
+    let topo = tiny();
+    let mk = |retry: crate::RetryPolicy| {
+        let mut c = fabric_cfg(
+            200_000,
+            crate::FabricFaultConfig {
+                max_pending_per_bank: 1,
+                ..Default::default()
+            },
+        );
+        c.params.retry = retry;
+        let mut eng = Engine::new(&topo, c);
+        for hw in Placement::Packed.assign(&topo, 8) {
+            eng.add_thread(hw, builders::op_loop(Primitive::Faa, addr(), 0));
+        }
+        eng.try_run()
+    };
+    let eager = mk(crate::RetryPolicy {
+        max_retries: 24,
+        backoff_base_cycles: 0,
+        backoff_cap_cycles: 0,
+    });
+    let patient = mk(crate::RetryPolicy::patient());
+    assert!(
+        matches!(eager, Err(crate::SimError::RetryStorm { .. })),
+        "eager retry into a full bank must storm: {eager:?}"
+    );
+    let rep = patient.expect("backoff must drain the bank");
+    assert!(rep.total_ops() > 0);
+    assert!(rep.nacks > 0, "the pressure was real");
+}

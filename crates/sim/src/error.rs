@@ -112,6 +112,34 @@ pub enum SimError {
         /// The analyzer's diagnostic.
         error: crate::analyze::AnalysisError,
     },
+    /// The simulation parameters failed validation before the run
+    /// started (the typed config-error path — campaigns report the
+    /// offending field instead of panicking).
+    InvalidConfig {
+        /// The validation failure, naming the out-of-range field.
+        error: crate::config::ConfigError,
+    },
+    /// A transaction exhausted its NACK retry budget under the fabric
+    /// fault model: the directory bank refused it
+    /// `max_retries + 1` times (see
+    /// [`RetryPolicy`](crate::RetryPolicy)).
+    RetryStorm {
+        /// Simulation time of the final refusal.
+        at_cycle: u64,
+        /// The line whose transaction stormed.
+        line: u64,
+        /// Home tile (= directory bank) that refused the request.
+        home_tile: usize,
+        /// Transactions admitted (queued or in service) at the bank
+        /// when it refused.
+        bank_occupancy: u32,
+        /// The exhausted per-transaction retry budget.
+        max_retries: u32,
+        /// Threads whose transactions were backing off when the storm
+        /// hit, with their program counters (capped at
+        /// [`SimError::MAX_STUCK_THREADS`]).
+        retrying: Vec<StuckThread>,
+    },
 }
 
 impl SimError {
@@ -157,6 +185,34 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidWorkload { thread, error } => {
                 write!(f, "invalid workload: thread {thread}: {error}")
+            }
+            SimError::InvalidConfig { error } => {
+                write!(f, "invalid simulation parameters: {error}")
+            }
+            SimError::RetryStorm {
+                at_cycle,
+                line,
+                home_tile,
+                bank_occupancy,
+                max_retries,
+                retrying,
+            } => {
+                write!(
+                    f,
+                    "retry storm: line {line:#x} (home tile {home_tile}) NACKed \
+                     past the {max_retries}-retry budget at cycle {at_cycle} \
+                     (bank occupancy {bank_occupancy})"
+                )?;
+                if !retrying.is_empty() {
+                    write!(f, "; retrying threads: ")?;
+                    for (i, t) in retrying.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                }
+                Ok(())
             }
         }
     }
@@ -205,5 +261,39 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("1000") && s.contains("77"), "{s}");
+    }
+
+    #[test]
+    fn retry_storm_display_names_line_bank_and_threads() {
+        let e = SimError::RetryStorm {
+            at_cycle: 9_000,
+            line: 0x8040,
+            home_tile: 3,
+            bank_occupancy: 12,
+            max_retries: 64,
+            retrying: vec![StuckThread {
+                thread: 7,
+                hw_thread: 14,
+                pc: 1,
+                status: "waiting",
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("retry storm"), "{s}");
+        assert!(s.contains("0x8040"), "{s}");
+        assert!(s.contains("home tile 3"), "{s}");
+        assert!(s.contains("64-retry budget"), "{s}");
+        assert!(s.contains("occupancy 12"), "{s}");
+        assert!(s.contains("t7@hw14 pc=1 waiting"), "{s}");
+    }
+
+    #[test]
+    fn invalid_config_display_names_field() {
+        let e = SimError::InvalidConfig {
+            error: crate::config::ConfigError::new("fabric.nack_per_mille", "must be <= 1000"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("fabric.nack_per_mille"), "{s}");
+        assert!(s.contains("must be <= 1000"), "{s}");
     }
 }

@@ -1,5 +1,6 @@
-//! Deterministic fault injection: thread preemption windows and
-//! per-core frequency jitter.
+//! Deterministic fault injection: thread preemption windows, per-core
+//! frequency jitter, and the coherence-fabric fault model (directory
+//! NACKs, link congestion windows, message-latency jitter).
 //!
 //! The paper's fairness story (and the follow-up contention-management
 //! literature) hinges on what happens when a thread *loses the CPU* in
@@ -23,7 +24,37 @@
 //! are deterministic, independent of event ordering, and reproducible
 //! at any `--jobs` count. A default (all-zero) [`FaultConfig`] injects
 //! nothing and costs one branch per interpreter resume.
+//!
+//! # The fabric layer
+//!
+//! [`FabricFaultConfig`] degrades the coherence *fabric* itself, one
+//! layer below the thread faults:
+//!
+//! * **Directory-bank NACKs** — a directory bank (= home tile) refuses
+//!   an arriving request when its modeled occupancy is at
+//!   [`FabricFaultConfig::max_pending_per_bank`] admitted transactions,
+//!   or stochastically at [`FabricFaultConfig::nack_per_mille`] on a
+//!   dedicated per-bank SplitMix64 stream. The engine retries refused
+//!   requests under the bounded-backoff
+//!   [`RetryPolicy`](crate::RetryPolicy).
+//! * **Congestion windows** — each directed tile pair independently
+//!   enters transient congestion: for
+//!   [`congestion_len_cycles`](FabricFaultConfig::congestion_len_cycles)
+//!   out of every
+//!   [`congestion_interval_cycles`](FabricFaultConfig::congestion_interval_cycles),
+//!   its hop latency multiplies by
+//!   [`congestion_multiplier`](FabricFaultConfig::congestion_multiplier).
+//!   Window phases are drawn per link at run start, so whether a
+//!   message is congested is a pure function of `(link, time)` —
+//!   independent of event ordering by construction.
+//! * **Message jitter** — every non-local message pays an extra uniform
+//!   `[0, jitter_cycles]` latency, drawn from one dedicated stream in
+//!   (deterministic) event order.
+//!
+//! The all-zero default injects nothing; the engine then builds no
+//! fabric state at all, so the fault-free path stays bit-identical.
 
+use crate::config::ConfigError;
 use crate::directory::splitmix64;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,24 +113,195 @@ impl FaultConfig {
     }
 
     /// Sanity-check parameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..1.0).contains(&self.freq_jitter) {
-            return Err(format!(
-                "freq_jitter {} out of range [0, 1)",
-                self.freq_jitter
+            return Err(ConfigError::new(
+                "faults.freq_jitter",
+                format!("{} out of range [0, 1)", self.freq_jitter),
             ));
         }
         if !(0.0..=1.0).contains(&self.preempt_spread) {
-            return Err(format!(
-                "preempt_spread {} out of range [0, 1]",
-                self.preempt_spread
+            return Err(ConfigError::new(
+                "faults.preempt_spread",
+                format!("{} out of range [0, 1]", self.preempt_spread),
             ));
         }
         if self.preempt_interval_cycles > 0 && self.preempt_len_cycles == 0 {
-            return Err("preempt_interval_cycles set but preempt_len_cycles is 0".into());
+            return Err(ConfigError::new(
+                "faults.preempt_len_cycles",
+                "is 0 but preempt_interval_cycles is set".to_string(),
+            ));
         }
         if self.preempt_len_cycles > 0 && self.preempt_interval_cycles == 0 {
-            return Err("preempt_len_cycles set but preempt_interval_cycles is 0".into());
+            return Err(ConfigError::new(
+                "faults.preempt_interval_cycles",
+                "is 0 but preempt_len_cycles is set".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Coherence-fabric fault parameters. The all-zero default injects
+/// nothing (see the [module docs](self) for the model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricFaultConfig {
+    /// Per-mille probability that a directory bank NACKs an arriving
+    /// request, drawn on the bank's dedicated stream. 0 disables
+    /// stochastic NACKs; 1000 refuses everything.
+    pub nack_per_mille: u32,
+    /// Occupancy limit per directory bank: arrivals while this many
+    /// transactions are already admitted (queued or in service) at the
+    /// bank are NACKed. 0 = unlimited.
+    pub max_pending_per_bank: u32,
+    /// Period of each link's congestion windows, cycles. 0 disables
+    /// congestion.
+    pub congestion_interval_cycles: u64,
+    /// Length of the congested part of each period, cycles.
+    pub congestion_len_cycles: u64,
+    /// Hop-latency multiplier while a link is congested (>= 2 when
+    /// congestion windows are configured).
+    pub congestion_multiplier: u32,
+    /// Maximum uniform extra latency per non-local message, cycles.
+    /// 0 disables jitter.
+    pub jitter_cycles: u32,
+}
+
+impl FabricFaultConfig {
+    /// Preset labels accepted by [`FabricFaultConfig::from_label`].
+    pub const LABELS: [&'static str; 4] = ["none", "light", "moderate", "severe"];
+
+    /// No fabric faults (the default).
+    pub fn none() -> Self {
+        FabricFaultConfig::default()
+    }
+
+    /// Mild degradation: 2.5% NACKs, occasional 2× congestion windows.
+    pub fn light() -> Self {
+        FabricFaultConfig {
+            nack_per_mille: 25,
+            max_pending_per_bank: 0,
+            congestion_interval_cycles: 40_000,
+            congestion_len_cycles: 2_000,
+            congestion_multiplier: 2,
+            jitter_cycles: 0,
+        }
+    }
+
+    /// Noticeable degradation: 10% NACKs, a 12-deep bank limit, 3×
+    /// congestion a fifth of the time, small jitter.
+    pub fn moderate() -> Self {
+        FabricFaultConfig {
+            nack_per_mille: 100,
+            max_pending_per_bank: 12,
+            congestion_interval_cycles: 20_000,
+            congestion_len_cycles: 4_000,
+            congestion_multiplier: 3,
+            jitter_cycles: 2,
+        }
+    }
+
+    /// Heavy degradation: 25% NACKs, a 6-deep bank limit, 4× congestion
+    /// windows covering 40% of the time, 4-cycle jitter.
+    pub fn severe() -> Self {
+        FabricFaultConfig {
+            nack_per_mille: 250,
+            max_pending_per_bank: 6,
+            congestion_interval_cycles: 10_000,
+            congestion_len_cycles: 4_000,
+            congestion_multiplier: 4,
+            jitter_cycles: 4,
+        }
+    }
+
+    /// Resolve a preset by label (see [`FabricFaultConfig::LABELS`]).
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(FabricFaultConfig::none()),
+            "light" => Some(FabricFaultConfig::light()),
+            "moderate" => Some(FabricFaultConfig::moderate()),
+            "severe" => Some(FabricFaultConfig::severe()),
+            _ => None,
+        }
+    }
+
+    /// The preset label of this config, or `"custom"`.
+    pub fn label(&self) -> &'static str {
+        if *self == FabricFaultConfig::none() {
+            "none"
+        } else if *self == FabricFaultConfig::light() {
+            "light"
+        } else if *self == FabricFaultConfig::moderate() {
+            "moderate"
+        } else if *self == FabricFaultConfig::severe() {
+            "severe"
+        } else {
+            "custom"
+        }
+    }
+
+    /// Whether directory banks may NACK arrivals.
+    pub fn nack_enabled(&self) -> bool {
+        self.nack_per_mille > 0 || self.max_pending_per_bank > 0
+    }
+
+    /// Whether link congestion windows are injected.
+    pub fn congestion_enabled(&self) -> bool {
+        self.congestion_interval_cycles > 0
+            && self.congestion_len_cycles > 0
+            && self.congestion_multiplier > 1
+    }
+
+    /// Whether anything at all is injected.
+    pub fn enabled(&self) -> bool {
+        self.nack_enabled() || self.congestion_enabled() || self.jitter_cycles > 0
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nack_per_mille > 1000 {
+            return Err(ConfigError::new(
+                "fabric.nack_per_mille",
+                format!("{} out of range [0, 1000]", self.nack_per_mille),
+            ));
+        }
+        let windows = self.congestion_interval_cycles > 0 || self.congestion_len_cycles > 0;
+        if windows {
+            if self.congestion_interval_cycles == 0 {
+                return Err(ConfigError::new(
+                    "fabric.congestion_interval_cycles",
+                    "is 0 but congestion_len_cycles is set".to_string(),
+                ));
+            }
+            if self.congestion_len_cycles == 0 {
+                return Err(ConfigError::new(
+                    "fabric.congestion_len_cycles",
+                    "is 0 but congestion_interval_cycles is set".to_string(),
+                ));
+            }
+            if self.congestion_len_cycles > self.congestion_interval_cycles {
+                return Err(ConfigError::new(
+                    "fabric.congestion_len_cycles",
+                    format!(
+                        "window {} longer than its period {}",
+                        self.congestion_len_cycles, self.congestion_interval_cycles
+                    ),
+                ));
+            }
+            if self.congestion_multiplier < 2 {
+                return Err(ConfigError::new(
+                    "fabric.congestion_multiplier",
+                    format!(
+                        "{} must be >= 2 when windows are on",
+                        self.congestion_multiplier
+                    ),
+                ));
+            }
+        } else if self.congestion_multiplier > 1 {
+            return Err(ConfigError::new(
+                "fabric.congestion_multiplier",
+                "set but no congestion window is configured".to_string(),
+            ));
         }
         Ok(())
     }
@@ -210,6 +412,92 @@ impl FaultState {
     }
 }
 
+/// Runtime fabric fault state, built by the engine at run start when
+/// [`FabricFaultConfig::enabled`]. Per-bank and per-link streams use
+/// their own SplitMix64-derived seeds (distinct multiplier constants
+/// from the thread/core streams of [`FaultState`]), so schedules never
+/// depend on how many threads run or on event ordering across runs.
+#[derive(Debug)]
+pub(crate) struct FabricState {
+    cfg: FabricFaultConfig,
+    /// Per-directory-bank NACK draw streams (bank = home tile).
+    bank_rngs: Vec<StdRng>,
+    /// Per-directed-tile-pair congestion phase offsets (flat
+    /// `from * n_tiles + to`); empty unless congestion is on.
+    link_phase: Vec<u64>,
+    /// Message-latency jitter stream.
+    jitter_rng: StdRng,
+    /// Arrivals refused (occupancy limit or stochastic NACK).
+    pub(crate) nacks: u64,
+    /// Refused arrivals that were re-scheduled under the retry policy
+    /// (`nacks` minus any final refusal that exhausted its budget).
+    pub(crate) retries: u64,
+}
+
+impl FabricState {
+    pub(crate) fn new(cfg: &FabricFaultConfig, seed: u64, n_tiles: usize) -> Self {
+        let bank_rngs = (0..n_tiles)
+            .map(|b| StdRng::seed_from_u64(splitmix64(seed ^ (b as u64).wrapping_mul(0xB7B7_7B7B))))
+            .collect();
+        let link_phase = if cfg.congestion_enabled() {
+            (0..n_tiles * n_tiles)
+                .map(|l| {
+                    let mut rng = StdRng::seed_from_u64(splitmix64(
+                        seed ^ (l as u64).wrapping_mul(0xD1D1_1D1D),
+                    ));
+                    rng.gen_range(0..cfg.congestion_interval_cycles)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let jitter_rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xE1E1_1E1E));
+        FabricState {
+            cfg: *cfg,
+            bank_rngs,
+            link_phase,
+            jitter_rng,
+            nacks: 0,
+            retries: 0,
+        }
+    }
+
+    /// Whether bank `bank` refuses an arrival while `pending`
+    /// transactions are already admitted there. Does **not** bump the
+    /// `nacks` tally — the engine owns the retry bookkeeping.
+    pub(crate) fn refuses(&mut self, bank: usize, pending: u32) -> bool {
+        if self.cfg.max_pending_per_bank > 0 && pending >= self.cfg.max_pending_per_bank {
+            return true;
+        }
+        self.cfg.nack_per_mille > 0
+            && self.bank_rngs[bank].gen_range(0u32..1000) < self.cfg.nack_per_mille
+    }
+
+    /// Whether the directed tile pair `pair` is inside one of its
+    /// congestion windows at `now`. Pure in `(pair, now)`.
+    pub(crate) fn congested(&self, pair: usize, now: u64) -> bool {
+        if self.link_phase.is_empty() {
+            return false;
+        }
+        (now + self.link_phase[pair]) % self.cfg.congestion_interval_cycles
+            < self.cfg.congestion_len_cycles
+    }
+
+    /// The hop-latency multiplier applied inside a congestion window.
+    pub(crate) fn multiplier(&self) -> u32 {
+        self.cfg.congestion_multiplier.max(1)
+    }
+
+    /// Draw the jitter of one message (0 when jitter is off).
+    pub(crate) fn jitter(&mut self) -> u32 {
+        if self.cfg.jitter_cycles == 0 {
+            0
+        } else {
+            self.jitter_rng.gen_range(0..self.cfg.jitter_cycles + 1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,22 +515,31 @@ mod tests {
         let c = FaultConfig::default();
         assert!(!c.enabled());
         assert_eq!(c.dark_fraction(), 0.0);
-        c.validate().unwrap();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
     fn validate_rejects_half_configured_preemption() {
-        assert!(preempt_cfg(100, 0).validate().is_err());
-        assert!(preempt_cfg(0, 100).validate().is_err());
+        // The typed error path names the field that is out of range.
+        assert_eq!(
+            preempt_cfg(100, 0).validate().unwrap_err().field,
+            "faults.preempt_len_cycles"
+        );
+        assert_eq!(
+            preempt_cfg(0, 100).validate().unwrap_err().field,
+            "faults.preempt_interval_cycles"
+        );
         assert!(preempt_cfg(100, 10).validate().is_ok());
         let c = FaultConfig {
             freq_jitter: 1.5,
             ..FaultConfig::default()
         };
-        assert!(c.validate().is_err());
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.field, "faults.freq_jitter");
+        assert!(e.to_string().contains("1.5"), "{e}");
         let mut c = preempt_cfg(100, 10);
         c.preempt_spread = 1.5;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().unwrap_err().field, "faults.preempt_spread");
     }
 
     #[test]
@@ -312,6 +609,146 @@ mod tests {
         assert_eq!(s.check_preempt(0, t + 50), Some(until));
         // At the horizon the thread runs again.
         assert_eq!(s.check_preempt(0, until), None);
+    }
+
+    #[test]
+    fn fabric_default_is_disabled_and_valid() {
+        let c = FabricFaultConfig::default();
+        assert!(!c.enabled());
+        assert!(!c.nack_enabled());
+        assert!(!c.congestion_enabled());
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.label(), "none");
+    }
+
+    #[test]
+    fn fabric_presets_round_trip_and_validate() {
+        for l in FabricFaultConfig::LABELS {
+            let c = FabricFaultConfig::from_label(l).unwrap();
+            assert_eq!(c.label(), l);
+            assert_eq!(c.validate(), Ok(()));
+            assert_eq!(c.enabled(), l != "none");
+        }
+        assert!(FabricFaultConfig::from_label("heavy").is_none());
+        let mut c = FabricFaultConfig::severe();
+        c.nack_per_mille = 77;
+        assert_eq!(c.label(), "custom");
+    }
+
+    #[test]
+    fn fabric_validate_names_offending_fields() {
+        let c = FabricFaultConfig {
+            nack_per_mille: 1500,
+            ..FabricFaultConfig::default()
+        };
+        assert_eq!(c.validate().unwrap_err().field, "fabric.nack_per_mille");
+        let c = FabricFaultConfig {
+            congestion_interval_cycles: 1000,
+            ..FabricFaultConfig::default()
+        };
+        assert_eq!(
+            c.validate().unwrap_err().field,
+            "fabric.congestion_len_cycles"
+        );
+        let c = FabricFaultConfig {
+            congestion_len_cycles: 1000,
+            ..FabricFaultConfig::default()
+        };
+        assert_eq!(
+            c.validate().unwrap_err().field,
+            "fabric.congestion_interval_cycles"
+        );
+        let mut c = FabricFaultConfig::light();
+        c.congestion_len_cycles = c.congestion_interval_cycles + 1;
+        assert_eq!(
+            c.validate().unwrap_err().field,
+            "fabric.congestion_len_cycles"
+        );
+        let mut c = FabricFaultConfig::light();
+        c.congestion_multiplier = 1;
+        assert_eq!(
+            c.validate().unwrap_err().field,
+            "fabric.congestion_multiplier"
+        );
+        let c = FabricFaultConfig {
+            congestion_multiplier: 3,
+            ..FabricFaultConfig::default()
+        };
+        assert_eq!(
+            c.validate().unwrap_err().field,
+            "fabric.congestion_multiplier"
+        );
+    }
+
+    #[test]
+    fn fabric_nack_stream_is_deterministic_per_bank() {
+        let cfg = FabricFaultConfig {
+            nack_per_mille: 300,
+            ..FabricFaultConfig::default()
+        };
+        let mut a = FabricState::new(&cfg, 99, 4);
+        let mut b = FabricState::new(&cfg, 99, 4);
+        let mut refused = 0;
+        for i in 0..2000 {
+            let bank = i % 4;
+            let ra = a.refuses(bank, 0);
+            assert_eq!(ra, b.refuses(bank, 0));
+            refused += ra as u32;
+        }
+        // ~30% of 2000 draws.
+        assert!((400..=800).contains(&refused), "refused {refused}");
+    }
+
+    #[test]
+    fn fabric_occupancy_limit_always_refuses() {
+        let cfg = FabricFaultConfig {
+            max_pending_per_bank: 2,
+            ..FabricFaultConfig::default()
+        };
+        let mut s = FabricState::new(&cfg, 1, 2);
+        assert!(!s.refuses(0, 0));
+        assert!(!s.refuses(0, 1));
+        assert!(s.refuses(0, 2));
+        assert!(s.refuses(1, 5));
+    }
+
+    #[test]
+    fn congestion_windows_are_pure_in_time() {
+        let cfg = FabricFaultConfig {
+            congestion_interval_cycles: 1000,
+            congestion_len_cycles: 250,
+            congestion_multiplier: 3,
+            ..FabricFaultConfig::default()
+        };
+        let s = FabricState::new(&cfg, 7, 3);
+        let t = FabricState::new(&cfg, 7, 3);
+        let mut congested = 0u64;
+        for now in 0..10_000 {
+            let c = s.congested(4, now);
+            assert_eq!(c, t.congested(4, now), "pure in (pair, now)");
+            congested += c as u64;
+        }
+        // Exactly a quarter of the time, whatever the phase.
+        assert_eq!(congested, 2500);
+        assert_eq!(s.multiplier(), 3);
+    }
+
+    #[test]
+    fn jitter_bounded_and_off_by_default() {
+        let mut off = FabricState::new(&FabricFaultConfig::default(), 5, 2);
+        assert_eq!(off.jitter(), 0);
+        let cfg = FabricFaultConfig {
+            jitter_cycles: 6,
+            ..FabricFaultConfig::default()
+        };
+        let mut s = FabricState::new(&cfg, 5, 2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let j = s.jitter();
+            assert!(j <= 6);
+            seen.insert(j);
+        }
+        assert!(seen.len() > 2, "jitter actually varies: {seen:?}");
     }
 
     #[test]

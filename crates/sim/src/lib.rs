@@ -54,12 +54,13 @@ pub mod trace;
 pub use analyze::{analyze_program, analyze_steps, analyze_workload, AnalysisError, Diagnostic};
 pub use cache::{LineId, LineState, SetAssocCache, WordAddr};
 pub use config::{
-    ArbitrationPolicy, EnergyParams, HomePolicy, RunLength, SimConfig, SimParams, Watchdog,
+    ArbitrationPolicy, ConfigError, EnergyParams, HomePolicy, RetryPolicy, RunLength, SimConfig,
+    SimParams, Watchdog,
 };
 pub use engine::Engine;
 pub use equeue::CalendarQueue;
 pub use error::{LineDiag, SimError, StuckThread};
-pub use faults::FaultConfig;
+pub use faults::{FabricFaultConfig, FaultConfig};
 pub use program::{Operand, Program, ProgramError, SpinPred, Step};
 pub use protocol::{CoherenceKind, CoherenceProtocol, DataSource};
 pub use report::{EnergyBreakdown, RunLengthSummary, SimReport, ThreadReport};

@@ -110,6 +110,9 @@ pub struct ThreadReport {
     pub hits: u64,
     /// L1 misses (coherence transactions) among all issued accesses.
     pub misses: u64,
+    /// Directory NACKs this thread's transactions absorbed and retried
+    /// after backoff (0 without fabric fault injection).
+    pub retries: u64,
     /// Latency of completed workload ops.
     pub latency: LatencyStats,
 }
@@ -222,6 +225,16 @@ pub struct SimReport {
     /// Preemption windows injected by the fault layer (0 when fault
     /// injection is off).
     pub preemptions: u64,
+    /// Directory NACKs injected by the fabric fault layer over the whole
+    /// run (0 when fabric faults are off).
+    pub nacks: u64,
+    /// Transactions re-sent after a NACK + backoff over the whole run.
+    pub retries: u64,
+    /// Median completed-op latency over the measurement window, cycles
+    /// (histogram-bucket midpoint; see [`LatencyStats::quantile`]).
+    pub p50_latency_cycles: f64,
+    /// 99th-percentile completed-op latency over the window, cycles.
+    pub p99_latency_cycles: f64,
     /// Histogram of directory queue depth observed at each service
     /// start (log2 buckets; depth includes the request being started).
     pub queue_depth: LatencyStats,
@@ -485,6 +498,10 @@ mod tests {
             dir_transactions: 9,
             events: 1000,
             preemptions: 0,
+            nacks: 0,
+            retries: 0,
+            p50_latency_cycles: 0.0,
+            p99_latency_cycles: 0.0,
             queue_depth: LatencyStats::default(),
             energy: EnergyBreakdown {
                 static_j: 1.0,

@@ -44,6 +44,19 @@ pub enum TraceEvent {
         /// Queue length at pick time (including the winner).
         queue_len: usize,
     },
+    /// The home bank refused a request (fabric fault injection); the
+    /// requester will retry after backoff.
+    Nack {
+        /// Simulation time.
+        at: u64,
+        /// Thread whose request was refused.
+        thread: usize,
+        /// Target line.
+        line: LineId,
+        /// Which consecutive refusal this is for the transaction (1 =
+        /// first NACK).
+        attempt: u32,
+    },
     /// Exclusive ownership moved between cores (a bounce).
     Bounce {
         /// Simulation time.
@@ -66,6 +79,7 @@ impl TraceEvent {
             TraceEvent::Hit { at, .. }
             | TraceEvent::Miss { at, .. }
             | TraceEvent::ServiceStart { at, .. }
+            | TraceEvent::Nack { at, .. }
             | TraceEvent::Bounce { at, .. } => *at,
         }
     }
@@ -76,6 +90,7 @@ impl TraceEvent {
             TraceEvent::Hit { line, .. }
             | TraceEvent::Miss { line, .. }
             | TraceEvent::ServiceStart { line, .. }
+            | TraceEvent::Nack { line, .. }
             | TraceEvent::Bounce { line, .. } => *line,
         }
     }
@@ -103,6 +118,15 @@ impl TraceEvent {
                 queue_len,
             } => format!(
                 "{at:>10} serve   t{thread} line {:#x} (q={queue_len})",
+                line.0
+            ),
+            TraceEvent::Nack {
+                at,
+                thread,
+                line,
+                attempt,
+            } => format!(
+                "{at:>10} nack    t{thread} line {:#x} (attempt {attempt})",
                 line.0
             ),
             TraceEvent::Bounce {

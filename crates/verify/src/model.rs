@@ -26,6 +26,17 @@
 //! * **No stuck states** — a state with pending requests always enables
 //!   a service-start or service-completion transition.
 //!
+//! The checker also models the engine's **fabric NACK/retry** path
+//! (`FabricFaultConfig`): a queued request may be refused by its home
+//! bank and re-queued without touching line or directory state. NACKs
+//! branch nondeterministically at every queued request (bounded at
+//! [`MAX_NACKS`] per request to keep the space finite), so every
+//! invariant above is checked under arbitrary NACK interleavings. A
+//! NACK transition deliberately does *not* count as progress for the
+//! stuck-state check — a state whose only enabled moves are NACKs
+//! would be reported as stuck, proving that bounded retries cannot
+//! deadlock the service discipline.
+//!
 //! Violations come with a shortest counterexample trace (BFS order).
 //! The checker also records which *transition-table rows* — abstract
 //! (method, input-shape) pairs of the protocol trait — the reachable
@@ -55,13 +66,23 @@ use std::fmt;
 /// Largest core count the abstract state supports.
 pub const MAX_CORES: usize = 4;
 
+/// NACK bound per request: each queued request may be refused and
+/// re-queued at most this many times before the abstraction forces it
+/// to stay queued. The engine's `RetryPolicy` budgets are far larger,
+/// but two NACKs already cover every interleaving shape (NACK before /
+/// between / after competing service starts); deeper counters only
+/// replicate states that differ in an integer the invariants never
+/// read.
+pub const MAX_NACKS: u8 = 2;
+
 /// One core's request status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum ReqSt {
     /// No request outstanding.
     Idle,
-    /// Queued at the directory (`excl` = GetM).
-    Queued { excl: bool },
+    /// Queued at the directory (`excl` = GetM); `nacks` counts fabric
+    /// refusals absorbed so far (bounded by [`MAX_NACKS`]).
+    Queued { excl: bool, nacks: u8 },
     /// In service; `data_fresh` records whether the data source chosen
     /// at service start held the latest version.
     InService { excl: bool, data_fresh: bool },
@@ -107,7 +128,7 @@ impl AbsState {
     }
 
     fn queued_excl(&self) -> bool {
-        (0..self.n as usize).any(|i| self.req[i] == ReqSt::Queued { excl: true })
+        (0..self.n as usize).any(|i| matches!(self.req[i], ReqSt::Queued { excl: true, .. }))
     }
 
     fn set_cache(&mut self, i: usize, st: LineState) {
@@ -170,7 +191,12 @@ impl fmt::Display for AbsState {
             }
             match self.req[i] {
                 ReqSt::Idle => write!(f, "idle")?,
-                ReqSt::Queued { excl } => write!(f, "{}?", if excl { "GetM" } else { "GetS" })?,
+                ReqSt::Queued { excl, nacks } => {
+                    write!(f, "{}?", if excl { "GetM" } else { "GetS" })?;
+                    if nacks > 0 {
+                        write!(f, "(nack{nacks})")?;
+                    }
+                }
                 ReqSt::InService { excl, data_fresh } => write!(
                     f,
                     "{}{}",
@@ -222,6 +248,12 @@ pub enum Row {
     },
     /// `read_install` invoked.
     ReadInstall,
+    /// A queued request (`excl` = GetM) refused by its home bank and
+    /// re-queued — the fabric NACK/retry path.
+    Nack {
+        /// Whether the refused request was exclusive.
+        excl: bool,
+    },
 }
 
 impl Row {
@@ -248,6 +280,7 @@ impl Row {
             Row::ReadSource { owner, forward } => (1, c(*owner), c(*forward)),
             Row::WriteSource { owner, forward } => (2, c(*owner), c(*forward)),
             Row::ReadInstall => (3, 0, 0),
+            Row::Nack { excl } => (4, *excl as u8, 0),
         }
     }
 }
@@ -263,6 +296,9 @@ impl fmt::Display for Row {
                 write!(f, "write_source(owner={owner:?}, forward={forward:?})")
             }
             Row::ReadInstall => write!(f, "read_install()"),
+            Row::Nack { excl } => {
+                write!(f, "nack_retry({})", if *excl { "GetM" } else { "GetS" })
+            }
         }
     }
 }
@@ -291,6 +327,8 @@ fn row_universe() -> Vec<Row> {
         rows.push(Row::WriteSource { owner, forward });
     }
     rows.push(Row::ReadInstall);
+    rows.push(Row::Nack { excl: false });
+    rows.push(Row::Nack { excl: true });
     rows
 }
 
@@ -549,7 +587,10 @@ impl<'a> Checker<'a> {
                     // Issue a read (only a miss generates a transaction).
                     if !s.caches[i].readable() {
                         let mut t = s.clone();
-                        t.req[i] = ReqSt::Queued { excl: false };
+                        t.req[i] = ReqSt::Queued {
+                            excl: false,
+                            nacks: 0,
+                        };
                         out.push((format!("core {i} issues GetS"), t));
                     }
                     // Issue a write: hit-upgrade or a GetM.
@@ -563,7 +604,10 @@ impl<'a> Checker<'a> {
                         }
                     } else {
                         let mut t = s.clone();
-                        t.req[i] = ReqSt::Queued { excl: true };
+                        t.req[i] = ReqSt::Queued {
+                            excl: true,
+                            nacks: 0,
+                        };
                         out.push((format!("core {i} issues GetM"), t));
                     }
                     // Silent capacity eviction.
@@ -571,7 +615,7 @@ impl<'a> Checker<'a> {
                         out.push((format!("core {i} evicts"), self.evict(s, i)));
                     }
                 }
-                ReqSt::Queued { excl } => {
+                ReqSt::Queued { excl, nacks } => {
                     // Service discipline (Engine::pump): one exclusive
                     // at a time, never overlapping reads; writer
                     // priority blocks new reads once a GetM waits.
@@ -584,6 +628,28 @@ impl<'a> Checker<'a> {
                         let t = self.start_service(s, i, excl)?;
                         let verb = if excl { "GetM" } else { "GetS" };
                         out.push((format!("directory starts core {i}'s {verb}"), t));
+                    }
+                    // Fabric NACK (Engine::fabric_admit refusing): the
+                    // request bounces off the bank and re-queues after
+                    // backoff, touching neither line nor directory
+                    // state. Branches at every queued request so the
+                    // invariants hold under arbitrary interleavings;
+                    // bounded so the state space stays finite. The
+                    // label is deliberately not a "starts"/"completes"
+                    // progress verb: NACKs alone never satisfy the
+                    // stuck-state check.
+                    if nacks < MAX_NACKS {
+                        self.rows.insert(Row::Nack { excl });
+                        let mut t = s.clone();
+                        t.req[i] = ReqSt::Queued {
+                            excl,
+                            nacks: nacks + 1,
+                        };
+                        let verb = if excl { "GetM" } else { "GetS" };
+                        out.push((
+                            format!("fabric NACKs core {i}'s {verb} (retry {})", nacks + 1),
+                            t,
+                        ));
                     }
                 }
                 ReqSt::InService { excl, data_fresh } => {

@@ -56,6 +56,8 @@ fn transition_coverage_matches_protocol_semantics() {
         write(N, O),
         write(O, N),
         Row::ReadInstall,
+        Row::Nack { excl: false },
+        Row::Nack { excl: true },
     ];
     for row in &expect_live {
         assert!(r.rows_hit.contains(row), "MESIF should exercise {row}");
@@ -77,6 +79,8 @@ fn transition_coverage_matches_protocol_semantics() {
         write(N, N),
         write(O, N),
         Row::ReadInstall,
+        Row::Nack { excl: false },
+        Row::Nack { excl: true },
     ];
     for row in &expect_live {
         assert!(r.rows_hit.contains(row), "MESI should exercise {row}");
@@ -98,6 +102,8 @@ fn transition_coverage_matches_protocol_semantics() {
         write(R, N),
         write(O, N),
         Row::ReadInstall,
+        Row::Nack { excl: false },
+        Row::Nack { excl: true },
     ];
     for row in &expect_live {
         assert!(r.rows_hit.contains(row), "MOESI should exercise {row}");

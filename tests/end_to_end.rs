@@ -164,7 +164,7 @@ fn cas_waste_grows_with_contention() {
 #[test]
 fn experiment_registry_complete() {
     let all = experiments::all_experiments(ExpCtx::quick());
-    assert_eq!(all.len(), 40, "2 tables + 19 experiments x 2 machines");
+    assert_eq!(all.len(), 42, "2 tables + 20 experiments x 2 machines");
     for (id, r) in &all {
         let t = r.as_ref().unwrap_or_else(|e| panic!("{id} failed: {e}"));
         assert!(!t.rows.is_empty(), "{id} empty");
