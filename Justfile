@@ -14,11 +14,14 @@ lint:
 
 # The static verification layer (see crates/verify): exhaustive model
 # check of every coherence protocol, workload-IR lint over every
-# registered workload, and the determinism lint over simulator sources.
+# registered workload, the determinism + shim-bypass lint, and the
+# schedcheck interleaving model check of the real atomics (with its
+# ordering-mutation sweep).
 verify-static:
     cargo run --release -p bounce-verify --bin modelcheck
     cargo run --release -p bounce-bench --bin repro -- lint
     cargo run --release -p bounce-verify --bin detlint
+    cargo run --release -p bounce-verify --bin schedcheck -- --mutate
 
 # Regenerate every table and figure into results/ (with gnuplot scripts).
 # jobs=0 means one worker per host core; jobs=1 is the serial baseline.

@@ -1,8 +1,13 @@
 //! Concurrent counters — the simplest application of FAA and the
 //! textbook high-contention vs. striped-low-contention contrast.
+//!
+//! All counters are generic over the [`CellModel`] substrate so the
+//! `schedcheck` model checker can run them on shadow cells; production
+//! code uses the default `C = StdCell` instantiation, which is the
+//! pre-shim concrete code after inlining.
 
-use crate::padded::{padded_array, PaddedAtomic};
-use std::sync::atomic::Ordering;
+use crate::cell::{Cell64, CellModel, Ordering, StdCell};
+use crate::padded::{padded_cells, CachePadded, PaddedCell};
 
 /// A counter usable from many threads.
 pub trait ConcurrentCounter: Send + Sync {
@@ -14,26 +19,33 @@ pub trait ConcurrentCounter: Send + Sync {
 
 /// All threads FAA one shared cell: the canonical high-contention setting.
 #[derive(Debug)]
-pub struct SharedCounter {
-    cell: PaddedAtomic,
+pub struct SharedCounter<C: CellModel = StdCell> {
+    cell: PaddedCell<C>,
 }
 
-impl Default for SharedCounter {
+impl<C: CellModel> Default for SharedCounter<C> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl SharedCounter {
     /// New zeroed counter.
     pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<C: CellModel> SharedCounter<C> {
+    /// New zeroed counter on an explicit cell substrate.
+    pub fn new_in() -> Self {
         SharedCounter {
-            cell: PaddedAtomic::new(std::sync::atomic::AtomicU64::new(0)),
+            cell: CachePadded::new(C::U64::new(0)),
         }
     }
 }
 
-impl ConcurrentCounter for SharedCounter {
+impl<C: CellModel> ConcurrentCounter for SharedCounter<C> {
     fn add(&self, _tid: usize, delta: u64) {
         self.cell.fetch_add(delta, Ordering::Relaxed);
     }
@@ -46,16 +58,23 @@ impl ConcurrentCounter for SharedCounter {
 /// Each thread FAAs its own padded stripe; reads sum the stripes: the
 /// canonical low-contention transformation of the same counter.
 #[derive(Debug)]
-pub struct StripedCounter {
-    stripes: Box<[PaddedAtomic]>,
+pub struct StripedCounter<C: CellModel = StdCell> {
+    stripes: Box<[PaddedCell<C>]>,
 }
 
 impl StripedCounter {
     /// New counter with `stripes` independent cells (≥ 1).
     pub fn new(stripes: usize) -> Self {
+        Self::new_in(stripes)
+    }
+}
+
+impl<C: CellModel> StripedCounter<C> {
+    /// New counter on an explicit cell substrate.
+    pub fn new_in(stripes: usize) -> Self {
         assert!(stripes >= 1);
         StripedCounter {
-            stripes: padded_array(stripes, 0),
+            stripes: padded_cells::<C>(stripes, 0),
         }
     }
 
@@ -65,7 +84,7 @@ impl StripedCounter {
     }
 }
 
-impl ConcurrentCounter for StripedCounter {
+impl<C: CellModel> ConcurrentCounter for StripedCounter<C> {
     fn add(&self, tid: usize, delta: u64) {
         self.stripes[tid % self.stripes.len()].fetch_add(delta, Ordering::Relaxed);
     }
@@ -85,20 +104,27 @@ impl ConcurrentCounter for StripedCounter {
 /// moves `O(1/batch)` as often. `read()` combines before returning, so
 /// it always observes every `add` that happened-before it.
 #[derive(Debug)]
-pub struct CombiningCounter {
-    combiner_lock: PaddedAtomic,
-    slots: Box<[PaddedAtomic]>,
-    value: PaddedAtomic,
+pub struct CombiningCounter<C: CellModel = StdCell> {
+    combiner_lock: PaddedCell<C>,
+    slots: Box<[PaddedCell<C>]>,
+    value: PaddedCell<C>,
 }
 
 impl CombiningCounter {
     /// New counter with one publication slot per expected thread.
     pub fn new(slots: usize) -> Self {
+        Self::new_in(slots)
+    }
+}
+
+impl<C: CellModel> CombiningCounter<C> {
+    /// New counter on an explicit cell substrate.
+    pub fn new_in(slots: usize) -> Self {
         assert!(slots >= 1);
         CombiningCounter {
-            combiner_lock: PaddedAtomic::new(std::sync::atomic::AtomicU64::new(0)),
-            slots: padded_array(slots, 0),
-            value: PaddedAtomic::new(std::sync::atomic::AtomicU64::new(0)),
+            combiner_lock: CachePadded::new(C::U64::new(0)),
+            slots: padded_cells::<C>(slots, 0),
+            value: CachePadded::new(C::U64::new(0)),
         }
     }
 
@@ -124,7 +150,7 @@ impl CombiningCounter {
     }
 }
 
-impl ConcurrentCounter for CombiningCounter {
+impl<C: CellModel> ConcurrentCounter for CombiningCounter<C> {
     fn add(&self, tid: usize, delta: u64) {
         // Publish on the own line — no contention with other adders.
         self.slots[tid % self.slots.len()].fetch_add(delta, Ordering::AcqRel);
@@ -137,7 +163,7 @@ impl ConcurrentCounter for CombiningCounter {
         // Combine until we get a pass in, so everything published
         // before this read is folded.
         while !self.try_combine() {
-            std::hint::spin_loop();
+            C::spin_hint();
         }
         self.value.load(Ordering::Acquire)
     }

@@ -18,10 +18,18 @@
 //!   a sharded/striped [`counter`], a Treiber [`stack`], a
 //!   Michael–Scott [`queue`], and a single-writer [`seqlock`] (readers
 //!   never bounce the line — loads only).
+//!
+//! Every lock and structure is generic over the [`cell::CellModel`]
+//! substrate its atomic cells live on. Production code uses the default
+//! [`cell::StdCell`] (plain `std::sync::atomic`, fully inlined); the
+//! `schedcheck` model checker in `bounce-verify` runs the *same* source
+//! on shadow cells that intercept every atomic operation to exhaustively
+//! explore interleavings and memory-ordering behaviours.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod cell;
 pub mod counter;
 pub mod locks;
 pub mod padded;
@@ -31,6 +39,7 @@ pub mod seqlock;
 pub mod stack;
 
 pub use backoff::Backoff;
+pub use cell::{Cell64, CellBool, CellModel, CellPtr, StdCell};
 pub use locks::{ClhLock, LockKind, LockShape, McsLock, RawLock, TasLock, TicketLock, TtasLock};
 pub use padded::{CachePadded, PaddedAtomic};
 pub use primitive::{OpOutcome, Primitive};

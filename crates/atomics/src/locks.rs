@@ -17,11 +17,18 @@
 //! All locks implement [`RawLock`]: `lock` returns an opaque token that
 //! must be passed back to `unlock` (the CLH lock stores its queue node
 //! there; the others ignore it).
+//!
+//! Every lock is generic over the [`CellModel`] substrate; the default
+//! `C = StdCell` instantiation is the production lock, and the
+//! `schedcheck` checker instantiates the same source on shadow cells to
+//! exhaustively verify the `Acquire`/`Release` protocol. Spin loops call
+//! `C::spin_hint()` once per iteration — a `pause` on hardware, a
+//! block-until-someone-writes marker under the checker.
 
 use crate::backoff::Backoff;
+use crate::cell::{Cell64, CellBool, CellModel, CellPtr, Ordering, StdCell};
 use crate::padded::CachePadded;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 /// Lock algorithm *shape* as the analytical model and the workload layer
 /// see it: the four-rung ladder of experiment E10 (TAS → TTAS → ticket →
@@ -148,23 +155,39 @@ impl LockKind {
 }
 
 /// Test-and-set spin lock: `lock bts` until the bit was clear.
-#[derive(Debug, Default)]
-pub struct TasLock {
-    state: CachePadded<AtomicU64>,
+#[derive(Debug)]
+pub struct TasLock<C: CellModel = StdCell> {
+    state: CachePadded<C::U64>,
+}
+
+impl<C: CellModel> Default for TasLock<C> {
+    fn default() -> Self {
+        Self::new_in()
+    }
 }
 
 impl TasLock {
     /// New unlocked lock.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_in()
     }
 }
 
-impl RawLock for TasLock {
+impl<C: CellModel> TasLock<C> {
+    /// New unlocked lock on an explicit cell substrate.
+    pub fn new_in() -> Self {
+        TasLock {
+            state: CachePadded::new(C::U64::new(0)),
+        }
+    }
+}
+
+impl<C: CellModel> RawLock for TasLock<C> {
     fn lock(&self) -> LockToken {
         let mut backoff = Backoff::none();
         while self.state.fetch_or(1, Ordering::Acquire) & 1 == 1 {
             backoff.spin();
+            C::spin_hint();
         }
         LockToken(0)
     }
@@ -179,25 +202,40 @@ impl RawLock for TasLock {
 }
 
 /// Test-and-test-and-set spin lock: spin on a load, RMW only when free.
-#[derive(Debug, Default)]
-pub struct TtasLock {
-    state: CachePadded<AtomicU64>,
+#[derive(Debug)]
+pub struct TtasLock<C: CellModel = StdCell> {
+    state: CachePadded<C::U64>,
+}
+
+impl<C: CellModel> Default for TtasLock<C> {
+    fn default() -> Self {
+        Self::new_in()
+    }
 }
 
 impl TtasLock {
     /// New unlocked lock.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_in()
     }
 }
 
-impl RawLock for TtasLock {
+impl<C: CellModel> TtasLock<C> {
+    /// New unlocked lock on an explicit cell substrate.
+    pub fn new_in() -> Self {
+        TtasLock {
+            state: CachePadded::new(C::U64::new(0)),
+        }
+    }
+}
+
+impl<C: CellModel> RawLock for TtasLock<C> {
     fn lock(&self) -> LockToken {
         loop {
             // Local spin on a (potentially) shared copy — no coherence
             // traffic while the holder works.
             while self.state.load(Ordering::Relaxed) & 1 == 1 {
-                std::hint::spin_loop();
+                C::spin_hint();
             }
             if self.state.fetch_or(1, Ordering::Acquire) & 1 == 0 {
                 return LockToken(0);
@@ -215,24 +253,40 @@ impl RawLock for TtasLock {
 }
 
 /// Ticket lock: FAA on `next`, spin until `serving` reaches the ticket.
-#[derive(Debug, Default)]
-pub struct TicketLock {
-    next: CachePadded<AtomicU64>,
-    serving: CachePadded<AtomicU64>,
+#[derive(Debug)]
+pub struct TicketLock<C: CellModel = StdCell> {
+    next: CachePadded<C::U64>,
+    serving: CachePadded<C::U64>,
+}
+
+impl<C: CellModel> Default for TicketLock<C> {
+    fn default() -> Self {
+        Self::new_in()
+    }
 }
 
 impl TicketLock {
     /// New unlocked lock.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_in()
     }
 }
 
-impl RawLock for TicketLock {
+impl<C: CellModel> TicketLock<C> {
+    /// New unlocked lock on an explicit cell substrate.
+    pub fn new_in() -> Self {
+        TicketLock {
+            next: CachePadded::new(C::U64::new(0)),
+            serving: CachePadded::new(C::U64::new(0)),
+        }
+    }
+}
+
+impl<C: CellModel> RawLock for TicketLock<C> {
     fn lock(&self) -> LockToken {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
         while self.serving.load(Ordering::Acquire) != ticket {
-            std::hint::spin_loop();
+            C::spin_hint();
         }
         LockToken(ticket as usize)
     }
@@ -250,8 +304,8 @@ impl RawLock for TicketLock {
 
 /// One CLH queue node: a padded flag the successor spins on.
 #[repr(align(128))]
-struct ClhNode {
-    locked: AtomicBool,
+struct ClhNode<C: CellModel> {
+    locked: C::Bool,
 }
 
 /// CLH queue lock.
@@ -261,32 +315,39 @@ struct ClhNode {
 /// successor, upon observing the clear, takes ownership of (and frees)
 /// that predecessor node. The tail node outstanding at drop time is freed
 /// by `Drop`.
-pub struct ClhLock {
-    tail: AtomicPtr<ClhNode>,
+pub struct ClhLock<C: CellModel = StdCell> {
+    tail: C::Ptr<ClhNode<C>>,
 }
 
-impl Default for ClhLock {
+impl<C: CellModel> Default for ClhLock<C> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl ClhLock {
     /// New unlocked lock.
     pub fn new() -> Self {
-        let dummy = Box::into_raw(Box::new(ClhNode {
-            locked: AtomicBool::new(false),
+        Self::new_in()
+    }
+}
+
+impl<C: CellModel> ClhLock<C> {
+    /// New unlocked lock on an explicit cell substrate.
+    pub fn new_in() -> Self {
+        let dummy = Box::into_raw(Box::new(ClhNode::<C> {
+            locked: C::Bool::new(false),
         }));
         ClhLock {
-            tail: AtomicPtr::new(dummy),
+            tail: C::Ptr::new(dummy),
         }
     }
 }
 
-impl RawLock for ClhLock {
+impl<C: CellModel> RawLock for ClhLock<C> {
     fn lock(&self) -> LockToken {
-        let node = Box::into_raw(Box::new(ClhNode {
-            locked: AtomicBool::new(true),
+        let node = Box::into_raw(Box::new(ClhNode::<C> {
+            locked: C::Bool::new(true),
         }));
         let pred = self.tail.swap(node, Ordering::AcqRel);
         // SAFETY: `pred` was produced by Box::into_raw (in new() or a
@@ -294,7 +355,7 @@ impl RawLock for ClhLock {
         // observed it via this swap — us.
         unsafe {
             while (*pred).locked.load(Ordering::Acquire) {
-                std::hint::spin_loop();
+                C::spin_hint();
             }
             drop(Box::from_raw(pred));
         }
@@ -302,7 +363,7 @@ impl RawLock for ClhLock {
     }
 
     fn unlock(&self, token: LockToken) {
-        let node = token.0 as *mut ClhNode;
+        let node = token.0 as *mut ClhNode<C>;
         assert!(!node.is_null(), "unlock with a foreign token");
         // SAFETY: `node` came from our own lock(); it stays alive until
         // the successor (or Drop) frees it after observing locked=false.
@@ -320,9 +381,9 @@ impl RawLock for ClhLock {
 /// owner* spins on (unlike CLH, each thread spins on its own node —
 /// the release writes to the successor's line, exactly one transfer).
 #[repr(align(128))]
-struct McsNode {
-    next: AtomicPtr<McsNode>,
-    locked: AtomicBool,
+struct McsNode<C: CellModel> {
+    next: C::Ptr<McsNode<C>>,
+    locked: C::Bool,
 }
 
 /// MCS queue lock (Mellor-Crummey & Scott, 1991).
@@ -334,30 +395,37 @@ struct McsNode {
 /// back to null. Each handoff costs exactly one line transfer to the
 /// successor's private node line — the locality property the
 /// cache-line-bouncing model rewards.
-pub struct McsLock {
-    tail: AtomicPtr<McsNode>,
+pub struct McsLock<C: CellModel = StdCell> {
+    tail: C::Ptr<McsNode<C>>,
 }
 
-impl Default for McsLock {
+impl<C: CellModel> Default for McsLock<C> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl McsLock {
     /// New unlocked lock.
     pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<C: CellModel> McsLock<C> {
+    /// New unlocked lock on an explicit cell substrate.
+    pub fn new_in() -> Self {
         McsLock {
-            tail: AtomicPtr::new(std::ptr::null_mut()),
+            tail: C::Ptr::<McsNode<C>>::new(std::ptr::null_mut()),
         }
     }
 }
 
-impl RawLock for McsLock {
+impl<C: CellModel> RawLock for McsLock<C> {
     fn lock(&self) -> LockToken {
-        let node = Box::into_raw(Box::new(McsNode {
-            next: AtomicPtr::new(std::ptr::null_mut()),
-            locked: AtomicBool::new(true),
+        let node = Box::into_raw(Box::new(McsNode::<C> {
+            next: C::Ptr::<McsNode<C>>::new(std::ptr::null_mut()),
+            locked: C::Bool::new(true),
         }));
         let pred = self.tail.swap(node, Ordering::AcqRel);
         if !pred.is_null() {
@@ -367,7 +435,7 @@ impl RawLock for McsLock {
             unsafe {
                 (*pred).next.store(node, Ordering::Release);
                 while (*node).locked.load(Ordering::Acquire) {
-                    std::hint::spin_loop();
+                    C::spin_hint();
                 }
             }
         }
@@ -375,7 +443,7 @@ impl RawLock for McsLock {
     }
 
     fn unlock(&self, token: LockToken) {
-        let node = token.0 as *mut McsNode;
+        let node = token.0 as *mut McsNode<C>;
         assert!(!node.is_null(), "unlock with a foreign token");
         // SAFETY: `node` came from our lock(); we free it exactly once
         // below, after no other thread can reach it.
@@ -402,7 +470,7 @@ impl RawLock for McsLock {
                     if !next.is_null() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    C::spin_hint();
                 }
             }
             (*next).locked.store(false, Ordering::Release);
@@ -415,21 +483,21 @@ impl RawLock for McsLock {
     }
 }
 
-impl Drop for McsLock {
+impl<C: CellModel> Drop for McsLock<C> {
     fn drop(&mut self) {
-        let tail = *self.tail.get_mut();
+        let tail = self.tail.load(Ordering::Relaxed);
         debug_assert!(tail.is_null(), "McsLock dropped while held or contended");
     }
 }
 
 // SAFETY: queue nodes move between threads only through the atomic
 // tail/next pointers with AcqRel ordering.
-unsafe impl Send for McsLock {}
-unsafe impl Sync for McsLock {}
+unsafe impl<C: CellModel> Send for McsLock<C> {}
+unsafe impl<C: CellModel> Sync for McsLock<C> {}
 
-impl Drop for ClhLock {
+impl<C: CellModel> Drop for ClhLock<C> {
     fn drop(&mut self) {
-        let tail = *self.tail.get_mut();
+        let tail = self.tail.load(Ordering::Relaxed);
         if !tail.is_null() {
             // SAFETY: at drop time no thread holds or waits for the lock,
             // so the tail node is the only outstanding allocation.
@@ -440,8 +508,8 @@ impl Drop for ClhLock {
 
 // SAFETY: the queue nodes are transferred between threads only through
 // the atomic tail pointer with AcqRel ordering.
-unsafe impl Send for ClhLock {}
-unsafe impl Sync for ClhLock {}
+unsafe impl<C: CellModel> Send for ClhLock<C> {}
+unsafe impl<C: CellModel> Sync for ClhLock<C> {}
 
 #[cfg(test)]
 mod tests {

@@ -7,8 +7,8 @@
 //! the adjacent-line ("spatial") prefetcher drags a neighbour line along —
 //! hence 128-byte alignment, the standard practice on Intel.
 
+use crate::cell::{Cell64, CellModel, StdCell};
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::AtomicU64;
 
 /// Aligns and pads its contents to 128 bytes: one cache-line pair, so the
 /// value shares neither its own line nor its prefetch-buddy line with any
@@ -50,14 +50,22 @@ impl<T> From<T> for CachePadded<T> {
     }
 }
 
+/// A cache-line-isolated 64-bit atomic cell on substrate `C`.
+pub type PaddedCell<C> = CachePadded<<C as CellModel>::U64>;
+
 /// A cache-line-isolated `AtomicU64` — the unit cell of every experiment.
-pub type PaddedAtomic = CachePadded<AtomicU64>;
+pub type PaddedAtomic = PaddedCell<StdCell>;
+
+/// Allocate `n` isolated cells on substrate `C`, all initialised to `init`.
+pub fn padded_cells<C: CellModel>(n: usize, init: u64) -> Box<[PaddedCell<C>]> {
+    (0..n)
+        .map(|_| CachePadded::new(C::U64::new(init)))
+        .collect()
+}
 
 /// Allocate `n` isolated atomic cells, all initialised to `init`.
 pub fn padded_array(n: usize, init: u64) -> Box<[PaddedAtomic]> {
-    (0..n)
-        .map(|_| CachePadded::new(AtomicU64::new(init)))
-        .collect()
+    padded_cells::<StdCell>(n, init)
 }
 
 #[cfg(test)]
@@ -77,8 +85,8 @@ mod tests {
     fn array_elements_on_distinct_lines() {
         let arr = padded_array(8, 0);
         for w in arr.windows(2) {
-            let a = &*w[0] as *const AtomicU64 as usize;
-            let b = &*w[1] as *const AtomicU64 as usize;
+            let a = &*w[0] as *const _ as usize;
+            let b = &*w[1] as *const _ as usize;
             assert!(b.abs_diff(a) >= 128, "cells {a:#x} and {b:#x} too close");
             assert_eq!(a % 128, 0, "cell not 128-aligned");
         }

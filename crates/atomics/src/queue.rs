@@ -1,18 +1,26 @@
 //! A Michael–Scott queue — two contended lines (head and tail) instead of
 //! the stack's one, the second application context.
+//!
+//! Memory reclamation: dequeued sentinels are **retired by leaking**
+//! (never freed), which matches the observable behaviour of the previous
+//! crossbeam-epoch-based version — the vendored `defer_destroy` shim is a
+//! documented leak — and makes the raw-pointer code ABA-free, since node
+//! addresses are never reused. Unlike the epoch version, a dequeued
+//! value's slot is cleared (`None`) when the value is moved out, so value
+//! drops are exact even when the queue is dropped non-empty.
 
-use crossbeam::epoch::{self, Atomic, Owned, Shared};
-use std::sync::atomic::Ordering;
+use crate::cell::{CellModel, CellPtr, Ordering, StdCell};
+use std::ptr;
 
-struct Node<T> {
+struct Node<T, C: CellModel> {
     value: Option<T>,
-    next: Atomic<Node<T>>,
+    next: C::Ptr<Node<T, C>>,
 }
 
 /// A lock-free FIFO queue (Michael & Scott, 1996).
-pub struct MsQueue<T> {
-    head: Atomic<Node<T>>,
-    tail: Atomic<Node<T>>,
+pub struct MsQueue<T, C: CellModel = StdCell> {
+    head: C::Ptr<Node<T, C>>,
+    tail: C::Ptr<Node<T, C>>,
 }
 
 impl<T> Default for MsQueue<T> {
@@ -24,105 +32,101 @@ impl<T> Default for MsQueue<T> {
 impl<T> MsQueue<T> {
     /// New empty queue (one sentinel node).
     pub fn new() -> Self {
-        let sentinel = Owned::new(Node {
+        Self::new_in()
+    }
+}
+
+impl<T, C: CellModel> MsQueue<T, C> {
+    /// New empty queue on an explicit cell substrate.
+    pub fn new_in() -> Self {
+        let sentinel = Box::into_raw(Box::new(Node::<T, C> {
             value: None,
-            next: Atomic::null(),
-        });
-        let guard = unsafe { epoch::unprotected() };
-        let sentinel = sentinel.into_shared(guard);
+            next: C::Ptr::<Node<T, C>>::new(ptr::null_mut()),
+        }));
         MsQueue {
-            head: Atomic::from(sentinel),
-            tail: Atomic::from(sentinel),
+            head: C::Ptr::new(sentinel),
+            tail: C::Ptr::new(sentinel),
         }
     }
 
     /// Enqueue at the tail; returns the CAS attempt count (≥ 1).
     pub fn enqueue(&self, value: T) -> u32 {
-        let mut node = Owned::new(Node {
+        let node = Box::into_raw(Box::new(Node::<T, C> {
             value: Some(value),
-            next: Atomic::null(),
-        });
-        let guard = epoch::pin();
+            next: C::Ptr::<Node<T, C>>::new(ptr::null_mut()),
+        }));
         let mut attempts = 1u32;
         loop {
-            let tail = self.tail.load(Ordering::Acquire, &guard);
-            // SAFETY: tail is never null (sentinel).
-            let tail_ref = unsafe { tail.deref() };
-            let next = tail_ref.next.load(Ordering::Acquire, &guard);
+            let tail = self.tail.load(Ordering::Acquire);
+            // SAFETY: tail is never null (sentinel) and nodes are never
+            // freed while the queue is shared (see module docs).
+            let next = unsafe { (*tail).next.load(Ordering::Acquire) };
             if !next.is_null() {
                 // Tail is lagging; help swing it and retry.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                    &guard,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
                 attempts += 1;
                 continue;
             }
-            match tail_ref.next.compare_exchange(
-                Shared::null(),
-                node,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-                &guard,
-            ) {
-                Ok(new) => {
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        new,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                        &guard,
-                    );
+            // SAFETY: as above; a stale tail's `next` is non-null, so
+            // this CAS simply fails and we retry.
+            match unsafe {
+                (*tail).next.compare_exchange(
+                    ptr::null_mut(),
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+            } {
+                Ok(_) => {
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
                     return attempts;
                 }
-                Err(e) => {
-                    node = e.new;
-                    attempts += 1;
-                }
+                Err(_) => attempts += 1,
             }
         }
     }
 
     /// Dequeue from the head; returns the value and CAS attempt count.
     pub fn dequeue(&self) -> Option<(T, u32)> {
-        let guard = epoch::pin();
         let mut attempts = 1u32;
         loop {
-            let head = self.head.load(Ordering::Acquire, &guard);
-            // SAFETY: head is never null (sentinel).
-            let head_ref = unsafe { head.deref() };
-            let next = head_ref.next.load(Ordering::Acquire, &guard);
-            let next_ref = unsafe { next.as_ref() }?;
-            let tail = self.tail.load(Ordering::Acquire, &guard);
+            let head = self.head.load(Ordering::Acquire);
+            // SAFETY: head is never null (sentinel); retired nodes stay
+            // dereferenceable (leaked).
+            let next = unsafe { (*head).next.load(Ordering::Acquire) };
+            if next.is_null() {
+                return None;
+            }
+            let tail = self.tail.load(Ordering::Acquire);
             if head == tail {
                 // Tail lagging behind a concurrent enqueue; help.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                    &guard,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
             }
-            match self.head.compare_exchange(
-                head,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-                &guard,
-            ) {
+            match self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => {
-                    // SAFETY: we won the head CAS; `next` becomes the new
-                    // sentinel and we uniquely take its value; the old
-                    // head is retired.
-                    unsafe {
-                        let value = std::ptr::read(&next_ref.value).expect("non-sentinel value");
-                        guard.defer_destroy(head);
-                        return Some((value, attempts));
-                    }
+                    // SAFETY: we won the head CAS, so we uniquely own the
+                    // sentinel transition: `next` is the new sentinel and
+                    // no other thread reads its value slot (dequeuers
+                    // only touch the slot after winning a CAS that can
+                    // succeed once, enqueuers only touch `next` links).
+                    // Clearing the slot keeps the later Drop walk exact.
+                    let value = unsafe {
+                        let slot = ptr::addr_of_mut!((*next).value);
+                        let v = ptr::read(slot).expect("non-sentinel value");
+                        ptr::write(slot, None);
+                        v
+                    };
+                    // The old sentinel (`head`) is retired by leaking.
+                    return Some((value, attempts));
                 }
                 Err(_) => attempts += 1,
             }
@@ -131,33 +135,30 @@ impl<T> MsQueue<T> {
 
     /// Whether the queue is (momentarily) empty.
     pub fn is_empty(&self) -> bool {
-        let guard = epoch::pin();
-        let head = self.head.load(Ordering::Acquire, &guard);
-        let next = unsafe { head.deref() }.next.load(Ordering::Acquire, &guard);
-        next.is_null()
+        let head = self.head.load(Ordering::Acquire);
+        // SAFETY: head is never null; retired nodes stay dereferenceable.
+        unsafe { (*head).next.load(Ordering::Acquire) }.is_null()
     }
 }
 
-impl<T> Drop for MsQueue<T> {
+impl<T, C: CellModel> Drop for MsQueue<T, C> {
     fn drop(&mut self) {
-        let guard = unsafe { epoch::unprotected() };
-        let mut cur = self.head.load(Ordering::Relaxed, guard);
-        while let Some(node) = unsafe { cur.as_ref() } {
-            let next = node.next.load(Ordering::Relaxed, guard);
-            // The sentinel's value is None; real nodes hold Some. Taking
-            // ownership drops whichever it is.
-            unsafe {
-                drop(cur.into_owned());
-            }
-            cur = next;
+        // Exclusive access: free the live chain (current sentinel plus
+        // undequeued nodes). The sentinel's value slot is None — cleared
+        // on dequeue — so each value drops exactly once.
+        let mut cur = self.head.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            // SAFETY: exclusive access; each live node is freed once.
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next.load(Ordering::Relaxed);
         }
     }
 }
 
 // SAFETY: values move between threads only through atomically-published
 // nodes.
-unsafe impl<T: Send> Send for MsQueue<T> {}
-unsafe impl<T: Send> Sync for MsQueue<T> {}
+unsafe impl<T: Send, C: CellModel> Send for MsQueue<T, C> {}
+unsafe impl<T: Send, C: CellModel> Sync for MsQueue<T, C> {}
 
 #[cfg(test)]
 mod tests {
@@ -257,5 +258,31 @@ mod tests {
             q.enqueue(i);
         }
         drop(q);
+    }
+
+    #[test]
+    fn dequeued_values_drop_exactly_once() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        struct D(Rc<Cell<u32>>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let drops = Rc::new(Cell::new(0));
+        {
+            let q: MsQueue<D> = MsQueue::new();
+            for _ in 0..6 {
+                q.enqueue(D(Rc::clone(&drops)));
+            }
+            for _ in 0..2 {
+                drop(q.dequeue());
+            }
+            assert_eq!(drops.get(), 2, "dequeued values dropped exactly once");
+            // 4 remain; Drop must free them without re-dropping the two
+            // values already moved out of recycled sentinels.
+        }
+        assert_eq!(drops.get(), 6);
     }
 }

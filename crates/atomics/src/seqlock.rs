@@ -11,30 +11,37 @@
 //! **single** writer at a time (writers serialise with a TAS on a
 //! separate line), which is the standard kernel-style seqlock.
 
-use crate::padded::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::cell::{Cell64, CellModel, Ordering, StdCell};
+use crate::padded::{CachePadded, PaddedCell};
 
 /// A single-writer sequence lock over `N` 64-bit words.
-pub struct SeqLock<const N: usize> {
-    seq: CachePadded<AtomicU64>,
+pub struct SeqLock<const N: usize, C: CellModel = StdCell> {
+    seq: PaddedCell<C>,
     /// Writer mutual exclusion (separate line from the sequence).
-    writer: CachePadded<AtomicU64>,
-    data: [AtomicU64; N],
+    writer: PaddedCell<C>,
+    data: [C::U64; N],
 }
 
-impl<const N: usize> Default for SeqLock<N> {
+impl<const N: usize, C: CellModel> Default for SeqLock<N, C> {
     fn default() -> Self {
-        Self::new([0; N])
+        Self::new_in([0; N])
     }
 }
 
 impl<const N: usize> SeqLock<N> {
     /// New lock with an initial payload.
     pub fn new(init: [u64; N]) -> Self {
+        Self::new_in(init)
+    }
+}
+
+impl<const N: usize, C: CellModel> SeqLock<N, C> {
+    /// New lock with an initial payload, on an explicit cell substrate.
+    pub fn new_in(init: [u64; N]) -> Self {
         SeqLock {
-            seq: CachePadded::new(AtomicU64::new(0)),
-            writer: CachePadded::new(AtomicU64::new(0)),
-            data: init.map(AtomicU64::new),
+            seq: CachePadded::new(C::U64::new(0)),
+            writer: CachePadded::new(C::U64::new(0)),
+            data: init.map(C::U64::new),
         }
     }
 
@@ -51,7 +58,7 @@ impl<const N: usize> SeqLock<N> {
             attempts += 1;
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
-                std::hint::spin_loop();
+                C::spin_hint();
                 continue;
             }
             let mut out = [0u64; N];
@@ -70,7 +77,7 @@ impl<const N: usize> SeqLock<N> {
     pub fn write(&self, f: impl FnOnce(&mut [u64; N])) {
         // Writer lock (TAS spin on its own line).
         while self.writer.swap(1, Ordering::Acquire) == 1 {
-            std::hint::spin_loop();
+            C::spin_hint();
         }
         // Enter the critical section: sequence goes odd.
         let s = self.seq.fetch_add(1, Ordering::AcqRel);
@@ -120,7 +127,7 @@ mod tests {
         // The writer keeps the invariant data[1] == data[0] + 1; any
         // torn read would break it.
         let sl = Arc::new(SeqLock::new([0, 1]));
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false)); // detlint: allow(direct-atomic)
         let mut handles = Vec::new();
         for _ in 0..3 {
             let sl = Arc::clone(&sl);

@@ -4,19 +4,25 @@
 //! under contention the CAS fails and retries, which is exactly the
 //! behaviour the model's CAS success-probability term captures (E5/Fig 3).
 //!
-//! Memory reclamation uses crossbeam's epoch scheme.
+//! Memory reclamation: popped nodes are **retired by leaking** — the
+//! node allocation is never freed (its value is moved out first, so
+//! value drops are exact). This matches the observable behaviour of the
+//! previous crossbeam-epoch-based version, whose vendored `defer_destroy`
+//! shim is a documented leak, and it is what makes the raw-pointer code
+//! trivially ABA-free: node addresses are never reused. Nodes still on
+//! the stack are freed by `Drop`.
 
-use crossbeam::epoch::{self, Atomic, Owned};
-use std::sync::atomic::Ordering;
+use crate::cell::{CellModel, CellPtr, Ordering, StdCell};
+use std::ptr;
 
-struct Node<T> {
+struct Node<T, C: CellModel> {
     value: T,
-    next: Atomic<Node<T>>,
+    next: C::Ptr<Node<T, C>>,
 }
 
 /// A lock-free LIFO stack (Treiber, 1986).
-pub struct TreiberStack<T> {
-    top: Atomic<Node<T>>,
+pub struct TreiberStack<T, C: CellModel = StdCell> {
+    top: C::Ptr<Node<T, C>>,
 }
 
 impl<T> Default for TreiberStack<T> {
@@ -28,8 +34,15 @@ impl<T> Default for TreiberStack<T> {
 impl<T> TreiberStack<T> {
     /// New empty stack.
     pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<T, C: CellModel> TreiberStack<T, C> {
+    /// New empty stack on an explicit cell substrate.
+    pub fn new_in() -> Self {
         TreiberStack {
-            top: Atomic::null(),
+            top: C::Ptr::<Node<T, C>>::new(ptr::null_mut()),
         }
     }
 
@@ -38,48 +51,46 @@ impl<T> TreiberStack<T> {
     /// Returns the number of CAS attempts it took (≥ 1) — the workloads
     /// use this to report retry statistics.
     pub fn push(&self, value: T) -> u32 {
-        let mut node = Owned::new(Node {
+        let node = Box::into_raw(Box::new(Node::<T, C> {
             value,
-            next: Atomic::null(),
-        });
-        let guard = epoch::pin();
+            next: C::Ptr::<Node<T, C>>::new(ptr::null_mut()),
+        }));
         let mut attempts = 1u32;
         loop {
-            let top = self.top.load(Ordering::Acquire, &guard);
-            node.next.store(top, Ordering::Relaxed);
+            let top = self.top.load(Ordering::Acquire);
+            // SAFETY: `node` is ours until the CAS publishes it.
+            unsafe { (*node).next.store(top, Ordering::Relaxed) };
             match self
                 .top
-                .compare_exchange(top, node, Ordering::AcqRel, Ordering::Acquire, &guard)
+                .compare_exchange(top, node, Ordering::AcqRel, Ordering::Acquire)
             {
                 Ok(_) => return attempts,
-                Err(e) => {
-                    node = e.new;
-                    attempts += 1;
-                }
+                Err(_) => attempts += 1,
             }
         }
     }
 
     /// Pop the most recently pushed value, with the CAS attempt count.
     pub fn pop(&self) -> Option<(T, u32)> {
-        let guard = epoch::pin();
         let mut attempts = 1u32;
         loop {
-            let top = self.top.load(Ordering::Acquire, &guard);
-            let node = unsafe { top.as_ref() }?;
-            let next = node.next.load(Ordering::Relaxed, &guard);
+            let top = self.top.load(Ordering::Acquire);
+            if top.is_null() {
+                return None;
+            }
+            // SAFETY: nodes are never freed while the stack is shared
+            // (popped nodes leak; see module docs), so `top` stays
+            // dereferenceable even if another thread pops it first.
+            let next = unsafe { (*top).next.load(Ordering::Relaxed) };
             match self
                 .top
-                .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire, &guard)
+                .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire)
             {
                 Ok(_) => {
-                    // SAFETY: we won the CAS, so we own `top`; defer the
-                    // free past the epoch and read the value out.
-                    unsafe {
-                        let value = std::ptr::read(&node.value);
-                        guard.defer_destroy(top);
-                        return Some((value, attempts));
-                    }
+                    // SAFETY: we won the CAS, so we uniquely own `top`;
+                    // move the value out and retire the node by leaking.
+                    let value = unsafe { ptr::read(ptr::addr_of!((*top).value)) };
+                    return Some((value, attempts));
                 }
                 Err(_) => attempts += 1,
             }
@@ -88,30 +99,27 @@ impl<T> TreiberStack<T> {
 
     /// Whether the stack is (momentarily) empty.
     pub fn is_empty(&self) -> bool {
-        let guard = epoch::pin();
-        self.top.load(Ordering::Acquire, &guard).is_null()
+        self.top.load(Ordering::Acquire).is_null()
     }
 }
 
-impl<T> Drop for TreiberStack<T> {
+impl<T, C: CellModel> Drop for TreiberStack<T, C> {
     fn drop(&mut self) {
-        // Exclusive access: walk and free without epoch protection.
-        let guard = unsafe { epoch::unprotected() };
-        let mut cur = self.top.load(Ordering::Relaxed, guard);
-        while let Some(node) = unsafe { cur.as_ref() } {
-            let next = node.next.load(Ordering::Relaxed, guard);
-            unsafe {
-                drop(cur.into_owned());
-            }
-            cur = next;
+        // Exclusive access: walk and free the remaining chain. Popped
+        // nodes are not on it (their values were already moved out).
+        let mut cur = self.top.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            // SAFETY: exclusive access; each on-stack node is freed once.
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next.load(Ordering::Relaxed);
         }
     }
 }
 
 // SAFETY: values move between threads only through the stack's
 // atomically-published nodes.
-unsafe impl<T: Send> Send for TreiberStack<T> {}
-unsafe impl<T: Send> Sync for TreiberStack<T> {}
+unsafe impl<T: Send, C: CellModel> Send for TreiberStack<T, C> {}
+unsafe impl<T: Send, C: CellModel> Sync for TreiberStack<T, C> {}
 
 #[cfg(test)]
 mod tests {
@@ -177,28 +185,26 @@ mod tests {
 
     #[test]
     fn values_with_drop_are_dropped_exactly_once() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        static DROPS: AtomicUsize = AtomicUsize::new(0);
-        struct D;
+        use std::cell::Cell;
+        use std::rc::Rc;
+        struct D(Rc<Cell<u32>>);
         impl Drop for D {
             fn drop(&mut self) {
-                DROPS.fetch_add(1, Ordering::SeqCst);
+                self.0.set(self.0.get() + 1);
             }
         }
+        let drops = Rc::new(Cell::new(0));
         {
-            let s = TreiberStack::new();
+            let s: TreiberStack<D> = TreiberStack::new();
             for _ in 0..10 {
-                s.push(D);
+                s.push(D(Rc::clone(&drops)));
             }
             for _ in 0..4 {
                 drop(s.pop());
             }
+            assert_eq!(drops.get(), 4, "popped values dropped exactly once");
             // 6 remain in the stack, freed on drop.
         }
-        // Epoch-deferred frees may lag; flush by pinning repeatedly.
-        for _ in 0..256 {
-            epoch::pin().flush();
-        }
-        assert!(DROPS.load(Ordering::SeqCst) >= 4, "popped values dropped");
+        assert_eq!(drops.get(), 10, "remaining values dropped by Drop");
     }
 }

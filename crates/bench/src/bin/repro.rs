@@ -81,6 +81,7 @@ struct Args {
     protocol: Option<bounce_sim::CoherenceKind>,
     fabric: Option<bounce_sim::FabricFaultConfig>,
     retry: Option<bounce_sim::RetryPolicy>,
+    bad_ir_selftest: bool,
 }
 
 /// Comma-joined protocol labels for help/error text.
@@ -121,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         protocol: None,
         fabric: None,
         retry: None,
+        bad_ir_selftest: false,
     };
     let mut it = std::env::args().skip(1);
     let mut saw_command = false;
@@ -132,6 +134,7 @@ fn parse_args() -> Result<Args, String> {
             "--plots" => args.plots = true,
             "--timings" => args.timings = true,
             "--resume" => args.resume = true,
+            "--bad-ir-selftest" => args.bad_ir_selftest = true,
             "--jobs" | "-j" => {
                 let v = it.next().ok_or("--jobs needs a number (0 = all cores)")?;
                 args.jobs = v.parse().map_err(|_| format!("bad job count '{v}'"))?;
@@ -698,12 +701,44 @@ fn main() -> ExitCode {
             // builder or experiment spec without running a single
             // simulation event.
             let workloads = experiments::registered_workloads();
-            let results = bounce_verify::lint_workloads(&workloads);
+            let mut results = bounce_verify::lint_workloads(&workloads);
+            if results.is_empty() {
+                // An empty registry means the gate checked nothing — a
+                // refactor that broke workload registration must fail
+                // here, not pass vacuously.
+                eprintln!("lint: no workloads registered — refusing a vacuous pass");
+                return ExitCode::FAILURE;
+            }
+            if args.bad_ir_selftest {
+                // Gate self-test: push a deliberately-malformed IR
+                // (dangling `Goto`) through the same reporting path and
+                // prove the analyzer error reaches the exit code.
+                let diags = bounce_sim::analyze_steps(&[bounce_sim::Step::Goto(7)]);
+                results.push(bounce_verify::WorkloadLint {
+                    label: "bad-ir-selftest".into(),
+                    diagnostics: diags
+                        .into_iter()
+                        .map(|e| {
+                            (
+                                1usize,
+                                bounce_sim::Diagnostic {
+                                    thread: 0,
+                                    error: e,
+                                },
+                            )
+                        })
+                        .collect(),
+                });
+            }
             let dirty: Vec<_> = results.iter().filter(|r| !r.is_clean()).collect();
             for r in &results {
                 println!("{r}");
             }
             if dirty.is_empty() {
+                if args.bad_ir_selftest {
+                    eprintln!("lint: bad-IR selftest produced no finding — analyzer is broken");
+                    return ExitCode::FAILURE;
+                }
                 eprintln!(
                     "lint: {} workloads clean at thread counts {:?}",
                     results.len(),

@@ -1,0 +1,48 @@
+//! Exit-code contract of the `repro lint` CI gate.
+//!
+//! The gate must be impossible to pass vacuously: a clean registry
+//! exits zero, and any analyzer error — demonstrated here by the
+//! built-in bad-IR selftest (a dangling `Goto`) — must surface as a
+//! nonzero exit, because CI only looks at the status code.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn lint_passes_on_the_registered_workloads() {
+    let out = repro().arg("lint").output().expect("run repro lint");
+    assert!(
+        out.status.success(),
+        "repro lint failed on shipped workloads:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("workloads clean"),
+        "missing coverage summary: {stderr}"
+    );
+}
+
+#[test]
+fn lint_exits_nonzero_on_known_bad_ir() {
+    let out = repro()
+        .args(["lint", "--bad-ir-selftest"])
+        .output()
+        .expect("run repro lint --bad-ir-selftest");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a workload-IR analyzer error must fail the gate:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("bad-ir-selftest"),
+        "diagnostics must name the offending workload: {stdout}"
+    );
+}

@@ -1,50 +1,75 @@
 //! Determinism lint over the simulator sources.
 //!
-//! Scans `crates/{sim,core,topo}/src` (or the directories given as
-//! arguments) for wall-clock reads, hash-container iteration and
-//! ambient RNG — see [`bounce_verify::detlint`]. Exits nonzero when any
-//! finding survives the waiver comments.
+//! Scans `crates/{sim,core,topo}/src` for wall-clock reads,
+//! hash-container iteration and ambient RNG, and `crates/atomics/src`
+//! for direct `std::sync::atomic` construction that bypasses the
+//! `cell` shim (and so escapes the schedcheck model checker) — see
+//! [`bounce_verify::detlint`]. Exits nonzero when any finding survives
+//! the waiver comments.
 //!
 //! ```text
 //! cargo run -p bounce-verify --bin detlint
 //! cargo run -p bounce-verify --bin detlint -- crates/sim/src
+//! cargo run -p bounce-verify --bin detlint -- --direct-atomic crates/atomics/src
 //! ```
 
-use bounce_verify::detlint::scan_tree;
+use bounce_verify::detlint::{scan_tree, scan_tree_opts, Options};
 use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
-    let roots = if args.is_empty() {
-        // Default: the crates whose behavior feeds simulation results.
+    let mut direct_atomic = false;
+    let mut args: Vec<PathBuf> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--direct-atomic" => direct_atomic = true,
+            other => args.push(PathBuf::from(other)),
+        }
+    }
+    let mut trees = 0usize;
+    let mut findings = Vec::new();
+    let scanned = if args.is_empty() {
         let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .parent()
             .expect("verify crate lives under crates/")
             .to_path_buf();
-        ["sim", "core", "topo"]
+        // The crates whose behavior feeds simulation results get the
+        // determinism rules; the atomics crate gets the shim rule.
+        let sim_roots: Vec<PathBuf> = ["sim", "core", "topo"]
             .iter()
             .map(|c| ws.join(c).join("src"))
-            .collect()
+            .collect();
+        trees += sim_roots.len() + 1;
+        scan_tree(&sim_roots).and_then(|mut f| {
+            let atomics = [ws.join("atomics").join("src")];
+            let opts = Options {
+                direct_atomic: true,
+            };
+            scan_tree_opts(&atomics, opts).map(|g| {
+                f.extend(g);
+                f
+            })
+        })
     } else {
-        args
+        trees += args.len();
+        scan_tree_opts(&args, Options { direct_atomic })
     };
-    match scan_tree(&roots) {
-        Ok(findings) if findings.is_empty() => {
-            println!(
-                "detlint: {} tree(s) clean (no wall-clock, hash-iteration or ambient-RNG use)",
-                roots.len()
-            );
-        }
-        Ok(findings) => {
-            for f in &findings {
-                eprintln!("{f}");
-            }
-            eprintln!("detlint: {} finding(s)", findings.len());
-            std::process::exit(1);
-        }
+    match scanned {
+        Ok(f) => findings.extend(f),
         Err(e) => {
             eprintln!("detlint: scan failed: {e}");
             std::process::exit(2);
         }
+    }
+    if findings.is_empty() {
+        println!(
+            "detlint: {trees} tree(s) clean (no wall-clock, hash-iteration, ambient-RNG \
+             or shim-bypassing atomic use)"
+        );
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("detlint: {} finding(s)", findings.len());
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,142 @@
+//! Exhaustive interleaving + memory-ordering model check of the real
+//! `bounce-atomics` structures (counters, Treiber stack, MS queue,
+//! spin/queue locks, seqlock) on the shadow-cell substrate.
+//!
+//! ```text
+//! cargo run -p bounce-verify --bin schedcheck            # all scenarios
+//! cargo run -p bounce-verify --bin schedcheck -- ticket_2 seqlock_rw
+//! cargo run -p bounce-verify --bin schedcheck -- --mutate # + mutation sweep
+//! ```
+//!
+//! Exits nonzero on any violation, on a capped (inconclusive)
+//! exploration, and — under `--mutate` — when a scenario has no
+//! mutation site whose weakening the checker detects (which would mean
+//! the clean pass proves nothing).
+
+use bounce_verify::exec::{render_report, scenarios, ExploreOpts, Mutation};
+use std::time::Instant;
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut mutate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--mutate" => mutate = true,
+            "--help" | "-h" => {
+                eprintln!("usage: schedcheck [--mutate] [scenario ...]");
+                eprintln!("scenarios:");
+                for e in scenarios::all() {
+                    eprintln!("  {} ({} threads)", e.name, e.threads);
+                }
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    let entries: Vec<scenarios::Entry> = if names.is_empty() {
+        scenarios::all()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                scenarios::find(n).unwrap_or_else(|| {
+                    eprintln!("unknown scenario {n}; try --help");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let opts = ExploreOpts::default();
+    let mut failed = false;
+    for entry in &entries {
+        let t0 = Instant::now();
+        let report = (entry.run)(&opts);
+        print!("{}", render_report(&report));
+        println!("  [{:?}]", t0.elapsed());
+        if !report.is_clean() {
+            failed = true;
+            continue;
+        }
+        if !mutate {
+            continue;
+        }
+        // Mutation sweep: weaken each discovered ordering site to
+        // Relaxed. Every site outside the scenario's curated benign
+        // list must be caught, and every benign entry must match a
+        // silent site (stale-list detection) — the same contract the
+        // self-tests enforce.
+        let mut caught = 0usize;
+        let mut silent = Vec::new();
+        for &(loc, kind) in &report.sites {
+            let mopts = ExploreOpts {
+                mutation: Some(Mutation { loc, kind }),
+                ..ExploreOpts::default()
+            };
+            let mreport = (entry.run)(&mopts);
+            if mreport.violation.is_some() {
+                caught += 1;
+            } else if mreport.capped {
+                println!("  mutate {loc} {kind:?}: CAPPED (inconclusive)");
+                failed = true;
+            } else {
+                silent.push((loc, kind));
+            }
+        }
+        println!(
+            "  mutate: {}/{} weakened sites detected{}",
+            caught,
+            report.sites.len(),
+            if silent.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " (benign: {})",
+                    silent
+                        .iter()
+                        .map(|(l, k)| format!("{l} {k:?}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+        for &(loc, kind) in &silent {
+            if !entry
+                .benign
+                .iter()
+                .any(|&(l, k)| l == loc.to_string() && k == kind)
+            {
+                eprintln!(
+                    "  {}: weakening {loc} {kind:?} went undetected and is not in the \
+                     curated benign list",
+                    entry.name
+                );
+                failed = true;
+            }
+        }
+        for &(l, k) in entry.benign {
+            if !silent
+                .iter()
+                .any(|&(sl, sk)| sl.to_string() == l && sk == k)
+            {
+                eprintln!("  {}: stale benign entry ({l}, {k:?})", entry.name);
+                failed = true;
+            }
+        }
+        if caught == 0 && entry.benign.len() != report.sites.len() {
+            eprintln!(
+                "  {}: no weakened ordering was detected — scenario is vacuous",
+                entry.name
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("schedcheck passed: every interleaving of every scenario satisfies its spec");
+}

@@ -42,6 +42,12 @@ pub enum Rule {
     HashIteration,
     /// `thread_rng` / `from_entropy`: RNG not derived from the run seed.
     AmbientRng,
+    /// Constructing a `std::sync::atomic::Atomic*` directly inside
+    /// `crates/atomics` instead of going through the `cell` shim —
+    /// such a cell is invisible to the schedcheck model checker.
+    /// Only construction is flagged; taking `&AtomicU64` etc. as a
+    /// parameter (the native measurement face) stays legal.
+    DirectAtomic,
 }
 
 impl Rule {
@@ -51,6 +57,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::HashIteration => "hash-iteration",
             Rule::AmbientRng => "ambient-rng",
+            Rule::DirectAtomic => "direct-atomic",
         }
     }
 }
@@ -279,9 +286,40 @@ const ITER_METHODS: [&str; 7] = [
     "drain",
 ];
 
-/// Scan one file's source text. `path` is used only for labeling
-/// findings.
+/// The `std::sync::atomic` type names whose direct construction the
+/// [`Rule::DirectAtomic`] rule flags.
+const STD_ATOMICS: [&str; 12] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Per-scan options: which optional rules are active.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Enable [`Rule::DirectAtomic`]. Meant for `crates/atomics`;
+    /// `cell.rs` (the shim's production substrate, the one legitimate
+    /// constructor) is exempted by file name.
+    pub direct_atomic: bool,
+}
+
+/// Scan one file's source text with the default rule set. `path` is
+/// used only for labeling findings.
 pub fn scan_file(path: &Path, source: &str) -> Vec<Finding> {
+    scan_file_opts(path, source, Options::default())
+}
+
+/// Scan one file's source text under `opts`.
+pub fn scan_file_opts(path: &Path, source: &str, opts: Options) -> Vec<Finding> {
     let (stripped, waivers) = strip(source);
     let waived = |line: usize, rule: Rule| {
         waivers
@@ -319,6 +357,25 @@ pub fn scan_file(path: &Path, source: &str) -> Vec<Finding> {
                 Rule::AmbientRng,
                 format!("`{name}`: randomness must be derived from the run seed"),
             );
+        }
+    }
+
+    // --- direct std atomic construction (crates/atomics only) ---
+    if opts.direct_atomic && path.file_name().is_none_or(|f| f != "cell.rs") {
+        for name in STD_ATOMICS {
+            for (line, at) in word_hits(&stripped, name) {
+                let after = &stripped[at + name.len()..];
+                if after.trim_start().starts_with("::new") {
+                    push(
+                        line,
+                        Rule::DirectAtomic,
+                        format!(
+                            "`{name}::new` outside cell.rs: construct atomics through the \
+                             `cell` shim so schedcheck can model them"
+                        ),
+                    );
+                }
+            }
         }
     }
 
@@ -410,9 +467,15 @@ pub fn scan_file(path: &Path, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Recursively scan every `*.rs` file under `roots`, in sorted path
-/// order. I/O errors surface as `Err`.
+/// Recursively scan every `*.rs` file under `roots` with the default
+/// rule set, in sorted path order. I/O errors surface as `Err`.
 pub fn scan_tree(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    scan_tree_opts(roots, Options::default())
+}
+
+/// Recursively scan every `*.rs` file under `roots` under `opts`, in
+/// sorted path order. I/O errors surface as `Err`.
+pub fn scan_tree_opts(roots: &[PathBuf], opts: Options) -> std::io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     for root in roots {
         collect_rs(root, &mut files)?;
@@ -421,7 +484,7 @@ pub fn scan_tree(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     for f in files {
         let source = std::fs::read_to_string(&f)?;
-        findings.extend(scan_file(&f, &source));
+        findings.extend(scan_file_opts(&f, &source, opts));
     }
     Ok(findings)
 }
@@ -539,6 +602,77 @@ mod tests {
                 for (k, v) in m.iter() { }\n\
             }\n";
         assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn flags_direct_atomic_construction() {
+        let opts = Options {
+            direct_atomic: true,
+        };
+        let src = "fn f() { let c = AtomicU64::new(0); }\n";
+        let f = scan_file_opts(Path::new("locks.rs"), src, opts);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::DirectAtomic);
+        // Off by default.
+        assert!(scan_file(Path::new("locks.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn atomic_references_and_paths_stay_legal() {
+        let opts = Options {
+            direct_atomic: true,
+        };
+        // Taking a reference, naming the type, and loading through it
+        // are all fine — only `::new` construction is flagged.
+        let src = "\
+            use std::sync::atomic::{AtomicU64, Ordering};\n\
+            fn g(cell: &AtomicU64) -> u64 { cell.load(Ordering::SeqCst) }\n";
+        assert!(scan_file_opts(Path::new("primitive.rs"), src, opts).is_empty());
+    }
+
+    #[test]
+    fn cell_rs_is_exempt_from_direct_atomic() {
+        let opts = Options {
+            direct_atomic: true,
+        };
+        let src = "fn f() { let c = AtomicBool::new(false); }\n";
+        assert!(scan_file_opts(Path::new("cell.rs"), src, opts).is_empty());
+        assert!(scan_file_opts(Path::new("/x/atomics/src/cell.rs"), src, opts).is_empty());
+    }
+
+    #[test]
+    fn direct_atomic_waiver_suppresses() {
+        let opts = Options {
+            direct_atomic: true,
+        };
+        let src =
+            "let stop = AtomicBool::new(false); // detlint: allow(direct-atomic): test-only\n";
+        assert!(scan_file_opts(Path::new("seqlock.rs"), src, opts).is_empty());
+    }
+
+    #[test]
+    fn atomics_sources_are_clean_of_direct_construction() {
+        // Mirrors the CI gate: every atomic cell in `crates/atomics`
+        // goes through the `cell` shim (or carries an explicit
+        // waiver), so schedcheck's shadow substrate sees them all.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = here.parent().unwrap().join("atomics").join("src");
+        let findings = scan_tree_opts(
+            &[root],
+            Options {
+                direct_atomic: true,
+            },
+        )
+        .expect("scan atomics sources");
+        assert!(
+            findings.is_empty(),
+            "direct-atomic findings:\n{}",
+            findings
+                .iter()
+                .map(|f| format!("  {f}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 
     #[test]

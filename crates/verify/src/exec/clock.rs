@@ -1,0 +1,58 @@
+//! Vector clocks for the `schedcheck` execution explorer.
+//!
+//! A fixed-width clock (`MAX_THREADS` slots) keeps the hot join/le
+//! operations allocation-free; slot 0 is the controller (setup/finale)
+//! context and slots `1..` are the worker threads of a scenario.
+
+/// Maximum logical threads per execution: the controller plus up to
+/// four workers (scenarios use 2–3; the headroom is free).
+pub const MAX_THREADS: usize = 5;
+
+/// A fixed-width vector clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VClock(pub [u32; MAX_THREADS]);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const ZERO: VClock = VClock([0; MAX_THREADS]);
+
+    /// Advance `tid`'s component by one.
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum (join) with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (pointwise ≤).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_le() {
+        let mut a = VClock::ZERO;
+        let mut b = VClock::ZERO;
+        a.tick(1);
+        b.tick(2);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        assert!(VClock::ZERO.le(&a));
+        let mut j = a;
+        j.join(&b);
+        assert!(a.le(&j) && b.le(&j));
+        assert_eq!(j.0[1], 1);
+        assert_eq!(j.0[2], 1);
+        a.tick(1);
+        assert!(!a.le(&j));
+    }
+}

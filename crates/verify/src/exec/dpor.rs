@@ -1,0 +1,290 @@
+//! The DFS over schedules, with dynamic partial-order reduction.
+//!
+//! Exploration is **stateless** (loom-style): every execution starts
+//! from scratch and replays a *choice path* — the sequence of
+//! scheduling and load-value decisions — then extends it with default
+//! choices until the execution finishes. After each execution,
+//! [`advance`] analyses the event trace and rewinds the path to the
+//! deepest choice with an untried alternative worth exploring.
+//!
+//! Two kinds of choice:
+//! * [`Choice::Thread`] — which runnable thread executes the next op.
+//!   Created only when ≥ 2 threads are enabled. Alternatives are
+//!   explored lazily, driven by the DPOR backtrack sets (Flanagan &
+//!   Godefroid 2005): after an execution, for every pair of
+//!   *conflicting* events (same location, ≥ 1 write, different
+//!   threads) not ordered by happens-before, the later event's thread
+//!   is added to the backtrack set of the choice that dispatched the
+//!   earlier one. We add a backtrack entry for **every** such
+//!   non-HB conflicting pair (the classic algorithm only needs the
+//!   latest per event) — a sound over-approximation that trades a few
+//!   extra executions for a much simpler correctness argument.
+//! * [`Choice::Load`] — which store an atomic load returns, when the
+//!   memory model admits more than one. These are enumerated
+//!   **exhaustively**: value nondeterminism from stale reads is the
+//!   whole point of the memory-ordering check, so it is never pruned.
+//!
+//! Replay determinism is an internal invariant: re-running a prefix
+//! must present the identical choice points. [`choose_thread`] and
+//! [`choose_load`] assert this on every replayed entry, so any
+//! nondeterminism in the scheduler or scenarios is caught loudly
+//! rather than silently corrupting the search.
+
+use super::sched::Event;
+use std::collections::BTreeSet;
+
+/// One decision point in an execution.
+#[derive(Debug, Clone)]
+pub enum Choice {
+    /// A scheduling decision among ≥ 2 enabled threads.
+    Thread {
+        /// Thread dispatched on the current path.
+        chosen: usize,
+        /// Threads that were enabled here (sorted).
+        enabled: Vec<usize>,
+        /// Alternatives already explored (includes `chosen`).
+        tried: BTreeSet<usize>,
+        /// Alternatives DPOR marked as worth exploring.
+        backtrack: BTreeSet<usize>,
+    },
+    /// A load-value decision among ≥ 2 eligible stores.
+    Load {
+        /// Index into the eligible-store list taken on this path.
+        pos: usize,
+        /// Number of eligible stores at this point.
+        options: usize,
+    },
+}
+
+/// Resolve a scheduling decision: replay the recorded choice if we are
+/// inside the path prefix, otherwise extend the path. Returns the
+/// chosen thread and the path index of the entry (None when forced).
+pub fn choose_thread(
+    path: &mut Vec<Choice>,
+    depth: &mut usize,
+    enabled: &[usize],
+) -> (usize, Option<usize>) {
+    debug_assert!(!enabled.is_empty());
+    if enabled.len() == 1 {
+        return (enabled[0], None);
+    }
+    if *depth < path.len() {
+        let i = *depth;
+        *depth += 1;
+        match &path[i] {
+            Choice::Thread {
+                chosen,
+                enabled: rec,
+                ..
+            } => {
+                assert_eq!(
+                    rec, enabled,
+                    "schedcheck internal: replay divergence at thread choice {i}"
+                );
+                (*chosen, Some(i))
+            }
+            Choice::Load { .. } => {
+                panic!("schedcheck internal: replay divergence — expected thread choice at {i}")
+            }
+        }
+    } else {
+        let chosen = enabled[0];
+        path.push(Choice::Thread {
+            chosen,
+            enabled: enabled.to_vec(),
+            tried: BTreeSet::from([chosen]),
+            backtrack: BTreeSet::new(),
+        });
+        *depth = path.len();
+        (chosen, Some(path.len() - 1))
+    }
+}
+
+/// Resolve a load-value decision among `options` eligible stores.
+/// Returns the position to read.
+pub fn choose_load(path: &mut Vec<Choice>, depth: &mut usize, options: usize) -> usize {
+    debug_assert!(options >= 2);
+    if *depth < path.len() {
+        let i = *depth;
+        *depth += 1;
+        match &path[i] {
+            Choice::Load { pos, options: rec } => {
+                assert_eq!(
+                    *rec, options,
+                    "schedcheck internal: replay divergence at load choice {i}"
+                );
+                *pos
+            }
+            Choice::Thread { .. } => {
+                panic!("schedcheck internal: replay divergence — expected load choice at {i}")
+            }
+        }
+    } else {
+        path.push(Choice::Load { pos: 0, options });
+        *depth = path.len();
+        0
+    }
+}
+
+/// Post-execution analysis: update DPOR backtrack sets from the event
+/// trace, then rewind the path to the deepest choice with an untried
+/// alternative. Returns `false` when the search space is exhausted.
+pub fn advance(path: &mut Vec<Choice>, events: &[Event]) -> bool {
+    // DPOR: for every conflicting, happens-before-unordered event pair
+    // (f before e in this trace), mark e's thread for exploration at
+    // the choice point that dispatched f.
+    for (k, e) in events.iter().enumerate() {
+        for f in events[..k].iter() {
+            let conflicting = f.loc == e.loc && f.tid != e.tid && (f.is_write || e.is_write);
+            if !conflicting || f.vc.le(&e.vc) {
+                continue;
+            }
+            let Some(ci) = f.choice else { continue };
+            if let Choice::Thread {
+                enabled,
+                tried,
+                backtrack,
+                ..
+            } = &mut path[ci]
+            {
+                if enabled.contains(&e.tid) {
+                    if !tried.contains(&e.tid) {
+                        backtrack.insert(e.tid);
+                    }
+                } else {
+                    // e's thread was not schedulable there (blocked or
+                    // not yet past earlier ops): explore everything
+                    // that was, per Flanagan–Godefroid.
+                    for &q in enabled.iter() {
+                        if !tried.contains(&q) {
+                            backtrack.insert(q);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Rewind: deepest choice with an untried alternative continues the
+    // DFS; everything deeper is discarded (it will be re-derived).
+    while let Some(top) = path.last_mut() {
+        match top {
+            Choice::Load { pos, options } => {
+                if *pos + 1 < *options {
+                    *pos += 1;
+                    return true;
+                }
+            }
+            Choice::Thread {
+                chosen,
+                tried,
+                backtrack,
+                ..
+            } => {
+                let next = backtrack.iter().find(|t| !tried.contains(t)).copied();
+                if let Some(t) = next {
+                    *chosen = t;
+                    tried.insert(t);
+                    return true;
+                }
+            }
+        }
+        path.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::clock::VClock;
+    use crate::exec::membuf::LocId;
+
+    fn ev(tid: usize, loc_idx: u32, is_write: bool, vc: [u32; 5], choice: Option<usize>) -> Event {
+        Event {
+            tid,
+            loc: LocId {
+                tid: 0,
+                idx: loc_idx,
+            },
+            is_write,
+            vc: VClock(vc),
+            choice,
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn load_choices_enumerate_exhaustively() {
+        let mut path = Vec::new();
+        let mut depth = 0;
+        assert_eq!(choose_load(&mut path, &mut depth, 3), 0);
+        assert!(advance(&mut path, &[]));
+        let mut depth = 0;
+        assert_eq!(choose_load(&mut path, &mut depth, 3), 1);
+        assert!(advance(&mut path, &[]));
+        let mut depth = 0;
+        assert_eq!(choose_load(&mut path, &mut depth, 3), 2);
+        assert!(!advance(&mut path, &[]), "all three values explored");
+    }
+
+    #[test]
+    fn conflicting_events_schedule_a_backtrack() {
+        let mut path = Vec::new();
+        let mut depth = 0;
+        let (chosen, ci) = choose_thread(&mut path, &mut depth, &[1, 2]);
+        assert_eq!((chosen, ci), (1, Some(0)));
+        // t1 writes loc 0 (dispatched by choice 0), then t2 writes it,
+        // concurrently (vector clocks incomparable).
+        let events = vec![
+            ev(1, 0, true, [0, 1, 0, 0, 0], Some(0)),
+            ev(2, 0, true, [0, 0, 1, 0, 0], None),
+        ];
+        assert!(advance(&mut path, &events), "t2 must be explored first too");
+        let mut depth = 0;
+        let (chosen, _) = choose_thread(&mut path, &mut depth, &[1, 2]);
+        assert_eq!(chosen, 2);
+        assert!(!advance(&mut path, &events));
+    }
+
+    #[test]
+    fn independent_events_do_not_backtrack() {
+        let mut path = Vec::new();
+        let mut depth = 0;
+        choose_thread(&mut path, &mut depth, &[1, 2]);
+        // Different locations: no conflict, single schedule suffices.
+        let events = vec![
+            ev(1, 0, true, [0, 1, 0, 0, 0], Some(0)),
+            ev(2, 1, true, [0, 0, 1, 0, 0], None),
+        ];
+        assert!(
+            !advance(&mut path, &events),
+            "independent ops need one order"
+        );
+    }
+
+    #[test]
+    fn hb_ordered_conflicts_do_not_backtrack() {
+        let mut path = Vec::new();
+        let mut depth = 0;
+        choose_thread(&mut path, &mut depth, &[1, 2]);
+        // Same location but t2's event happens-after t1's (clock
+        // includes it): reordering is impossible, no backtrack.
+        let events = vec![
+            ev(1, 0, true, [0, 1, 0, 0, 0], Some(0)),
+            ev(2, 0, true, [0, 1, 1, 0, 0], None),
+        ];
+        assert!(!advance(&mut path, &events));
+    }
+
+    #[test]
+    fn replay_divergence_is_detected() {
+        let mut path = Vec::new();
+        let mut depth = 0;
+        choose_thread(&mut path, &mut depth, &[1, 2]);
+        let mut depth = 0;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            choose_thread(&mut path, &mut depth, &[1, 3]) // different enabled set
+        }));
+        assert!(r.is_err(), "divergent replay must panic");
+    }
+}

@@ -1,0 +1,229 @@
+//! Linearizability checking (Wing & Gong 1993, with the memoisation of
+//! Lowe 2017): search for a total order of the recorded operations
+//! that (a) respects **happens-before precedence** — an op whose
+//! response happens-before another op's invocation must come first —
+//! and (b) makes every recorded return value match the sequential
+//! specification.
+//!
+//! Precedence is happens-before, not wall-clock: under C11 a thread
+//! cannot observe that another thread's unsynchronised operation
+//! "already finished", so demanding real-time order would condemn
+//! correct weak-memory code (a seqlock reader that races no fence may
+//! legitimately return a slightly stale — but never torn — snapshot).
+//! Within one thread, happens-before subsumes program order, so
+//! same-thread operations are always ordered. This is the standard
+//! adaptation of linearizability to weak memory (sometimes called
+//! causal linearizability); DESIGN.md discusses the trade-off.
+//!
+//! Histories here are tiny (≤ a dozen ops), so the exponential
+//! worst case is irrelevant; memoisation on (done-set, spec state)
+//! keeps even adversarial histories instant.
+
+use super::clock::VClock;
+use super::specs::{self, SpecOp, SpecRet, SpecState};
+use std::collections::HashSet;
+
+/// One completed operation, as recorded during the parallel phase.
+/// Op A precedes op B iff `A.response_vc ≤ B.invoke_vc` (A's response
+/// happens-before B's invocation). The scalar `invoke`/`response`
+/// stamps are display-only interval hints for counterexample output.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Recording thread.
+    pub tid: usize,
+    /// The abstract operation.
+    pub op: SpecOp,
+    /// The value the real structure returned.
+    pub ret: SpecRet,
+    /// Step stamp taken just before the operation started (display).
+    pub invoke: u64,
+    /// Step stamp taken just after it returned (display).
+    pub response: u64,
+    /// The thread's clock at invocation, before the op's first event.
+    pub invoke_vc: VClock,
+    /// The thread's clock at response, after the op's last event.
+    pub response_vc: VClock,
+}
+
+impl OpRecord {
+    fn render(&self) -> String {
+        format!(
+            "t{} {:?} -> {:?} [{}..{}]",
+            self.tid, self.op, self.ret, self.invoke, self.response
+        )
+    }
+}
+
+/// Render a history for counterexample output.
+pub fn render_history(history: &[OpRecord]) -> Vec<String> {
+    history
+        .iter()
+        .map(|r| format!("  {}", r.render()))
+        .collect()
+}
+
+/// Check that `history` is linearizable against the specification
+/// starting in `init`. Returns a description of the failure if not.
+pub fn check(history: &[OpRecord], init: SpecState) -> Result<(), String> {
+    assert!(
+        history.len() <= 64,
+        "history too long for the bitmask search"
+    );
+    let all_done: u64 = if history.is_empty() {
+        0
+    } else {
+        (1u64 << history.len()) - 1
+    };
+    let mut memo: HashSet<(u64, SpecState)> = HashSet::new();
+    if dfs(history, all_done, 0, &init, &mut memo) {
+        Ok(())
+    } else {
+        Err("no linearization of the recorded history matches the sequential spec".to_string())
+    }
+}
+
+fn dfs(
+    history: &[OpRecord],
+    all_done: u64,
+    done: u64,
+    state: &SpecState,
+    memo: &mut HashSet<(u64, SpecState)>,
+) -> bool {
+    if done == all_done {
+        return true;
+    }
+    if !memo.insert((done, state.clone())) {
+        return false;
+    }
+    for (i, cand) in history.iter().enumerate() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        // Happens-before order: `cand` may linearize next only if no
+        // other still-pending op's response happens-before its invoke.
+        let blocked = history
+            .iter()
+            .enumerate()
+            .any(|(j, p)| i != j && done & (1 << j) == 0 && p.response_vc.le(&cand.invoke_vc));
+        if blocked {
+            continue;
+        }
+        let mut next = state.clone();
+        if specs::apply(&mut next, &cand.op) != cand.ret {
+            continue;
+        }
+        if dfs(history, all_done, done | (1 << i), &next, memo) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A record in a fully synchronised history: the scalar stamps
+    /// double as a shared clock component, so `response ≤ invoke`
+    /// comparisons reproduce classic real-time precedence. Tests that
+    /// need *unsynchronised* (incomparable) ops build clocks by hand.
+    fn rec(tid: usize, op: SpecOp, ret: SpecRet, invoke: u64, response: u64) -> OpRecord {
+        let mut ivc = VClock::ZERO;
+        ivc.0[0] = invoke as u32;
+        let mut rvc = VClock::ZERO;
+        rvc.0[0] = response as u32;
+        OpRecord {
+            tid,
+            op,
+            ret,
+            invoke,
+            response,
+            invoke_vc: ivc,
+            response_vc: rvc,
+        }
+    }
+
+    #[test]
+    fn empty_and_sequential_histories_pass() {
+        assert!(check(&[], SpecState::Counter(0)).is_ok());
+        let h = vec![
+            rec(1, SpecOp::Push(1), SpecRet::Unit, 1, 2),
+            rec(1, SpecOp::Pop, SpecRet::Opt(Some(1)), 3, 4),
+        ];
+        assert!(check(&h, SpecState::Stack(Vec::new())).is_ok());
+    }
+
+    #[test]
+    fn concurrent_overlap_allows_either_order() {
+        // Pop(None) overlaps the push: popping "before" the push is a
+        // valid linearization.
+        let h = vec![
+            rec(1, SpecOp::Push(1), SpecRet::Unit, 1, 4),
+            rec(2, SpecOp::Pop, SpecRet::Opt(None), 2, 3),
+        ];
+        assert!(check(&h, SpecState::Stack(Vec::new())).is_ok());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // The push completed before the pop began, yet the pop saw an
+        // empty stack: not linearizable.
+        let h = vec![
+            rec(1, SpecOp::Push(1), SpecRet::Unit, 1, 2),
+            rec(2, SpecOp::Pop, SpecRet::Opt(None), 3, 4),
+        ];
+        assert!(check(&h, SpecState::Stack(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn lost_update_is_not_linearizable() {
+        // Two sequential reads around a completed add: the second read
+        // must see it.
+        let h = vec![
+            rec(1, SpecOp::Add(1), SpecRet::Unit, 1, 2),
+            rec(2, SpecOp::ReadCtr, SpecRet::Val(0), 3, 4),
+        ];
+        assert!(check(&h, SpecState::Counter(0)).is_err());
+    }
+
+    #[test]
+    fn torn_seqlock_snapshot_is_rejected() {
+        let h = vec![
+            rec(1, SpecOp::SlAdd(1), SpecRet::Unit, 1, 4),
+            rec(2, SpecOp::SlRead, SpecRet::Snap([1, 0]), 2, 3),
+        ];
+        assert!(check(&h, SpecState::Seq([0, 0])).is_err(), "torn snapshot");
+        let ok = vec![
+            rec(1, SpecOp::SlAdd(1), SpecRet::Unit, 1, 4),
+            rec(2, SpecOp::SlRead, SpecRet::Snap([1, 1]), 2, 3),
+        ];
+        assert!(check(&ok, SpecState::Seq([0, 0])).is_ok());
+    }
+
+    #[test]
+    fn unsynchronised_ops_overlap_in_causal_time() {
+        // Same shape as `lost_update_is_not_linearizable`, but the two
+        // threads never synchronise (incomparable clocks): the read is
+        // free to linearize before the add, so Val(0) is fine.
+        let mut add = rec(1, SpecOp::Add(1), SpecRet::Unit, 1, 2);
+        add.invoke_vc = VClock([0, 1, 0, 0, 0]);
+        add.response_vc = VClock([0, 2, 0, 0, 0]);
+        let mut read = rec(2, SpecOp::ReadCtr, SpecRet::Val(0), 3, 4);
+        read.invoke_vc = VClock([0, 0, 1, 0, 0]);
+        read.response_vc = VClock([0, 0, 2, 0, 0]);
+        assert!(check(&[add, read], SpecState::Counter(0)).is_ok());
+    }
+
+    #[test]
+    fn queue_fifo_violation_detected() {
+        // Both enqueues completed before either dequeue: 2 before 1 is
+        // a FIFO violation.
+        let h = vec![
+            rec(1, SpecOp::Enq(1), SpecRet::Unit, 1, 2),
+            rec(1, SpecOp::Enq(2), SpecRet::Unit, 3, 4),
+            rec(2, SpecOp::Deq, SpecRet::Opt(Some(2)), 5, 6),
+            rec(2, SpecOp::Deq, SpecRet::Opt(Some(1)), 7, 8),
+        ];
+        assert!(check(&h, SpecState::Queue(Default::default())).is_err());
+    }
+}

@@ -1,0 +1,439 @@
+//! The operational memory model behind the shadow cells.
+//!
+//! Each atomic location keeps its full **store history** (modification
+//! order). A load does not simply return the newest value: any store
+//! that is not yet obligated to be visible to the loading thread is a
+//! legal result, so a `Relaxed` load can return stale values — the
+//! observable effect of hardware store buffers / delayed invalidations.
+//! Visibility obligations come from two sources:
+//!
+//! * **happens-before**: a store whose writer's clock is `≤` the
+//!   reader's clock — and everything older than it in modification
+//!   order — can no longer be returned;
+//! * **per-thread coherence**: a thread never reads backwards past a
+//!   store it has already observed on the same location
+//!   (read-read coherence), tracked by a per-location `seen[]` floor.
+//!
+//! Synchronization: a `Release` store snapshots the writer's clock into
+//! the store's `sync` clock; an `Acquire` load that reads it joins that
+//! clock — the C11 release/acquire edge. RMWs always read the tail of
+//! the modification order (atomicity) and *continue* the release
+//! sequence of the store they displace (C++20 semantics: only RMWs
+//! extend a release sequence; a plain store starts a fresh one).
+//!
+//! Deliberate strengthenings vs. full C11 (documented in DESIGN.md):
+//! stores take effect in a single global step (no load-store or
+//! store-store reordering of the *issuing* thread), and `SeqCst` is
+//! treated as `AcqRel` plus forced-latest reads. Both only *shrink*
+//! the behaviour set, so a reported counterexample is always real.
+
+use super::clock::{VClock, MAX_THREADS};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+/// Identity of a shadow location: creating thread plus a per-thread
+/// creation ordinal. Stable within an execution (creation order is
+/// deterministic given the schedule), which is all DPOR needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId {
+    /// Thread that created the cell (0 = controller/setup).
+    pub tid: usize,
+    /// Per-thread creation ordinal.
+    pub idx: u32,
+}
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}#{}", self.tid, self.idx)
+    }
+}
+
+/// The syntactic class of an atomic operation, used to address
+/// mutation sites: weakening `(loc, kind)` to `Relaxed` models the
+/// source-level mutation of the one structure line that performs that
+/// operation on that cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// A plain atomic load.
+    Load,
+    /// A plain atomic store.
+    Store,
+    /// Any read-modify-write (swap/fetch_add/fetch_or/CAS).
+    Rmw,
+}
+
+/// An ordering-weakening mutation: every operation of `kind` on `loc`
+/// executes as if annotated `Relaxed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// Target location.
+    pub loc: LocId,
+    /// Target operation class.
+    pub kind: OpKind,
+}
+
+/// One store in a location's modification order.
+#[derive(Debug, Clone)]
+pub struct StoreRec {
+    /// The stored value (pointers are stored as their address bits).
+    pub val: u64,
+    /// Thread that performed the store.
+    pub writer: usize,
+    /// The writer's clock at (including) the store — the
+    /// happens-before floor test.
+    pub event: VClock,
+    /// Release-sequence clock: joined into an acquiring reader.
+    pub sync: VClock,
+}
+
+/// Per-location state: modification order plus per-thread coherence
+/// floors.
+#[derive(Debug, Default)]
+pub struct LocHistory {
+    /// Modification order, oldest first. Index 0 is the initial value.
+    pub stores: Vec<StoreRec>,
+    /// Per-thread index of the newest store each thread has observed.
+    pub seen: [usize; MAX_THREADS],
+}
+
+/// Whether `ord` has acquire semantics on a read.
+pub fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Whether `ord` has release semantics on a write.
+pub fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// All shadow locations of one execution.
+#[derive(Debug, Default)]
+pub struct MemState {
+    locs: BTreeMap<LocId, LocHistory>,
+    /// Bumped whenever a store *changes* a location's latest value —
+    /// the wake-up signal for threads blocked in spin loops.
+    pub value_epoch: u64,
+}
+
+impl MemState {
+    /// Register a new location with its initial value. The initial
+    /// store carries the creator's clock, so anything ordered after
+    /// creation (thread spawn joins the controller clock) sees it.
+    pub fn new_loc(&mut self, loc: LocId, init: u64, creator: usize, vc: &VClock) {
+        let hist = LocHistory {
+            stores: vec![StoreRec {
+                val: init,
+                writer: creator,
+                event: *vc,
+                sync: *vc,
+            }],
+            seen: [0; MAX_THREADS],
+        };
+        let prev = self.locs.insert(loc, hist);
+        assert!(prev.is_none(), "duplicate shadow location {loc}");
+    }
+
+    fn hist(&mut self, loc: LocId) -> &mut LocHistory {
+        self.locs
+            .get_mut(&loc)
+            .expect("unregistered shadow location")
+    }
+
+    /// Mutable view of a location's history (spin-hint floor bumps).
+    pub fn hist_mut(&mut self, loc: LocId) -> &mut LocHistory {
+        self.hist(loc)
+    }
+
+    /// Immutable view of a location's history.
+    pub fn hist_ref(&self, loc: LocId) -> &LocHistory {
+        self.locs.get(&loc).expect("unregistered shadow location")
+    }
+
+    /// The oldest modification-order index thread `tid` may still read
+    /// on `loc`: the newest of (its coherence floor, the newest store
+    /// that happens-before it).
+    pub fn floor(&self, loc: LocId, tid: usize, vc: &VClock) -> usize {
+        let h = self.hist_ref(loc);
+        let mut floor = h.seen[tid];
+        for (i, s) in h.stores.iter().enumerate().skip(floor + 1) {
+            if s.event.le(vc) {
+                floor = i;
+            }
+        }
+        floor
+    }
+
+    /// Eligible store indices for a load by `tid` (oldest first). For
+    /// `SeqCst` loads only the newest store is eligible.
+    pub fn eligible(&self, loc: LocId, tid: usize, vc: &VClock, ord: Ordering) -> Vec<usize> {
+        let h = self.hist_ref(loc);
+        let newest = h.stores.len() - 1;
+        if ord == Ordering::SeqCst {
+            return vec![newest];
+        }
+        (self.floor(loc, tid, vc)..=newest).collect()
+    }
+
+    /// Complete a load of store `idx`: updates the coherence floor and,
+    /// for acquiring loads, joins the store's release-sequence clock
+    /// into the reader's clock. Returns the value read.
+    pub fn apply_load(
+        &mut self,
+        loc: LocId,
+        idx: usize,
+        tid: usize,
+        ord: Ordering,
+        vc: &mut VClock,
+    ) -> u64 {
+        let acq = acquires(ord);
+        let h = self.hist(loc);
+        h.seen[tid] = h.seen[tid].max(idx);
+        let s = &h.stores[idx];
+        if acq {
+            vc.join(&s.sync.clone());
+        }
+        s.val
+    }
+
+    /// Append a plain store. `vc` must already be ticked for this
+    /// event. Returns `true` if the latest value changed (spin wakeup).
+    pub fn apply_store(
+        &mut self,
+        loc: LocId,
+        val: u64,
+        tid: usize,
+        ord: Ordering,
+        vc: &VClock,
+    ) -> bool {
+        let rel = releases(ord);
+        let h = self.hist(loc);
+        let changed = h.stores.last().map(|s| s.val != val).unwrap_or(true);
+        h.stores.push(StoreRec {
+            val,
+            writer: tid,
+            event: *vc,
+            sync: if rel { *vc } else { VClock::ZERO },
+        });
+        let newest = h.stores.len() - 1;
+        h.seen[tid] = newest;
+        if changed {
+            self.value_epoch += 1;
+        }
+        changed
+    }
+
+    /// Perform an RMW: reads the modification-order tail (atomicity),
+    /// applies `f`, appends the result continuing the tail's release
+    /// sequence. Returns `(old value, index read, latest value changed)`.
+    pub fn apply_rmw(
+        &mut self,
+        loc: LocId,
+        tid: usize,
+        ord: Ordering,
+        vc: &mut VClock,
+        f: impl FnOnce(u64) -> u64,
+    ) -> (u64, usize, bool) {
+        let (acq, rel) = (acquires(ord), releases(ord));
+        let h = self.hist(loc);
+        let tail_idx = h.stores.len() - 1;
+        let tail_sync = h.stores[tail_idx].sync;
+        let old = h.stores[tail_idx].val;
+        if acq {
+            vc.join(&tail_sync);
+        }
+        let new = f(old);
+        let changed = new != old;
+        let mut sync = tail_sync; // RMW continues the release sequence
+        if rel {
+            sync.join(vc);
+        }
+        h.stores.push(StoreRec {
+            val: new,
+            writer: tid,
+            event: *vc,
+            sync,
+        });
+        let newest = h.stores.len() - 1;
+        h.seen[tid] = newest;
+        if changed {
+            self.value_epoch += 1;
+        }
+        (old, tail_idx, changed)
+    }
+
+    /// Newest modification-order index of `loc`.
+    pub fn newest(&self, loc: LocId) -> usize {
+        self.hist_ref(loc).stores.len() - 1
+    }
+}
+
+/// Race-detection state for one tracked **non-atomic** location
+/// (scenario data guarded by the locks under test).
+#[derive(Debug, Clone, Default)]
+pub struct TrackedState {
+    /// Clock of the last write.
+    pub write_vc: VClock,
+    /// Thread of the last write (for reporting).
+    pub writer: usize,
+    /// Per-thread clocks of reads since the last write.
+    pub reads: VClock,
+    /// Whether any write happened yet.
+    pub written: bool,
+}
+
+/// A detected data race on a tracked location.
+#[derive(Debug, Clone)]
+pub struct Race {
+    /// The two racing threads (earlier access first).
+    pub threads: (usize, usize),
+    /// Human description ("write/write", "read/write", ...).
+    pub what: &'static str,
+}
+
+impl TrackedState {
+    /// Check-and-record a read by `tid` with clock `vc`.
+    pub fn on_read(&mut self, tid: usize, vc: &VClock) -> Result<(), Race> {
+        if self.written && !self.write_vc.le(vc) {
+            return Err(Race {
+                threads: (self.writer, tid),
+                what: "unsynchronized write/read",
+            });
+        }
+        self.reads.0[tid] = self.reads.0[tid].max(vc.0[tid]);
+        Ok(())
+    }
+
+    /// Check-and-record a write by `tid` with clock `vc`.
+    pub fn on_write(&mut self, tid: usize, vc: &VClock) -> Result<(), Race> {
+        if self.written && !self.write_vc.le(vc) {
+            return Err(Race {
+                threads: (self.writer, tid),
+                what: "unsynchronized write/write",
+            });
+        }
+        for (u, &r) in self.reads.0.iter().enumerate() {
+            if u != tid && r > vc.0[u] {
+                return Err(Race {
+                    threads: (u, tid),
+                    what: "unsynchronized read/write",
+                });
+            }
+        }
+        self.write_vc = *vc;
+        self.writer = tid;
+        self.written = true;
+        self.reads = VClock::ZERO;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(vals: [u32; MAX_THREADS]) -> VClock {
+        VClock(vals)
+    }
+
+    #[test]
+    fn stale_reads_until_happens_before() {
+        let mut m = MemState::default();
+        let loc = LocId { tid: 0, idx: 0 };
+        m.new_loc(loc, 0, 0, &VClock::ZERO);
+        // Writer (tid 1) releases value 1.
+        let mut w = vc([0, 1, 0, 0, 0]);
+        m.apply_store(loc, 1, 1, Ordering::Release, &w);
+        w.tick(1);
+        m.apply_store(loc, 2, 1, Ordering::Relaxed, &w);
+
+        // A reader with no HB edge may read any of the three stores.
+        let r = vc([0, 0, 1, 0, 0]);
+        assert_eq!(m.eligible(loc, 2, &r, Ordering::Relaxed), vec![0, 1, 2]);
+        // SeqCst forces the newest.
+        assert_eq!(m.eligible(loc, 2, &r, Ordering::SeqCst), vec![2]);
+        // A reader that already saw index 1 can't go backwards...
+        let mut rvc = r;
+        assert_eq!(m.apply_load(loc, 1, 2, Ordering::Acquire, &mut rvc), 1);
+        assert_eq!(m.eligible(loc, 2, &rvc, Ordering::Relaxed), vec![1, 2]);
+        // ...and the acquire joined the writer's release clock.
+        assert!(vc([0, 1, 0, 0, 0]).le(&rvc));
+        // A reader whose clock includes the second store must not read
+        // older ones.
+        let r2 = vc([0, 2, 0, 0, 0]);
+        assert_eq!(m.eligible(loc, 3, &r2, Ordering::Relaxed), vec![2]);
+    }
+
+    #[test]
+    fn rmw_reads_tail_and_continues_release_sequence() {
+        let mut m = MemState::default();
+        let loc = LocId { tid: 0, idx: 0 };
+        m.new_loc(loc, 0, 0, &VClock::ZERO);
+        let w = vc([0, 3, 0, 0, 0]);
+        m.apply_store(loc, 5, 1, Ordering::Release, &w);
+        // A relaxed RMW by tid 2 still reads the tail (atomicity) and
+        // keeps the release sequence alive.
+        let mut r = vc([0, 0, 1, 0, 0]);
+        let (old, idx, changed) = m.apply_rmw(loc, 2, Ordering::Relaxed, &mut r, |v| v + 1);
+        assert_eq!((old, idx, changed), (5, 1, true));
+        // The relaxed RMW did not acquire.
+        assert!(!w.le(&r));
+        // An acquiring reader of the RMW's store joins the *original*
+        // releaser's clock through the continued sequence.
+        let mut r3 = vc([0, 0, 0, 1, 0]);
+        let v = m.apply_load(loc, 2, 3, Ordering::Acquire, &mut r3);
+        assert_eq!(v, 6);
+        assert!(w.le(&r3));
+    }
+
+    #[test]
+    fn plain_store_breaks_release_sequence() {
+        let mut m = MemState::default();
+        let loc = LocId { tid: 0, idx: 0 };
+        m.new_loc(loc, 0, 0, &VClock::ZERO);
+        let w = vc([0, 1, 0, 0, 0]);
+        m.apply_store(loc, 1, 1, Ordering::Release, &w);
+        // Another thread's relaxed plain store starts a fresh (empty)
+        // sequence.
+        let w2 = vc([0, 0, 5, 0, 0]);
+        m.apply_store(loc, 2, 2, Ordering::Relaxed, &w2);
+        let mut r = vc([0, 0, 0, 1, 0]);
+        m.apply_load(loc, 2, 3, Ordering::Acquire, &mut r);
+        assert!(!w.le(&r), "acquire of a relaxed store must not sync");
+    }
+
+    #[test]
+    fn value_epoch_tracks_changes_only() {
+        let mut m = MemState::default();
+        let loc = LocId { tid: 0, idx: 0 };
+        m.new_loc(loc, 0, 0, &VClock::ZERO);
+        assert_eq!(m.value_epoch, 0);
+        let w = vc([0, 1, 0, 0, 0]);
+        assert!(m.apply_store(loc, 1, 1, Ordering::Relaxed, &w));
+        assert_eq!(m.value_epoch, 1);
+        // Same-value store: no epoch bump (a spinner would not wake).
+        assert!(!m.apply_store(loc, 1, 1, Ordering::Relaxed, &w));
+        assert_eq!(m.value_epoch, 1);
+    }
+
+    #[test]
+    fn tracked_race_detection() {
+        let mut t = TrackedState::default();
+        let w1 = vc([0, 1, 0, 0, 0]);
+        t.on_write(1, &w1).unwrap();
+        // A reader that has joined the writer's clock is fine.
+        let mut r = vc([0, 0, 1, 0, 0]);
+        assert!(t.on_read(2, &r).is_err(), "unsynchronized read races");
+        r.join(&w1);
+        let mut t2 = TrackedState::default();
+        t2.on_write(1, &w1).unwrap();
+        t2.on_read(2, &r).unwrap();
+        // A write that has not seen the read races with it.
+        let w2 = vc([0, 2, 0, 0, 0]);
+        assert!(t2.on_write(1, &w2).is_err(), "write racing prior read");
+        // A write that joined the reader's clock is fine.
+        let mut w3 = w2;
+        w3.join(&r);
+        t2.on_write(1, &w3).unwrap();
+    }
+}

@@ -1,0 +1,123 @@
+//! Tiny sequential specifications for the checked structures.
+//!
+//! A concurrent history is linearizable iff there is a total order of
+//! its operations, consistent with real-time order, under which every
+//! operation returns exactly what the *sequential* specification
+//! returns. These interpreters are those specifications: a counter is
+//! a `u64`, a stack is a `Vec`, a queue is a `VecDeque`, a seqlock
+//! payload is the array it guards.
+
+use std::collections::VecDeque;
+
+/// An abstract operation, as recorded by scenario bodies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpecOp {
+    /// Counter: add a delta.
+    Add(u64),
+    /// Counter: read the total.
+    ReadCtr,
+    /// Stack: push a value.
+    Push(u64),
+    /// Stack: pop the top value.
+    Pop,
+    /// Queue: enqueue a value.
+    Enq(u64),
+    /// Queue: dequeue the oldest value.
+    Deq,
+    /// Seqlock: add a delta to every payload word.
+    SlAdd(u64),
+    /// Seqlock: snapshot the payload.
+    SlRead,
+}
+
+/// An abstract return value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpecRet {
+    /// No interesting return.
+    Unit,
+    /// A plain value.
+    Val(u64),
+    /// An optional value (pop/dequeue).
+    Opt(Option<u64>),
+    /// A payload snapshot (seqlock reads).
+    Snap([u64; 2]),
+}
+
+/// Sequential state of one specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpecState {
+    /// A counter holding a total.
+    Counter(u64),
+    /// A LIFO stack (top is the last element).
+    Stack(Vec<u64>),
+    /// A FIFO queue (front is the oldest element).
+    Queue(VecDeque<u64>),
+    /// A two-word seqlock payload.
+    Seq([u64; 2]),
+}
+
+/// Apply `op` to `state`, returning what the sequential object would.
+/// Panics on an op/state mismatch — that is a scenario bug, not a
+/// property violation.
+pub fn apply(state: &mut SpecState, op: &SpecOp) -> SpecRet {
+    match (state, op) {
+        (SpecState::Counter(v), SpecOp::Add(d)) => {
+            *v = v.wrapping_add(*d);
+            SpecRet::Unit
+        }
+        (SpecState::Counter(v), SpecOp::ReadCtr) => SpecRet::Val(*v),
+        (SpecState::Stack(s), SpecOp::Push(x)) => {
+            s.push(*x);
+            SpecRet::Unit
+        }
+        (SpecState::Stack(s), SpecOp::Pop) => SpecRet::Opt(s.pop()),
+        (SpecState::Queue(q), SpecOp::Enq(x)) => {
+            q.push_back(*x);
+            SpecRet::Unit
+        }
+        (SpecState::Queue(q), SpecOp::Deq) => SpecRet::Opt(q.pop_front()),
+        (SpecState::Seq(d), SpecOp::SlAdd(delta)) => {
+            d[0] = d[0].wrapping_add(*delta);
+            d[1] = d[1].wrapping_add(*delta);
+            SpecRet::Unit
+        }
+        (SpecState::Seq(d), SpecOp::SlRead) => SpecRet::Snap(*d),
+        (st, op) => panic!("spec mismatch: {op:?} against {st:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_spec_is_lifo() {
+        let mut st = SpecState::Stack(Vec::new());
+        assert_eq!(apply(&mut st, &SpecOp::Push(1)), SpecRet::Unit);
+        assert_eq!(apply(&mut st, &SpecOp::Push(2)), SpecRet::Unit);
+        assert_eq!(apply(&mut st, &SpecOp::Pop), SpecRet::Opt(Some(2)));
+        assert_eq!(apply(&mut st, &SpecOp::Pop), SpecRet::Opt(Some(1)));
+        assert_eq!(apply(&mut st, &SpecOp::Pop), SpecRet::Opt(None));
+    }
+
+    #[test]
+    fn queue_spec_is_fifo() {
+        let mut st = SpecState::Queue(VecDeque::new());
+        apply(&mut st, &SpecOp::Enq(1));
+        apply(&mut st, &SpecOp::Enq(2));
+        assert_eq!(apply(&mut st, &SpecOp::Deq), SpecRet::Opt(Some(1)));
+        assert_eq!(apply(&mut st, &SpecOp::Deq), SpecRet::Opt(Some(2)));
+        assert_eq!(apply(&mut st, &SpecOp::Deq), SpecRet::Opt(None));
+    }
+
+    #[test]
+    fn counter_and_seqlock_specs() {
+        let mut c = SpecState::Counter(0);
+        apply(&mut c, &SpecOp::Add(5));
+        assert_eq!(apply(&mut c, &SpecOp::ReadCtr), SpecRet::Val(5));
+
+        let mut s = SpecState::Seq([0, 0]);
+        apply(&mut s, &SpecOp::SlAdd(3));
+        assert_eq!(apply(&mut s, &SpecOp::SlRead), SpecRet::Snap([3, 3]));
+    }
+}

@@ -1,0 +1,251 @@
+//! schedcheck self-tests.
+//!
+//! Two layers:
+//!
+//! * **Clean passes** — every registered scenario must explore its full
+//!   state space with zero violations. These are the checks CI relies
+//!   on; a regression in any structure's ordering protocol fails here.
+//! * **Mutation sweeps** — the checker checking itself: for each
+//!   scenario we re-run the exploration once per discovered mutation
+//!   site (a parallel-phase op whose source ordering is stronger than
+//!   `Relaxed`), weakened to `Relaxed`. Sites named in the scenario's
+//!   expectation list MUST produce a violation (if the checker cannot
+//!   see the bug a weakened ordering introduces, its clean passes are
+//!   vacuous); the remaining sites are required to be in the curated
+//!   benign list, with the argument for *why* they are benign recorded
+//!   next to the entry.
+
+use super::scenarios;
+use super::{ExploreOpts, Mutation, OpKind, Report};
+
+fn run(name: &str, mutation: Option<Mutation>) -> Report {
+    let entry = scenarios::find(name).unwrap_or_else(|| panic!("unknown scenario {name}"));
+    let opts = ExploreOpts {
+        mutation,
+        ..ExploreOpts::default()
+    };
+    (entry.run)(&opts)
+}
+
+fn assert_clean(name: &str) -> Report {
+    let report = run(name, None);
+    assert!(
+        report.violation.is_none(),
+        "{name}: unexpected violation:\n{}",
+        super::render_report(&report)
+    );
+    assert!(
+        !report.capped,
+        "{name}: exploration capped — raise max_execs"
+    );
+    report
+}
+
+// --- Clean passes ---------------------------------------------------------
+
+#[test]
+fn counter_shared_2_clean() {
+    assert_clean("counter_shared_2");
+}
+
+#[test]
+fn counter_striped_3_clean() {
+    assert_clean("counter_striped_3");
+}
+
+#[test]
+fn counter_combining_2_clean() {
+    assert_clean("counter_combining_2");
+}
+
+#[test]
+fn stack_2_clean() {
+    assert_clean("stack_2");
+}
+
+#[test]
+fn queue_2_clean() {
+    assert_clean("queue_2");
+}
+
+#[test]
+fn ticket_2_clean() {
+    assert_clean("ticket_2");
+}
+
+#[test]
+fn ticket_3_clean() {
+    assert_clean("ticket_3");
+}
+
+#[test]
+fn tas_2_clean() {
+    assert_clean("tas_2");
+}
+
+#[test]
+fn ttas_2_clean() {
+    assert_clean("ttas_2");
+}
+
+#[test]
+fn clh_2_clean() {
+    assert_clean("clh_2");
+}
+
+#[test]
+fn mcs_2_clean() {
+    assert_clean("mcs_2");
+}
+
+#[test]
+fn seqlock_rw_clean() {
+    assert_clean("seqlock_rw");
+}
+
+// --- Mutation sweeps ------------------------------------------------------
+
+/// Sweep every discovered mutation site of `name`. Sites where the
+/// checker stays silent must be listed in the scenario's curated
+/// `benign` list (with the reason recorded next to the registry
+/// entry). Panics if any other site survives weakening, or if a
+/// benign entry never matched a discovered site (stale list).
+fn sweep(name: &str) {
+    let benign = scenarios::find(name)
+        .unwrap_or_else(|| panic!("unknown scenario {name}"))
+        .benign;
+    let clean = assert_clean(name);
+    assert!(
+        !clean.sites.is_empty(),
+        "{name}: no mutation sites discovered"
+    );
+    let mut caught = Vec::new();
+    let mut silent = Vec::new();
+    for &(loc, kind) in &clean.sites {
+        let report = run(name, Some(Mutation { loc, kind }));
+        if report.violation.is_some() {
+            if std::env::var_os("SCHEDCHECK_TRACE").is_some() {
+                eprintln!(
+                    "--- {name} mutated {loc} {kind:?} ---\n{}",
+                    super::render_report(&report)
+                );
+            }
+            caught.push((loc, kind));
+        } else {
+            assert!(
+                !report.capped,
+                "{name}: mutated exploration capped at {loc}"
+            );
+            silent.push((loc, kind));
+        }
+    }
+    let benign_set: Vec<(String, OpKind)> =
+        benign.iter().map(|&(l, k)| (l.to_string(), k)).collect();
+    for &(loc, kind) in &silent {
+        assert!(
+            benign_set.contains(&(loc.to_string(), kind)),
+            "{name}: weakening {loc} {kind:?} to Relaxed was NOT detected and is not \
+             in the benign list; either the scenario is too weak or the list is stale.\n\
+             caught: {caught:?}\nsilent: {silent:?}"
+        );
+    }
+    for (loc, kind) in &benign_set {
+        assert!(
+            silent
+                .iter()
+                .any(|&(l, k)| l.to_string() == *loc && k == *kind),
+            "{name}: benign entry ({loc}, {kind:?}) did not match a silent site \
+             (caught: {caught:?}, silent: {silent:?}) — update the list"
+        );
+    }
+    // A scenario must prove its teeth: at least one weakened ordering
+    // has to be detected — unless the curated list declares *every*
+    // site benign, i.e. the structure's in-model correctness is
+    // carried entirely by RMW atomicity (see the combining counter's
+    // registry entry).
+    assert!(
+        !caught.is_empty() || benign_set.len() == clean.sites.len(),
+        "{name}: no mutation produced a violation — the checker is not \
+         actually sensitive to this scenario's orderings"
+    );
+}
+
+// Why-benign arguments live next to the registry entries in
+// `scenarios::all`; the sweeps here enforce them in both directions.
+
+#[test]
+fn ticket_2_mutations_caught() {
+    // Every non-Relaxed site in the ticket lock protocol is load-
+    // bearing for mutual exclusion in this scenario: the Acquire spin
+    // on `serving` and the Release publish of the next ticket both
+    // order the critical sections' tracked accesses.
+    sweep("ticket_2");
+}
+
+#[test]
+fn tas_2_mutations_caught() {
+    sweep("tas_2");
+}
+
+#[test]
+fn ttas_2_mutations_caught() {
+    sweep("ttas_2");
+}
+
+#[test]
+fn clh_2_mutations_caught() {
+    sweep("clh_2");
+}
+
+#[test]
+fn mcs_2_mutations_caught() {
+    sweep("mcs_2");
+}
+
+#[test]
+fn seqlock_rw_mutations_caught() {
+    sweep("seqlock_rw");
+}
+
+#[test]
+fn stack_2_mutations_caught() {
+    sweep("stack_2");
+}
+
+#[test]
+fn queue_2_mutations_caught() {
+    sweep("queue_2");
+}
+
+#[test]
+fn counter_combining_2_mutations_caught() {
+    sweep("counter_combining_2");
+}
+
+// --- Counterexample quality ----------------------------------------------
+
+#[test]
+fn mutated_ticket_counterexample_names_the_mutation() {
+    // Weaken the Acquire spin on `serving` (site discovery tells us its
+    // id) and check the printed interleaving marks the weakened op.
+    let clean = assert_clean("ticket_2");
+    let load_site = clean
+        .sites
+        .iter()
+        .find(|(_, k)| *k == OpKind::Load)
+        .copied()
+        .expect("ticket lock has an Acquire load site");
+    let report = run(
+        "ticket_2",
+        Some(Mutation {
+            loc: load_site.0,
+            kind: load_site.1,
+        }),
+    );
+    let v = report.violation.expect("weakened ticket lock must fail");
+    assert!(
+        v.trace.iter().any(|l| l.contains("mutated->Relaxed")),
+        "counterexample must mark the weakened op:\n{}",
+        v.trace.join("\n")
+    );
+}

@@ -21,16 +21,25 @@
 //!    reproducibility — wall-clock reads, iteration over unordered
 //!    hash containers, ambient RNG. Run via
 //!    `cargo run -p bounce-verify --bin detlint`.
+//! 4. **`schedcheck`** ([`exec`]): a loom-style exhaustive
+//!    interleaving + memory-ordering model checker that runs the
+//!    *real* `bounce-atomics` structures (generic over their atomic
+//!    cells) on a shadow substrate, exploring every inequivalent
+//!    schedule and every legal stale read of 2–3 thread scenarios
+//!    with dynamic partial-order reduction, checking data-race
+//!    freedom, deadlock freedom, and linearizability. Run via
+//!    `cargo run -p bounce-verify --bin schedcheck`.
 
 #![warn(missing_docs)]
 
 pub mod detlint;
+pub mod exec;
 pub mod lint;
 pub mod model;
 
 pub use bounce_sim::analyze::{
     analyze_program, analyze_steps, analyze_workload, AnalysisError, Diagnostic,
 };
-pub use detlint::{scan_file, scan_tree, Finding, Rule};
+pub use detlint::{scan_file, scan_file_opts, scan_tree, scan_tree_opts, Finding, Options, Rule};
 pub use lint::{lint_workload, lint_workloads, WorkloadLint, LINT_THREAD_COUNTS};
-pub use model::{check, check_all_cores, ArgClass, Report, Row, Violation};
+pub use model::{check, check_all_cores, replay, ArgClass, Report, Row, Violation};

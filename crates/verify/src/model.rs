@@ -965,3 +965,70 @@ pub fn check(proto: &dyn CoherenceProtocol, cores: usize) -> Result<Report, Box<
 pub fn check_all_cores(proto: &dyn CoherenceProtocol) -> Result<Vec<Report>, Box<Violation>> {
     (2..=MAX_CORES).map(|n| check(proto, n)).collect()
 }
+
+/// Re-execute a counterexample trace against `proto` and verify every
+/// step: the opening state must render exactly as one of the checker's
+/// seed states, and each `-- label -->` line must name a transition the
+/// checker generates from the preceding state whose successor renders
+/// exactly as the following `state:` line. Returns the number of
+/// transitions replayed.
+///
+/// This is the defense against the trace printer and the transition
+/// generator drifting apart: a trace that merely *looks* plausible but
+/// is not a genuine path through the transition relation is rejected
+/// with a description of the first divergence.
+pub fn replay(
+    proto: &dyn CoherenceProtocol,
+    cores: usize,
+    trace: &[String],
+) -> Result<usize, String> {
+    assert!(
+        (2..=MAX_CORES).contains(&cores),
+        "core count must be in 2..={MAX_CORES}"
+    );
+    let mut ck = Checker {
+        proto,
+        n: cores,
+        rows: HashSet::new(),
+    };
+    if trace.len() < 2 || !trace[0].starts_with('(') {
+        return Err("trace must open with a (seed) line followed by a state".into());
+    }
+    let first = trace[1]
+        .strip_prefix("state: ")
+        .ok_or_else(|| format!("expected a state line, got {:?}", trace[1]))?;
+    let mut cur = ck
+        .seeds()
+        .into_iter()
+        .find(|s| s.to_string() == first)
+        .ok_or_else(|| format!("first state is not a checker seed: {first}"))?;
+    let mut steps = 0usize;
+    let mut i = 2;
+    while i < trace.len() {
+        let label = trace[i]
+            .strip_prefix("-- ")
+            .and_then(|l| l.strip_suffix(" -->"))
+            .ok_or_else(|| format!("expected a transition line, got {:?}", trace[i]))?;
+        let target = trace
+            .get(i + 1)
+            .and_then(|l| l.strip_prefix("state: "))
+            .ok_or_else(|| format!("transition {label:?} is missing its successor state"))?;
+        let succ = ck
+            .successors(&cur)
+            .map_err(|e| format!("replaying {label:?}: transition generation failed: {e}"))?;
+        match succ
+            .into_iter()
+            .find(|(l, t)| l == label && t.to_string() == target)
+        {
+            Some((_, t)) => cur = t,
+            None => {
+                return Err(format!(
+                    "no transition {label:?} leads from `{cur}` to `{target}`"
+                ))
+            }
+        }
+        steps += 1;
+        i += 2;
+    }
+    Ok(steps)
+}

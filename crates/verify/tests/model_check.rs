@@ -3,9 +3,12 @@
 //! unexpected dead rows, and deliberately broken protocols produce
 //! counterexample traces.
 
-use bounce_sim::protocol::{protocol_for, CoherenceProtocol, DataSource, Mesif, OwnerDemotion};
+use bounce_sim::protocol::{
+    protocol_for, CoherenceProtocol, DataSource, Mesi, Mesif, OwnerDemotion,
+};
 use bounce_sim::{CoherenceKind, LineState};
-use bounce_verify::model::{check, check_all_cores, ArgClass, Row};
+use bounce_verify::model::{check, check_all_cores, replay, ArgClass, Row};
+use std::collections::HashSet;
 
 /// Every shipped protocol passes SWMR, data-value, agreement and
 /// stuck-state checks at every supported core count — the acceptance
@@ -256,4 +259,150 @@ fn dataless_read_ack_is_rejected() {
 #[should_panic(expected = "core count")]
 fn core_count_bounds_enforced() {
     let _ = check(protocol_for(CoherenceKind::Mesif), 5);
+}
+
+/// A MESI table with one bad row: the demotion arm keeps the owner's
+/// copy intact (the invalidation a read demotion implies is dropped)
+/// while everything else delegates to the shipped MESI. The seeded bad
+/// row is what the counterexample-trace tests below drive.
+struct BadMesiRow;
+
+impl CoherenceProtocol for BadMesiRow {
+    fn kind(&self) -> CoherenceKind {
+        CoherenceKind::Mesi
+    }
+    fn demote_owner_on_read(&self, owner_state: LineState) -> OwnerDemotion {
+        // Bug: the owner keeps its (possibly writable, dirty) state.
+        OwnerDemotion {
+            to: owner_state,
+            retains_ownership: false,
+        }
+    }
+    fn read_source(
+        &self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        Mesi.read_source(owner, forward, req_core)
+    }
+    fn write_source(
+        &self,
+        owner: Option<usize>,
+        forward: Option<usize>,
+        req_core: usize,
+    ) -> DataSource {
+        Mesi.write_source(owner, forward, req_core)
+    }
+    fn read_install(&self) -> (LineState, bool) {
+        Mesi.read_install()
+    }
+}
+
+/// The emitted counterexample for a seeded bad MESI row is *minimal* —
+/// BFS order means no state repeats along the trace — and *replayable*:
+/// every printed transition is one the checker's own transition relation
+/// generates from the printed predecessor, landing exactly on the
+/// printed successor.
+#[test]
+fn bad_mesi_counterexample_is_minimal_and_replayable() {
+    let v = check(&BadMesiRow, 2).expect_err("dropped MESI demotion must violate SWMR");
+    println!("{v}");
+
+    // Structure: seed line, then alternating state / transition lines,
+    // ending on the violating state.
+    assert!(v.trace[0].starts_with('(') && v.trace[0].ends_with(')'));
+    let states: Vec<&str> = v
+        .trace
+        .iter()
+        .filter(|l| l.starts_with("state:"))
+        .map(String::as_str)
+        .collect();
+    let transitions = v
+        .trace
+        .iter()
+        .filter(|l| l.starts_with("-- ") && l.ends_with(" -->"))
+        .count();
+    assert_eq!(
+        v.trace.len(),
+        1 + states.len() + transitions,
+        "unexpected line kinds in trace: {:#?}",
+        v.trace
+    );
+    assert_eq!(states.len(), transitions + 1, "{:#?}", v.trace);
+
+    // Minimality: a shortest path never revisits a state.
+    let distinct: HashSet<&str> = states.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        states.len(),
+        "counterexample repeats a state — not a shortest path: {:#?}",
+        v.trace
+    );
+
+    // Replayability: the trace is a genuine path through the checker's
+    // transition relation, not just plausible-looking text.
+    let steps = replay(&BadMesiRow, 2, &v.trace).expect("counterexample must replay");
+    assert_eq!(steps, transitions);
+}
+
+/// Replay rejects a forged trace: splicing a state the named transition
+/// does not reach must be reported as a divergence, naming the label.
+#[test]
+fn replay_rejects_a_forged_trace() {
+    let v = check(&BadMesiRow, 2).expect_err("bad MESI row must be caught");
+    let mut forged: Vec<String> = v.trace.clone();
+    // Corrupt the final state: flip the memory-freshness claim.
+    let last = forged.last_mut().unwrap();
+    *last = if last.contains("mem=stale") {
+        last.replace("mem=stale", "mem=fresh")
+    } else {
+        last.replace("mem=fresh", "mem=stale")
+    };
+    let err = replay(&BadMesiRow, 2, &forged).expect_err("forged trace must not replay");
+    assert!(
+        err.contains("no transition"),
+        "divergence should name the failing step: {err}"
+    );
+}
+
+/// A hand-built trace through the fabric NACK/retry path replays: the
+/// `Row::Nack` transition is part of the checked relation, bumps only
+/// the retry counter, and leaves line and directory state untouched.
+/// The literal state renderings double as a regression test for the
+/// trace printer's format.
+#[test]
+fn nack_retry_transitions_replay() {
+    let trace: Vec<String> = [
+        "(initial)",
+        "state: caches=[I I] dir{owner=- sharers={} fwd=-} req=[idle idle] mem=fresh",
+        "-- core 0 issues GetM -->",
+        "state: caches=[I I] dir{owner=- sharers={} fwd=-} req=[GetM? idle] mem=fresh",
+        "-- fabric NACKs core 0's GetM (retry 1) -->",
+        "state: caches=[I I] dir{owner=- sharers={} fwd=-} req=[GetM?(nack1) idle] mem=fresh",
+        "-- fabric NACKs core 0's GetM (retry 2) -->",
+        "state: caches=[I I] dir{owner=- sharers={} fwd=-} req=[GetM?(nack2) idle] mem=fresh",
+        "-- directory starts core 0's GetM -->",
+        "state: caches=[I I] dir{owner=- sharers={} fwd=-} req=[GetM! idle] mem=fresh",
+        "-- core 0's GetM completes -->",
+        "state: caches=[M I] dir{owner=0 sharers={} fwd=-} req=[idle idle] mem=stale",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let steps =
+        replay(protocol_for(CoherenceKind::Mesi), 2, &trace).expect("NACK path must replay");
+    assert_eq!(steps, 5);
+
+    // A third NACK exceeds MAX_NACKS: the transition does not exist,
+    // so a trace claiming it is rejected.
+    let mut over = trace[..8].to_vec();
+    over.push("-- fabric NACKs core 0's GetM (retry 3) -->".into());
+    over.push(
+        "state: caches=[I I] dir{owner=- sharers={} fwd=-} req=[GetM?(nack3) idle] mem=fresh"
+            .into(),
+    );
+    let err = replay(protocol_for(CoherenceKind::Mesi), 2, &over)
+        .expect_err("NACKs beyond the bound must not replay");
+    assert!(err.contains("no transition"), "{err}");
 }
