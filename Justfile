@@ -12,16 +12,18 @@ lint:
     cargo clippy --workspace --all-targets -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
-# The static verification layer (see crates/verify): exhaustive model
-# check of every coherence protocol, workload-IR lint over every
-# registered workload, the determinism + shim-bypass lint, and the
-# schedcheck interleaving model check of the real atomics (with its
-# ordering-mutation sweep).
+# The verification layer (see crates/verify): exhaustive model check
+# of every coherence protocol, workload-IR lint over every registered
+# workload, the determinism + shim/recorder-bypass lint, the schedcheck
+# interleaving model check of the real atomics (with its
+# ordering-mutation sweep), and the engine-vs-model conformance
+# (trace refinement) campaign.
 verify-static:
     cargo run --release -p bounce-verify --bin modelcheck
     cargo run --release -p bounce-bench --bin repro -- lint
     cargo run --release -p bounce-verify --bin detlint
     cargo run --release -p bounce-verify --bin schedcheck -- --mutate
+    cargo run --release -p bounce-bench --bin repro -- conform --quick
 
 # Regenerate every table and figure into results/ (with gnuplot scripts).
 # jobs=0 means one worker per host core; jobs=1 is the serial baseline.

@@ -21,6 +21,10 @@
 //! repro lint                      # static-lint every registered workload
 //! repro validate [--quick]        # sim + model over every modeled scenario
 //!                                 # family → results/VALIDATION.json (CI gate)
+//! repro conform [--quick] [--protocol mesi] [--fabric-faults light]
+//!                                 # trace-refinement check of the engine
+//!                                 # against the verified coherence model →
+//!                                 # results/CONFORM_COVERAGE.json (CI gate)
 //! ```
 //!
 //! `--jobs N` fans independent simulation points across `N` host
@@ -556,6 +560,42 @@ fn run_all(args: &Args, ctx: ExpCtx) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro conform`: run the trace-refinement campaign (pass 5).
+#[cfg(feature = "conform")]
+fn run_conform(args: &Args) -> ExitCode {
+    let cargs = bounce_bench::conform::ConformArgs {
+        quick: args.quick,
+        protocols: args
+            .protocol
+            .map(|p| vec![p])
+            .unwrap_or_else(|| bounce_sim::CoherenceKind::ALL.to_vec()),
+        fabric_label: args
+            .fabric
+            .map(|f| f.label().to_string())
+            .unwrap_or_else(|| bounce_bench::conform::DEFAULT_FABRIC.to_string()),
+        out: args.out.clone().unwrap_or_else(|| PathBuf::from("results")),
+    };
+    match bounce_bench::conform::run(&cargs) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: conform: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Recorder compiled out (`--no-default-features`): refuse loudly
+/// instead of silently checking nothing.
+#[cfg(not(feature = "conform"))]
+fn run_conform(_args: &Args) -> ExitCode {
+    eprintln!(
+        "error: conform: the engine trace recorder is compiled out \
+         (this binary was built with --no-default-features); rebuild \
+         bounce-bench with the default 'conform' feature"
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -564,6 +604,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--filter` selects experiments of the `all` campaign; on any other
+    // subcommand it used to parse and then be silently ignored.
+    if args.filter.is_some() && args.command != "all" {
+        eprintln!(
+            "error: --filter only applies to 'repro all' (the '{}' command \
+             names its work directly and would silently ignore the filter); \
+             known experiment ids: {}",
+            args.command,
+            EXPERIMENT_IDS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
     let mut ctx = if args.quick {
         ExpCtx::quick()
     } else {
@@ -583,7 +635,7 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "help" => {
             eprintln!(
-                "usage: repro [predict|fit|validate|sweep|topo|list|lint|all|{}] [--machine e5|knl] [--protocol {}] [--fabric-faults {}] [--retry-policy {}] [--quick] [--exact] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
+                "usage: repro [predict|fit|validate|conform|sweep|topo|list|lint|all|{}] [--machine e5|knl] [--protocol {}] [--fabric-faults {}] [--retry-policy {}] [--quick] [--exact] [--jobs N] [--timings] [--markdown] [--plots] [--out DIR] [--resume] [--filter IDS]",
                 EXPERIMENT_IDS.join("|"),
                 protocol_names().replace(", ", "|"),
                 fabric_names().replace(", ", "|"),
@@ -824,6 +876,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "conform" => run_conform(&args),
         "all" => run_all(&args, ctx),
         id => {
             let machines: Vec<Machine> = match args.machine {

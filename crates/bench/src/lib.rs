@@ -5,6 +5,8 @@
 #![warn(missing_docs)]
 
 pub mod bench_json;
+#[cfg(feature = "conform")]
+pub mod conform;
 pub mod manifest;
 
 use bounce_harness::report::Table;

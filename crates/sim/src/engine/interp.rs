@@ -182,7 +182,17 @@ impl Engine {
             });
             self.caches[core].touch(line);
             if prim.needs_exclusive() && state == LineState::Exclusive {
+                #[cfg(feature = "conform-trace")]
+                let conform_pre = self.conform_pre(idx);
                 self.caches[core].set_state(line, LineState::Modified);
+                #[cfg(feature = "conform-trace")]
+                self.conform_push(
+                    idx,
+                    Some(tid),
+                    core,
+                    crate::conform::ConformKind::WriteHit,
+                    conform_pre,
+                );
             }
             self.energy.cache_j += self.cfg.params.energy.l1_nj * 1e-9;
             if spin.is_some() {

@@ -227,6 +227,11 @@ pub struct Engine {
     energy: EnergyBreakdown,
     queue_depth: crate::report::LatencyStats,
     trace: Option<Trace>,
+    /// Conformance trace recorder (verification pass 5). Only exists
+    /// under the `conform-trace` feature; `None` keeps every hook to a
+    /// single cold-path branch and simulation state untouched.
+    #[cfg(feature = "conform-trace")]
+    conform: Option<crate::conform::ConformRecorder>,
 }
 
 impl Engine {
@@ -311,6 +316,8 @@ impl Engine {
             energy: EnergyBreakdown::default(),
             queue_depth: crate::report::LatencyStats::default(),
             trace: None,
+            #[cfg(feature = "conform-trace")]
+            conform: None,
             cfg,
         }
     }
@@ -330,6 +337,102 @@ impl Engine {
         if let Some(t) = self.trace.as_mut() {
             let ev = make(self.now);
             t.record(ev);
+        }
+    }
+
+    /// Attach a conformance trace recorder (verification pass 5). Every
+    /// coherence transition of every line is recorded until
+    /// [`Engine::take_conform_recorder`] detaches it.
+    #[cfg(feature = "conform-trace")]
+    pub fn set_conform_recorder(&mut self, rec: crate::conform::ConformRecorder) {
+        self.conform = Some(rec);
+    }
+
+    /// Detach the conformance recorder (typically after `run`).
+    #[cfg(feature = "conform-trace")]
+    pub fn take_conform_recorder(&mut self) -> Option<crate::conform::ConformRecorder> {
+        self.conform.take()
+    }
+
+    /// Concrete snapshot of line `idx` for the conformance trace. The
+    /// optional `patch` substitutes a cache state for one core — used
+    /// for the eviction pre-snapshot, where the victim has already left
+    /// the cache by the time the eviction is observable.
+    #[cfg(feature = "conform-trace")]
+    fn conform_snapshot(
+        &self,
+        idx: u32,
+        patch: Option<(usize, LineState)>,
+    ) -> crate::conform::DirSnapshot {
+        let rec = self.conform.as_ref().expect("recorder attached");
+        let e = self.dir.get_at(idx);
+        let line = self.dir.line_at(idx);
+        let caches = rec
+            .tracked
+            .iter()
+            .map(|&c| match patch {
+                Some((pc, st)) if pc == c as usize => st,
+                _ => self.caches[c as usize].state(line),
+            })
+            .collect();
+        crate::conform::DirSnapshot {
+            owner: e.owner.map(|o| o as u32),
+            sharers: e.sharers.iter().map(|&s| s as u32).collect(),
+            forward: e.forward.map(|f| f as u32),
+            caches,
+        }
+    }
+
+    /// Pre-transition snapshot of line `idx`, or `None` when no recorder
+    /// is attached (so instrumentation sites pay one branch and nothing
+    /// else).
+    #[cfg(feature = "conform-trace")]
+    pub(super) fn conform_pre(&self, idx: u32) -> Option<crate::conform::DirSnapshot> {
+        self.conform
+            .as_ref()
+            .map(|_| self.conform_snapshot(idx, None))
+    }
+
+    /// Like [`Engine::conform_pre`] with a cache-state patch for one
+    /// core (see [`Engine::conform_snapshot`]).
+    #[cfg(feature = "conform-trace")]
+    pub(super) fn conform_pre_patched(
+        &self,
+        idx: u32,
+        core: usize,
+        state: LineState,
+    ) -> Option<crate::conform::DirSnapshot> {
+        self.conform
+            .as_ref()
+            .map(|_| self.conform_snapshot(idx, Some((core, state))))
+    }
+
+    /// Record one conformance event: `pre` was captured by
+    /// [`Engine::conform_pre`] before the transition, the post snapshot
+    /// is taken now. No-op when `pre` is `None` (recorder detached).
+    #[cfg(feature = "conform-trace")]
+    pub(super) fn conform_push(
+        &mut self,
+        idx: u32,
+        thread: Option<usize>,
+        core: usize,
+        kind: crate::conform::ConformKind,
+        pre: Option<crate::conform::DirSnapshot>,
+    ) {
+        let Some(pre) = pre else { return };
+        let post = self.conform_snapshot(idx, None);
+        let ev = crate::conform::ConformEvent {
+            at: self.now,
+            line: self.dir.line_at(idx),
+            core: core as u32,
+            thread: thread.map(|t| t as u32),
+            pc: thread.map(|t| self.threads[t].pc as u32),
+            kind,
+            pre,
+            post,
+        };
+        if let Some(r) = self.conform.as_mut() {
+            r.record(ev);
         }
     }
 

@@ -20,10 +20,29 @@ use bounce_topo::TileId;
 impl Engine {
     pub(super) fn dir_arrival(&mut self, idx: u32, req: Request) {
         self.energy.directory_j += self.cfg.params.energy.dir_nj * 1e-9;
+        // A re-arrival after a NACK is not a new abstract request: it
+        // was recorded as queued on its first arrival and has stayed
+        // queued (absorbing NACKs) ever since.
+        #[cfg(feature = "conform-trace")]
+        let first_arrival = self.retry_count.get(req.thread).is_none_or(|&c| c == 0);
         if self.fabric.is_some() && !self.fabric_admit(idx, &req) {
             return;
         }
+        #[cfg(feature = "conform-trace")]
+        let pre = if first_arrival {
+            self.conform_pre(idx)
+        } else {
+            None
+        };
         self.dir.entry_at(idx).queue.push_back(req);
+        #[cfg(feature = "conform-trace")]
+        self.conform_push(
+            idx,
+            Some(req.thread),
+            req.core,
+            crate::conform::ConformKind::Queue { excl: req.excl },
+            pre,
+        );
         self.pump(idx);
     }
 
@@ -47,11 +66,39 @@ impl Engine {
             return true;
         }
         let tid = req.thread;
+        // First refusal of a fresh transaction: abstractly the request
+        // joins the queue *and then* gets NACKed — record the queue step
+        // before the NACK so the trace refines the model's order.
+        #[cfg(feature = "conform-trace")]
+        if self.retry_count[tid] == 0 {
+            let pre = self.conform_pre(idx);
+            self.conform_push(
+                idx,
+                Some(tid),
+                req.core,
+                crate::conform::ConformKind::Queue { excl: req.excl },
+                pre,
+            );
+        }
         if let Some(fb) = self.fabric.as_mut() {
             fb.nacks += 1;
         }
         self.retry_count[tid] += 1;
         let attempt = self.retry_count[tid];
+        #[cfg(feature = "conform-trace")]
+        {
+            let pre = self.conform_pre(idx);
+            self.conform_push(
+                idx,
+                Some(tid),
+                req.core,
+                crate::conform::ConformKind::Nack {
+                    excl: req.excl,
+                    attempt,
+                },
+                pre,
+            );
+        }
         let policy = self.cfg.params.retry;
         if attempt > policy.max_retries {
             self.retry_storm = Some(Box::new(self.retry_storm_error(idx, pending)));
@@ -147,7 +194,17 @@ impl Engine {
             // free-riding hits for the whole transfer and makes
             // saturated contended throughput ≈ 1 op per ownership
             // transfer, as the paper's model assumes.)
+            #[cfg(feature = "conform-trace")]
+            let conform_pre = self.conform_pre(idx);
             self.depart_line(idx, &req);
+            #[cfg(feature = "conform-trace")]
+            self.conform_push(
+                idx,
+                Some(req.thread),
+                req.core,
+                crate::conform::ConformKind::ServiceStart { excl: req.excl },
+                conform_pre,
+            );
             let t = self.now + latency;
             self.schedule(t, Ev::ServiceDone(idx, req));
             if req.excl {
@@ -321,6 +378,8 @@ impl Engine {
             self.bank_pending[bank] = self.bank_pending[bank].saturating_sub(1);
         }
         let tid = req.thread;
+        #[cfg(feature = "conform-trace")]
+        let conform_pre = self.conform_pre(idx);
         // --- arrival transitions (departures already ran at service
         //     start, see `depart_line`) ---
         if req.excl {
@@ -350,6 +409,14 @@ impl Engine {
             }
             self.install(req.core, line, state);
         }
+        #[cfg(feature = "conform-trace")]
+        self.conform_push(
+            idx,
+            Some(tid),
+            req.core,
+            crate::conform::ConformKind::ServiceDone { excl: req.excl },
+            conform_pre,
+        );
         // Each transaction must leave the directory entry in a state the
         // protocol's invariants accept (owner/sharer/forward exclusivity
         // rules differ per protocol). Debug builds check at every
@@ -379,6 +446,14 @@ impl Engine {
     /// Install a line into a core's L1, handling the eviction.
     fn install(&mut self, core: usize, line: LineId, state: LineState) {
         if let Some((evicted, evicted_state)) = self.caches[core].install(line, state) {
+            // The victim left the cache inside `install` above, so the
+            // eviction pre-snapshot patches its state back in. A victim
+            // was necessarily installed once, hence interned.
+            #[cfg(feature = "conform-trace")]
+            let conform_victim = self
+                .dir
+                .lookup(evicted)
+                .map(|vidx| (vidx, self.conform_pre_patched(vidx, core, evicted_state)));
             match evicted_state {
                 LineState::Modified | LineState::Owned => {
                     // Dirty writeback to memory (an Owned copy still owes
@@ -391,6 +466,18 @@ impl Engine {
                 LineState::Exclusive => self.dir.evict_owner(evicted, core),
                 LineState::Shared | LineState::Forward => self.dir.evict_sharer(evicted, core),
                 LineState::Invalid => {}
+            }
+            #[cfg(feature = "conform-trace")]
+            if let Some((vidx, pre)) = conform_victim {
+                self.conform_push(
+                    vidx,
+                    None,
+                    core,
+                    crate::conform::ConformKind::Evict {
+                        state: evicted_state,
+                    },
+                    pre,
+                );
             }
         }
     }

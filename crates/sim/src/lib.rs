@@ -40,6 +40,7 @@
 pub mod analyze;
 pub mod cache;
 pub mod config;
+pub mod conform;
 pub mod counters;
 pub mod directory;
 pub mod engine;
@@ -57,6 +58,7 @@ pub use config::{
     ArbitrationPolicy, ConfigError, EnergyParams, HomePolicy, RetryPolicy, RunLength, SimConfig,
     SimParams, Watchdog,
 };
+pub use conform::{ConformEvent, ConformKind, ConformRecorder, DirSnapshot};
 pub use engine::Engine;
 pub use equeue::CalendarQueue;
 pub use error::{LineDiag, SimError, StuckThread};

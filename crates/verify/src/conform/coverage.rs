@@ -1,0 +1,78 @@
+//! Transition-coverage accounting for the conformance pass: which rows
+//! of the verified protocol tables a replayed campaign exercised.
+//!
+//! Trace-based refinement is only as strong as the traces — a campaign
+//! that never NACKs proves nothing about `Row::Nack`. The coverage
+//! report makes that visible (per-protocol hit table) and gateable
+//! (CI compares against the committed `results/CONFORM_COVERAGE.json`
+//! baseline; coverage may grow but not shrink).
+
+use std::fmt;
+
+use crate::model::{row_universe, Row};
+use bounce_sim::CoherenceKind;
+
+/// Per-protocol coverage of the verified transition-table rows.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Protocol the rows belong to.
+    pub protocol: CoherenceKind,
+    /// Rows the replayed traces exercised, sorted.
+    pub rows_hit: Vec<Row>,
+    /// The full structural row universe, sorted (shared by all
+    /// protocols; some rows are unreachable for some protocols — the
+    /// model checker's dead-row report tracks that independently).
+    pub universe: Vec<Row>,
+}
+
+impl CoverageReport {
+    /// Build a report from the union of replayed rows.
+    pub fn new(protocol: CoherenceKind, mut rows_hit: Vec<Row>) -> CoverageReport {
+        rows_hit.sort_by_key(|r| r.sort_key());
+        rows_hit.dedup();
+        let mut universe = row_universe();
+        universe.sort_by_key(|r| r.sort_key());
+        CoverageReport {
+            protocol,
+            rows_hit,
+            universe,
+        }
+    }
+
+    /// Did the campaign exercise `row`?
+    pub fn hit(&self, row: &Row) -> bool {
+        self.rows_hit.contains(row)
+    }
+
+    /// Stable string keys of the hit rows (the JSON baseline format).
+    pub fn hit_keys(&self) -> Vec<String> {
+        self.rows_hit.iter().map(|r| r.to_string()).collect()
+    }
+
+    /// Rows a baseline requires that this run did not exercise.
+    pub fn missing_from(&self, baseline_keys: &[String]) -> Vec<String> {
+        let have = self.hit_keys();
+        baseline_keys
+            .iter()
+            .filter(|k| !have.contains(k))
+            .cloned()
+            .collect()
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:?}: {}/{} verified-table rows exercised",
+            self.protocol,
+            self.rows_hit.len(),
+            self.universe.len()
+        )?;
+        for row in &self.universe {
+            let mark = if self.hit(row) { "x" } else { " " };
+            writeln!(f, "  [{mark}] {row}")?;
+        }
+        Ok(())
+    }
+}

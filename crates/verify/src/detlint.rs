@@ -48,6 +48,11 @@ pub enum Rule {
     /// Only construction is flagged; taking `&AtomicU64` etc. as a
     /// parameter (the native measurement face) stays legal.
     DirectAtomic,
+    /// Mutating directory or line state inside `sim/src/engine/`
+    /// outside the recorder-instrumented transition helpers — such a
+    /// mutation would be invisible to the conformance trace (pass 5),
+    /// silently weakening the refinement proof.
+    ConformBypass,
 }
 
 impl Rule {
@@ -58,6 +63,7 @@ impl Rule {
             Rule::HashIteration => "hash-iteration",
             Rule::AmbientRng => "ambient-rng",
             Rule::DirectAtomic => "direct-atomic",
+            Rule::ConformBypass => "conform-bypass",
         }
     }
 }
@@ -303,6 +309,33 @@ const STD_ATOMICS: [&str; 12] = [
     "AtomicPtr",
 ];
 
+/// Directory/line-state mutators whose call sites the
+/// [`Rule::ConformBypass`] rule restricts to the instrumented
+/// transition helpers. `entry_at` hands out a `&mut` directory entry;
+/// the rest mutate L1 line state or the sharer/owner book-keeping.
+const CONFORM_MUTATORS: [&str; 6] = [
+    "entry_at",
+    "evict_owner",
+    "evict_sharer",
+    "set_state",
+    "invalidate",
+    "install",
+];
+
+/// The engine functions that bracket their mutations with conformance
+/// recorder hooks (pre-snapshot before, event push after). Only these
+/// may call a [`CONFORM_MUTATORS`] method; anywhere else the mutation
+/// would be invisible to the refinement trace.
+const CONFORM_INSTRUMENTED: [&str; 7] = [
+    "dir_arrival",
+    "fabric_admit",
+    "pump",
+    "depart_line",
+    "service_done",
+    "install",
+    "issue_op",
+];
+
 /// Per-scan options: which optional rules are active.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Options {
@@ -310,6 +343,10 @@ pub struct Options {
     /// `cell.rs` (the shim's production substrate, the one legitimate
     /// constructor) is exempted by file name.
     pub direct_atomic: bool,
+    /// Enable [`Rule::ConformBypass`]. Meant for `sim/src/engine/`;
+    /// `tests.rs` files are exempted by name (test scaffolding pokes
+    /// state deliberately and never runs under the recorder).
+    pub conform_bypass: bool,
 }
 
 /// Scan one file's source text with the default rule set. `path` is
@@ -372,6 +409,59 @@ pub fn scan_file_opts(path: &Path, source: &str, opts: Options) -> Vec<Finding> 
                         format!(
                             "`{name}::new` outside cell.rs: construct atomics through the \
                              `cell` shim so schedcheck can model them"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- conformance-recorder bypass (sim/src/engine only) ---
+    if opts.conform_bypass && path.file_name().is_none_or(|f| f != "tests.rs") {
+        // Track the enclosing function lexically: the scanner has no
+        // AST, but `fn name` lines are unambiguous after stripping.
+        let mut current_fn = String::new();
+        for (lineno, l) in stripped.lines().enumerate() {
+            let lineno = lineno + 1;
+            let toks = idents(l);
+            for (i, t) in toks.iter().enumerate() {
+                if *t == "fn" && i + 1 < toks.len() {
+                    current_fn = toks[i + 1].to_string();
+                }
+            }
+            for (i, t) in toks.iter().enumerate() {
+                if !CONFORM_MUTATORS.contains(t) {
+                    continue;
+                }
+                // Only call-shaped uses: `name(`. Skips the mutator's
+                // own `fn install(` definition (preceded by `fn`) and
+                // mentions in paths or patterns.
+                if i > 0 && toks[i - 1] == "fn" {
+                    continue;
+                }
+                let Some(at) = l
+                    .find(&format!("{t}("))
+                    .or_else(|| l.find(&format!("{t} (")))
+                else {
+                    continue;
+                };
+                // Word boundary on the left of the located occurrence.
+                if at > 0 && is_ident_byte(l.as_bytes()[at - 1]) {
+                    continue;
+                }
+                if !CONFORM_INSTRUMENTED.contains(&current_fn.as_str()) {
+                    push(
+                        lineno,
+                        Rule::ConformBypass,
+                        format!(
+                            "`{t}` mutates coherence state inside `{}`, which is not a \
+                             recorder-instrumented transition helper — the conformance \
+                             trace (pass 5) would miss this step",
+                            if current_fn.is_empty() {
+                                "<module scope>"
+                            } else {
+                                current_fn.as_str()
+                            }
                         ),
                     );
                 }
@@ -608,6 +698,7 @@ mod tests {
     fn flags_direct_atomic_construction() {
         let opts = Options {
             direct_atomic: true,
+            ..Options::default()
         };
         let src = "fn f() { let c = AtomicU64::new(0); }\n";
         let f = scan_file_opts(Path::new("locks.rs"), src, opts);
@@ -621,6 +712,7 @@ mod tests {
     fn atomic_references_and_paths_stay_legal() {
         let opts = Options {
             direct_atomic: true,
+            ..Options::default()
         };
         // Taking a reference, naming the type, and loading through it
         // are all fine — only `::new` construction is flagged.
@@ -634,6 +726,7 @@ mod tests {
     fn cell_rs_is_exempt_from_direct_atomic() {
         let opts = Options {
             direct_atomic: true,
+            ..Options::default()
         };
         let src = "fn f() { let c = AtomicBool::new(false); }\n";
         assert!(scan_file_opts(Path::new("cell.rs"), src, opts).is_empty());
@@ -644,10 +737,111 @@ mod tests {
     fn direct_atomic_waiver_suppresses() {
         let opts = Options {
             direct_atomic: true,
+            ..Options::default()
         };
         let src =
             "let stop = AtomicBool::new(false); // detlint: allow(direct-atomic): test-only\n";
         assert!(scan_file_opts(Path::new("seqlock.rs"), src, opts).is_empty());
+    }
+
+    #[test]
+    fn flags_conform_bypass_outside_instrumented_helpers() {
+        let opts = Options {
+            conform_bypass: true,
+            ..Options::default()
+        };
+        let src = "\
+            impl Engine {\n\
+                fn sneaky_fixup(&mut self, idx: u32) {\n\
+                    self.dir.entry_at(idx).owner = None;\n\
+                    self.caches[0].set_state(line, LineState::Shared);\n\
+                }\n\
+            }\n";
+        let f = scan_file_opts(Path::new("service.rs"), src, opts);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::ConformBypass));
+        assert!(f[0].message.contains("sneaky_fixup"));
+        // Off by default.
+        assert!(scan_file(Path::new("service.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn conform_mutations_inside_instrumented_helpers_are_legal() {
+        let opts = Options {
+            conform_bypass: true,
+            ..Options::default()
+        };
+        let src = "\
+            impl Engine {\n\
+                fn depart_line(&mut self, idx: u32) {\n\
+                    self.caches[0].invalidate(line);\n\
+                    self.dir.entry_at(idx).sharers.clear();\n\
+                }\n\
+                fn install(&mut self, core: usize) {\n\
+                    self.dir.evict_owner(evicted, core);\n\
+                }\n\
+            }\n";
+        assert!(scan_file_opts(Path::new("service.rs"), src, opts).is_empty());
+    }
+
+    #[test]
+    fn conform_bypass_waiver_and_tests_rs_exemption() {
+        let opts = Options {
+            conform_bypass: true,
+            ..Options::default()
+        };
+        let waived = "fn helper(&mut self) { self.caches[0].invalidate(line); } \
+                      // detlint: allow(conform-bypass): rollback path, replayed separately\n";
+        assert!(scan_file_opts(Path::new("service.rs"), waived, opts).is_empty());
+        let bare = "fn helper(&mut self) { self.caches[0].invalidate(line); }\n";
+        assert!(scan_file_opts(Path::new("tests.rs"), bare, opts).is_empty());
+        assert_eq!(scan_file_opts(Path::new("service.rs"), bare, opts).len(), 1);
+    }
+
+    #[test]
+    fn conform_bypass_ignores_definitions_and_non_calls() {
+        let opts = Options {
+            conform_bypass: true,
+            ..Options::default()
+        };
+        // The definition line of an instrumented helper and a bare
+        // mention without a call are not mutations.
+        let src = "\
+            fn install(&mut self, core: usize, line: LineId, state: LineState) {\n\
+            }\n\
+            fn other(&self) { let name = install_cost; }\n";
+        assert!(scan_file_opts(Path::new("service.rs"), src, opts).is_empty());
+    }
+
+    #[test]
+    fn engine_sources_have_no_conform_bypass() {
+        // Mirrors the CI gate: every directory/line-state mutation in
+        // the engine happens inside a recorder-instrumented transition
+        // helper, so the conformance trace sees every step.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = here
+            .parent()
+            .unwrap()
+            .join("sim")
+            .join("src")
+            .join("engine");
+        let findings = scan_tree_opts(
+            &[root],
+            Options {
+                conform_bypass: true,
+                ..Options::default()
+            },
+        )
+        .expect("scan engine sources");
+        assert!(
+            findings.is_empty(),
+            "conform-bypass findings:\n{}",
+            findings
+                .iter()
+                .map(|f| format!("  {f}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 
     #[test]
@@ -661,6 +855,7 @@ mod tests {
             &[root],
             Options {
                 direct_atomic: true,
+                ..Options::default()
             },
         )
         .expect("scan atomics sources");

@@ -29,9 +29,18 @@
 //!    with dynamic partial-order reduction, checking data-race
 //!    freedom, deadlock freedom, and linearizability. Run via
 //!    `cargo run -p bounce-verify --bin schedcheck`.
+//! 5. **Conformance** ([`conform`]): trace refinement of the
+//!    production engine against pass 1's verified model — the engine
+//!    (built with `conform-trace`) records every coherence transition
+//!    with concrete pre/post snapshots, an explicit abstraction
+//!    function maps them onto model states, and the replayer checks
+//!    each step is a transition the verified relation permits,
+//!    reporting per-protocol transition-table coverage. Run via
+//!    `repro conform`.
 
 #![warn(missing_docs)]
 
+pub mod conform;
 pub mod detlint;
 pub mod exec;
 pub mod lint;
@@ -39,6 +48,10 @@ pub mod model;
 
 pub use bounce_sim::analyze::{
     analyze_program, analyze_steps, analyze_workload, AnalysisError, Diagnostic,
+};
+pub use conform::{
+    abstract_snapshot, replay_recorder, ConformError, ConformOutcome, CoverageReport, Obs,
+    RefinementViolation,
 };
 pub use detlint::{scan_file, scan_file_opts, scan_tree, scan_tree_opts, Finding, Options, Rule};
 pub use lint::{lint_workload, lint_workloads, WorkloadLint, LINT_THREAD_COUNTS};

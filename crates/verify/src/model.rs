@@ -77,7 +77,7 @@ pub const MAX_NACKS: u8 = 2;
 
 /// One core's request status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum ReqSt {
+pub(crate) enum ReqSt {
     /// No request outstanding.
     Idle,
     /// Queued at the directory (`excl` = GetM); `nacks` counts fabric
@@ -90,23 +90,23 @@ enum ReqSt {
 
 /// Abstract configuration of one line across `n` cores.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct AbsState {
-    n: u8,
+pub(crate) struct AbsState {
+    pub(crate) n: u8,
     /// Per-core L1 state of the line.
-    caches: [LineState; MAX_CORES],
+    pub(crate) caches: [LineState; MAX_CORES],
     /// Per-core freshness: does the copy hold the latest version?
     /// Canonically `true` for Invalid copies.
-    fresh: [bool; MAX_CORES],
+    pub(crate) fresh: [bool; MAX_CORES],
     /// Directory owner record.
-    owner: Option<u8>,
+    pub(crate) owner: Option<u8>,
     /// Directory sharer records, as a bitmask.
-    sharers: u8,
+    pub(crate) sharers: u8,
     /// Directory Forward record (MESIF).
-    forward: Option<u8>,
+    pub(crate) forward: Option<u8>,
     /// Per-core request status.
-    req: [ReqSt; MAX_CORES],
+    pub(crate) req: [ReqSt; MAX_CORES],
     /// Does memory hold the latest version?
-    mem_fresh: bool,
+    pub(crate) mem_fresh: bool,
 }
 
 impl AbsState {
@@ -127,8 +127,22 @@ impl AbsState {
         (0..self.n as usize).find(|&i| matches!(self.req[i], ReqSt::InService { excl: true, .. }))
     }
 
+    /// A GetM that is certainly sitting in the concrete directory
+    /// queue. A *NACKed* GetM (`nacks > 0`) is abstractly still Queued
+    /// but concretely away in retry backoff, where the engine's
+    /// writer-priority rule cannot see it — so it must not block reads
+    /// from starting in the model either (the conformance pass caught
+    /// exactly this interleaving under a degraded fabric).
     fn queued_excl(&self) -> bool {
-        (0..self.n as usize).any(|i| matches!(self.req[i], ReqSt::Queued { excl: true, .. }))
+        (0..self.n as usize).any(|i| {
+            matches!(
+                self.req[i],
+                ReqSt::Queued {
+                    excl: true,
+                    nacks: 0
+                }
+            )
+        })
     }
 
     fn set_cache(&mut self, i: usize, st: LineState) {
@@ -257,7 +271,7 @@ pub enum Row {
 }
 
 impl Row {
-    fn sort_key(&self) -> (u8, u8, u8) {
+    pub(crate) fn sort_key(&self) -> (u8, u8, u8) {
         fn c(a: ArgClass) -> u8 {
             match a {
                 ArgClass::None => 0,
@@ -307,7 +321,7 @@ impl fmt::Display for Row {
 /// Forward records never coexist (directory invariant), so mixed shapes
 /// are excluded; an owner recorded in S/F would itself be a directory
 /// violation, so `Demote` rows cover the ownable states only.
-fn row_universe() -> Vec<Row> {
+pub(crate) fn row_universe() -> Vec<Row> {
     let mut rows = vec![
         Row::Demote(LineState::Modified),
         Row::Demote(LineState::Owned),
@@ -332,7 +346,7 @@ fn row_universe() -> Vec<Row> {
     rows
 }
 
-fn classify(x: Option<usize>, req: usize) -> ArgClass {
+pub(crate) fn classify(x: Option<usize>, req: usize) -> ArgClass {
     match x {
         None => ArgClass::None,
         Some(c) if c == req => ArgClass::Requester,
@@ -401,10 +415,10 @@ impl fmt::Display for Report {
 /// violation detected while applying the protocol's decision.
 type Step = Result<AbsState, String>;
 
-struct Checker<'a> {
-    proto: &'a dyn CoherenceProtocol,
-    n: usize,
-    rows: HashSet<Row>,
+pub(crate) struct Checker<'a> {
+    pub(crate) proto: &'a dyn CoherenceProtocol,
+    pub(crate) n: usize,
+    pub(crate) rows: HashSet<Row>,
 }
 
 impl<'a> Checker<'a> {
@@ -577,7 +591,7 @@ impl<'a> Checker<'a> {
 
     /// All transitions out of `s`: `Ok(label, successor)` per enabled
     /// move, or the first violation hit while generating one.
-    fn successors(&mut self, s: &AbsState) -> Result<Vec<(String, AbsState)>, String> {
+    pub(crate) fn successors(&mut self, s: &AbsState) -> Result<Vec<(String, AbsState)>, String> {
         let mut out = Vec::new();
         let excl_busy = s.excl_in_flight().is_some();
         let shared_busy = s.shared_in_flight() > 0;
@@ -663,7 +677,7 @@ impl<'a> Checker<'a> {
     }
 
     /// Invariant checks on a reached state.
-    fn check_state(&self, s: &AbsState) -> Result<(), String> {
+    pub(crate) fn check_state(&self, s: &AbsState) -> Result<(), String> {
         let n = self.n;
         // --- SWMR ---
         let writable: Vec<usize> = (0..n).filter(|&i| s.caches[i].writable()).collect();
